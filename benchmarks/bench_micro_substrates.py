@@ -1,0 +1,95 @@
+"""Micro-benchmarks of the substrates (pytest-benchmark timings).
+
+Not paper exhibits — these track the throughput of the building blocks
+the solvers lean on: indexing, move generation, unmove generation, CSR
+gathers and the event engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import CSR
+from repro.core.kernel import solve_kernel
+from repro.core.wdl import build_wdl_graph, wdl_problem
+from repro.games.awari import AwariGame
+from repro.games.awari_index import AwariIndexer
+from repro.games.nim import NimGame
+from repro.simnet.engine import Simulator
+
+N = 8
+
+
+@pytest.fixture(scope="module")
+def indexer():
+    return AwariIndexer(N)
+
+
+@pytest.fixture(scope="module")
+def game():
+    return AwariGame()
+
+
+@pytest.fixture(scope="module")
+def boards(indexer):
+    rng = np.random.default_rng(0)
+    return indexer.unrank(rng.integers(0, indexer.count, size=65536))
+
+
+def test_micro_unrank(benchmark, indexer):
+    idx = np.arange(indexer.count, dtype=np.int64)
+    out = benchmark(indexer.unrank, idx)
+    assert out.shape == (indexer.count, 12)
+
+
+def test_micro_rank(benchmark, indexer, boards):
+    out = benchmark(indexer.rank, boards)
+    assert out.shape == (boards.shape[0],)
+
+
+def test_micro_apply_move(benchmark, game, boards):
+    pits = np.zeros(boards.shape[0], dtype=np.int64)
+    out = benchmark(game.apply_move, boards, pits)
+    assert out.boards.shape == boards.shape
+
+
+def test_micro_unmove(benchmark, game, boards):
+    sample = boards[:2048]
+    rows, preds = benchmark(game.noncapture_predecessors, sample, N)
+    assert rows.shape[0] == preds.shape[0]
+
+
+def test_micro_csr_gather(benchmark):
+    rng = np.random.default_rng(1)
+    csr = CSR.from_edges(100_000, rng.integers(0, 100_000, 500_000),
+                         rng.integers(0, 100_000, 500_000))
+    idx = rng.integers(0, 100_000, 10_000)
+    rows, nbrs = benchmark(csr.neighbors_of, idx)
+    assert rows.shape == nbrs.shape
+
+
+def test_micro_event_engine(benchmark):
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 20_000:
+                sim.schedule(1e-6, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 20_000
+
+
+def test_micro_wdl_kernel(benchmark):
+    game = NimGame(heaps=3, cap=9)
+    graph = build_wdl_graph(game)
+
+    def run():
+        return solve_kernel(wdl_problem(graph))
+
+    result = benchmark(run)
+    assert result.finalized == game.size  # nim has no draws

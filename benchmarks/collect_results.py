@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Collect benchmarks/results/*.txt into docs/RESULTS.md.
+
+Run after ``pytest benchmarks/ --benchmark-only`` to refresh the
+committed results document:
+
+    python benchmarks/collect_results.py
+"""
+
+from __future__ import annotations
+
+import datetime
+from pathlib import Path
+
+ORDER = [
+    "table1_db_stats",
+    "table2_headline",
+    "fig1_speedup",
+    "table3_messages",
+    "fig2_memory",
+    "table4_buffer_sweep",
+    "fig3_network",
+    "table5_model",
+    "table6_partition",
+    "table7_heterogeneity",
+    "table8_games",
+    "table9_linger",
+    "table10_scaling",
+]
+
+
+def main() -> None:
+    root = Path(__file__).parent
+    results = root / "results"
+    out = root.parent / "docs" / "RESULTS.md"
+    blocks = ["# Benchmark results", "",
+              "Rendered output of every exhibit, as produced by",
+              "`pytest benchmarks/ --benchmark-only`.", ""]
+    missing = []
+    for name in ORDER:
+        path = results / f"{name}.txt"
+        if not path.exists():
+            missing.append(name)
+            continue
+        blocks += [f"## {name}", "", "```", path.read_text().rstrip(), "```", ""]
+    if missing:
+        blocks += [f"*(not yet generated: {', '.join(missing)})*", ""]
+    out.write_text("\n".join(blocks))
+    print(f"wrote {out} ({len(ORDER) - len(missing)}/{len(ORDER)} exhibits)")
+
+
+if __name__ == "__main__":
+    main()

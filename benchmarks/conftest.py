@@ -1,0 +1,96 @@
+"""Shared fixtures for the benchmark harness.
+
+The heavy ingredients — the sequential solve and the simulated parallel
+runs — are memoized per session so benchmarks that share a configuration
+(e.g. Figure 1 and Figure 3 both sweep processor counts) pay for it once.
+Every benchmark writes its rendered table/series to
+``benchmarks/results/<name>.txt`` in addition to stdout, so the output
+survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.calibration import sequential_seconds
+from repro.core.parallel.driver import ParallelConfig, ParallelSolver
+from repro.core.sequential import SequentialSolver
+from repro.games.awari_db import AwariCaptureGame
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Default stone counts for the benchmark workloads.  8 gives ~75k
+#: positions / ~780k updates — big enough for the paper's effects to show,
+#: small enough for the whole harness to run in minutes.
+HEADLINE_STONES = 8
+SWEEP_STONES = 7
+
+
+class Workbench:
+    """Memoizing façade over the solvers."""
+
+    def __init__(self):
+        self.game = AwariCaptureGame()
+        self._seq_values = {}
+        self._seq_reports = {}
+        self._runs = {}
+
+    # ------------------------------------------------------------ sequential
+
+    def sequential(self, stones: int):
+        if stones not in self._seq_values:
+            solver = SequentialSolver(self.game)
+            values, report = solver.solve(stones)
+            self._seq_values[stones] = values
+            self._seq_reports[stones] = report
+        return self._seq_values[stones], self._seq_reports[stones]
+
+    def t_seq(self, stones: int) -> float:
+        """Calibrated simulated uniprocessor seconds for the top database."""
+        _, report = self.sequential(stones)
+        r = report.by_id()[stones]
+        return sequential_seconds(r.size, r.thresholds, r.parent_notifications)
+
+    def top_report(self, stones: int):
+        _, report = self.sequential(stones)
+        return report.by_id()[stones]
+
+    # -------------------------------------------------------------- parallel
+
+    def parallel(self, stones: int, **kwargs):
+        """Run (or recall) one simulated parallel construction of the
+        ``stones`` database; returns its DatabaseRunStats."""
+        key = (stones, tuple(sorted(kwargs.items())))
+        if key not in self._runs:
+            values, _ = self.sequential(stones)
+            lower = {n: values[n] for n in range(stones)}
+            cfg = ParallelConfig(predecessor_mode="unmove-cached", **kwargs)
+            out, stats = ParallelSolver(self.game, cfg).solve_database(
+                stones, lower, max_events=50_000_000
+            )
+            np.testing.assert_array_equal(
+                out, values[stones], err_msg="parallel diverged from sequential"
+            )
+            self._runs[key] = stats
+        return self._runs[key]
+
+
+@pytest.fixture(scope="session")
+def bench() -> Workbench:
+    return Workbench()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: Path, name: str, text: str) -> None:
+    """Print a rendered exhibit and persist it under results/."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Using endgame databases inside a game-playing search.
+
+The paper's motivation: endgame databases turn the hardest part of
+awari — long tactical endings — into table lookups.  This example builds
+databases up to 5 stones, then *exactly* solves 7-stone positions with a
+database-probing alpha-beta search: the search only has to bridge two
+captures' worth of play before every line bottoms out in solved
+territory.
+
+Run:  python examples/midgame_search.py
+"""
+
+import numpy as np
+
+from repro import solve_awari
+from repro.db.search import DatabaseProbingSearch
+from repro.games import AwariCaptureGame
+
+DB_STONES = 5
+POSITION_STONES = 7
+
+
+def main() -> None:
+    dbs, _ = solve_awari(DB_STONES)
+    game = AwariCaptureGame()
+    search = DatabaseProbingSearch(game, dbs, max_depth=24, max_nodes=60_000)
+
+    # Ground truth (with distances) for selecting demo positions and
+    # checking the search: the full 7-stone database.
+    truth, _ = solve_awari(POSITION_STONES, with_depth=True)
+    values = truth[POSITION_STONES]
+    depth = truth.depths[POSITION_STONES]
+
+    indexer = game.engine.indexer(POSITION_STONES)
+    rng = np.random.default_rng(11)
+    print(
+        f"solving {POSITION_STONES}-stone positions with only "
+        f"<= {DB_STONES}-stone databases + forward search:\n"
+    )
+    # Tactical positions (short distance to resolution) — search country.
+    tactical = np.flatnonzero((np.abs(values) >= 2) & (depth >= 0) & (depth <= 4))
+    solved = 0
+    shown = 0
+    for i in rng.permutation(tactical):
+        board = indexer.unrank(np.array([int(i)]))[0]
+        res = search.solve(board)
+        if not res.exact:
+            continue
+        shown += 1
+        print(game.engine.board_to_string(board))
+        status = "MATCHES database" if res.value == int(values[i]) else "WRONG"
+        print(
+            f"search: value {res.value:+d} via pit {res.best_pit} "
+            f"({res.stats.nodes:,} nodes, {res.stats.db_probes:,} probes) "
+            f"— {status}\n"
+        )
+        assert res.value == int(values[i])
+        solved += 1
+        if shown == 4:
+            break
+
+    # One quiet, drawish position — the regime forward search cannot crack.
+    drawish = np.flatnonzero(values == 0)
+    board = indexer.unrank(np.array([int(drawish[1000])]))[0]
+    res = search.solve(board)
+    print(game.engine.board_to_string(board))
+    if res.exact:
+        print(f"search: value {res.value:+d} (solved even here)")
+    else:
+        print(
+            f"search: {res.stats.nodes:,} nodes and still inexact — drawish "
+            "cycle regions defeat forward search,\nwhich is exactly why the "
+            "paper computes them by retrograde analysis instead."
+        )
+    print(f"\n{solved} tactical positions solved exactly above the database horizon")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Quickstart: build awari endgame databases and query them.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import solve_awari
+from repro.db import best_moves, set_stats
+from repro.games import AwariCaptureGame
+
+STONES = 6
+
+
+def main() -> None:
+    # 1. Build every database up to STONES stones (sequential solver).
+    dbs, report = solve_awari(STONES)
+    print(f"solved {dbs.total_positions:,} positions in {report.wall_seconds:.1f}s\n")
+
+    # 2. Table-1-style statistics.
+    print(f"{'db':>4} {'positions':>10} {'wins':>8} {'draws':>8} {'losses':>8}")
+    for st in set_stats(dbs):
+        print(
+            f"{st.db_id:>4} {st.positions:>10,} {st.wins:>8,} "
+            f"{st.draws:>8,} {st.losses:>8,}"
+        )
+
+    # 3. Query a position: mover to play, 6 stones on the board.
+    game = AwariCaptureGame()
+    board = np.array([0, 1, 0, 0, 2, 1, 1, 0, 0, 0, 0, 1], dtype=np.int16)
+    print()
+    print(game.engine.board_to_string(board))
+    value, moves = best_moves(game, dbs, board)
+    print(f"exact value for the mover: {value:+d} stones")
+    for m in moves:
+        print(f"optimal move: pit {m.pit} (captures {m.captures})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro — Parallel Retrograde Analysis on a Distributed System.
+
+A full reproduction of Bal & Allis (SC '95): awari endgame databases
+computed by distributed retrograde analysis with message combining, on a
+deterministic simulation of a 1995 Ethernet processor pool.
+
+Quickstart::
+
+    from repro import AwariCaptureGame, SequentialSolver, solve_awari
+
+    dbs, report = solve_awari(stones=6)           # sequential
+    dbs, stats = solve_awari(stones=6, procs=16)  # simulated cluster
+
+See ``examples/`` for full applications and ``benchmarks/`` for the
+reproduction of every table and figure in EXPERIMENTS.md.
+"""
+
+from .api import solve_awari, solve_wdl_game
+from .core import (
+    ParallelConfig,
+    ParallelSolver,
+    SequentialSolver,
+    solve_wdl,
+)
+from .db import DatabaseSet, best_moves, optimal_line, set_stats
+from .games import (
+    AwariCaptureGame,
+    AwariGame,
+    AwariRules,
+    GrandSlam,
+    LoopyGraphGame,
+    NimGame,
+)
+from .simnet import DEFAULT_COSTS, CostModel, EthernetConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "solve_awari",
+    "solve_wdl_game",
+    "SequentialSolver",
+    "ParallelSolver",
+    "ParallelConfig",
+    "solve_wdl",
+    "DatabaseSet",
+    "best_moves",
+    "optimal_line",
+    "set_stats",
+    "AwariCaptureGame",
+    "AwariGame",
+    "AwariRules",
+    "GrandSlam",
+    "NimGame",
+    "LoopyGraphGame",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "EthernetConfig",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Performance analysis: calibration, analytic model, reporting."""
+
+from .calibration import (
+    CLUSTER_1995,
+    PAPER_HEADLINE,
+    Cluster,
+    extrapolate_ops,
+    headline_table,
+    sequential_seconds,
+)
+from .model import ModelInput, ModelPrediction, predict
+from .scaling import ScalingPoint, isoefficiency, strong_scaling_limit
+from .report import Table, format_bytes, format_seconds, series
+
+__all__ = [
+    "Cluster",
+    "CLUSTER_1995",
+    "PAPER_HEADLINE",
+    "sequential_seconds",
+    "extrapolate_ops",
+    "headline_table",
+    "ModelInput",
+    "ModelPrediction",
+    "predict",
+    "ScalingPoint",
+    "isoefficiency",
+    "strong_scaling_limit",
+    "Table",
+    "format_seconds",
+    "format_bytes",
+    "series",
+]

@@ -1,0 +1,117 @@
+"""Analytic performance model of the parallel algorithm.
+
+A closed-form LogP-style prediction of the parallel runtime, validated
+against the discrete-event measurement (Table 5).  It captures the three
+regimes of the paper's evaluation:
+
+* **computation-bound** — perfect speedup region (T_comp / P);
+* **overhead-bound** — per-message software cost dominates when
+  combining is off (the paper's "enormous communication overhead");
+* **wire-bound** — the shared 10 Mbit/s segment serializes all traffic,
+  capping speedup at high P regardless of CPU count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simnet.costs import DEFAULT_COSTS, CostModel
+from ..simnet.ethernet import EthernetConfig
+from .calibration import sequential_seconds
+
+__all__ = ["ModelInput", "ModelPrediction", "predict"]
+
+
+@dataclass(frozen=True)
+class ModelInput:
+    """Workload and machine description for one database run."""
+
+    size: int
+    thresholds: int
+    notifications: int
+    n_procs: int
+    combining_capacity: int = 256
+    remote_fraction: float | None = None  # default (P-1)/P
+    costs: CostModel = DEFAULT_COSTS
+    ethernet: EthernetConfig = EthernetConfig()
+    # Fraction of the ideal combining factor actually achieved (buffers
+    # are force-flushed around frontier waves and phase ends).
+    combining_efficiency: float = 0.7
+    #: Number of dependency waves the propagation takes (the sequential
+    #: kernel's rounds per threshold).  Buffers drain at every wave
+    #: boundary, so the achievable combining factor is roughly the
+    #: per-pair update volume *per wave*.  ``None`` disables the limit.
+    waves: float | None = None
+
+
+@dataclass
+class ModelPrediction:
+    """Per-term breakdown of the predicted parallel runtime."""
+
+    t_sequential: float
+    t_compute: float
+    t_message_cpu: float
+    t_wire: float
+    t_parallel: float
+    packets: float
+    combining_factor: float
+
+    @property
+    def speedup(self) -> float:
+        return self.t_sequential / self.t_parallel if self.t_parallel else 0.0
+
+    @property
+    def efficiency(self) -> float:
+        return self.speedup
+
+
+def predict(m: ModelInput) -> ModelPrediction:
+    """Predict runtime: max of the CPU path and the serialized wire path.
+
+    The CPU path is per-processor: compute + send/receive overhead +
+    marshalling.  The wire path is *global*: every frame crosses the one
+    shared segment.
+    """
+    c = m.costs
+    p = m.n_procs
+    t_seq = sequential_seconds(m.size, m.thresholds, m.notifications, c)
+    t_comp = t_seq / p
+
+    remote = m.remote_fraction if m.remote_fraction is not None else (p - 1) / p
+    updates_remote = m.notifications * remote
+    # Updates per (source, destination) pair bound the achievable factor;
+    # with a wave count given, only one wave's volume combines at a time.
+    pair_volume = updates_remote / (p * max(p - 1, 1))
+    if m.waves:
+        pair_volume /= m.waves
+    factor = min(m.combining_capacity, max(1.0, pair_volume * m.combining_efficiency))
+    packets = updates_remote / factor if factor else 0.0
+
+    from ..core.combining import UPDATE_BYTES
+
+    payload_bytes = updates_remote * UPDATE_BYTES
+    t_msg_cpu = (
+        packets * (c.msg_overhead_send + c.msg_overhead_recv)
+        + payload_bytes * c.marshal_per_byte
+    ) / p
+
+    # Wire time: frames are MTU-sized when combining, minimum-sized when
+    # not; under load every frame pays the CSMA/CD contention slots.
+    eth = m.ethernet
+    per_packet_payload = min(factor * UPDATE_BYTES, eth.mtu_bytes)
+    frames_per_packet = max(1.0, (factor * UPDATE_BYTES) / eth.mtu_bytes)
+    per_frame = (
+        eth.frame_time(int(per_packet_payload)) + eth.contention_slot_penalty_s
+    )
+    t_wire = packets * frames_per_packet * per_frame
+
+    t_par = max(t_comp + t_msg_cpu, t_wire)
+    return ModelPrediction(
+        t_sequential=t_seq,
+        t_compute=t_comp,
+        t_message_cpu=t_msg_cpu,
+        t_wire=t_wire,
+        t_parallel=t_par,
+        packets=packets,
+        combining_factor=factor,
+    )

@@ -1,0 +1,74 @@
+"""ASCII table/series rendering for the benchmark harness.
+
+Every benchmark prints through these helpers so EXPERIMENTS.md and the
+bench output stay visually consistent (fixed-width tables, one row per
+configuration, a ``#`` comment header naming the reproduced exhibit).
+"""
+
+from __future__ import annotations
+
+__all__ = ["Table", "format_seconds", "format_bytes", "series"]
+
+
+def format_seconds(s: float) -> str:
+    """Human scale: µs/ms/s/min/h."""
+    if s < 1e-3:
+        return f"{s * 1e6:.1f}µs"
+    if s < 1.0:
+        return f"{s * 1e3:.1f}ms"
+    if s < 120:
+        return f"{s:.1f}s"
+    if s < 7200:
+        return f"{s / 60:.1f}min"
+    return f"{s / 3600:.1f}h"
+
+
+def format_bytes(b: float) -> str:
+    """Human scale: B/KB/MB/GB (binary)."""
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(b) < 1024:
+            return f"{b:.1f}{unit}"
+        b /= 1024
+    return f"{b:.1f}TB"
+
+
+class Table:
+    """Fixed-width table with a title, printed row by row."""
+
+    def __init__(self, title: str, columns: list[str], widths: list[int] | None = None):
+        self.title = title
+        self.columns = columns
+        self.widths = widths or [max(12, len(c) + 2) for c in columns]
+        self.rows: list[list[str]] = []
+
+    def add(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        head = "".join(c.rjust(w) for c, w in zip(self.columns, self.widths))
+        rule = "-" * len(head)
+        body = [
+            "".join(c.rjust(w) for c, w in zip(row, self.widths))
+            for row in self.rows
+        ]
+        return "\n".join([f"# {self.title}", head, rule, *body])
+
+    def show(self) -> None:
+        print(self.render())
+        print()
+
+
+def series(title: str, xs, ys, x_label: str = "x", y_label: str = "y") -> str:
+    """A figure rendered as an aligned two-column series plus a coarse
+    ASCII bar chart (benchmarks run in terminals, not notebooks)."""
+    lines = [f"# {title}", f"{x_label:>12} {y_label:>14}  "]
+    finite = [y for y in ys if y == y]
+    top = max(finite) if finite else 1.0
+    for x, y in zip(xs, ys):
+        bar = "#" * int(round(40 * (y / top))) if top > 0 else ""
+        lines.append(f"{x!s:>12} {y:14.3f}  {bar}")
+    return "\n".join(lines)

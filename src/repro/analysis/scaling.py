@@ -1,0 +1,82 @@
+"""Scalability analysis: isoefficiency and strong-scaling limits.
+
+Classic HPC treatment of the parallel algorithm, built on the analytic
+model:
+
+* :func:`strong_scaling_limit` — the processor count where adding more
+  machines stops paying (efficiency dips below a floor) for a fixed
+  database, and the asymptotic speedup cap imposed by the shared wire.
+* :func:`isoefficiency` — how fast the database must grow with P to hold
+  efficiency constant: the paper's implicit answer for why the *large*
+  database was the one worth 64 machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .model import ModelInput, predict
+
+__all__ = ["ScalingPoint", "strong_scaling_limit", "isoefficiency"]
+
+
+@dataclass
+class ScalingPoint:
+    """One (processors, speedup, efficiency) sample of a scaling curve."""
+
+    procs: int
+    speedup: float
+    efficiency: float
+
+
+def strong_scaling_limit(
+    base: ModelInput,
+    efficiency_floor: float = 0.5,
+    max_procs: int = 4096,
+) -> tuple[list[ScalingPoint], int]:
+    """Sweep P for a fixed workload; return the curve and the largest P
+    whose efficiency still clears ``efficiency_floor``."""
+    from dataclasses import replace
+
+    points = []
+    best_p = 1
+    p = 1
+    while p <= max_procs:
+        pred = predict(replace(base, n_procs=p))
+        eff = pred.speedup / p
+        points.append(ScalingPoint(procs=p, speedup=pred.speedup, efficiency=eff))
+        if eff >= efficiency_floor:
+            best_p = p
+        p *= 2
+    return points, best_p
+
+
+def isoefficiency(
+    base: ModelInput,
+    target_efficiency: float = 0.75,
+    procs: tuple = (4, 8, 16, 32, 64, 128),
+    growth: float = 1.3,
+    max_doublings: int = 60,
+) -> list[tuple[int, int]]:
+    """For each processor count, the smallest database size (in
+    positions, scaling notifications along) reaching the target
+    efficiency.  Returns ``[(procs, required_size), ...]``."""
+    from dataclasses import replace
+
+    out = []
+    rate = base.notifications / base.size if base.size else 0.0
+    for p in procs:
+        size = max(base.size // 64, 1)
+        for _ in range(max_doublings):
+            candidate = replace(
+                base,
+                size=int(size),
+                notifications=rate * size,
+                n_procs=p,
+            )
+            pred = predict(candidate)
+            if pred.speedup / p >= target_efficiency:
+                break
+            size = int(size * growth) + 1
+        out.append((p, int(size)))
+    return out

@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+solve
+    Build endgame databases — awari (with rule variants) or kalah-nt —
+    sequentially or on the simulated cluster, optionally saving them to
+    an ``.npz`` archive.
+stats
+    Print Table-1-style statistics for a database archive.
+verify
+    Run the Bellman and replay certificates on an archive.
+query
+    Evaluate a position: exact value and the optimal move(s).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis.report import Table, format_bytes, format_seconds
+from .core.parallel.driver import ParallelConfig
+from .core.verify import check_bellman, replay_certificate
+from .db.query import best_moves
+from .db.stats import set_stats
+from .db.store import DatabaseSet
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel retrograde analysis (Bal & Allis, SC '95).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="build endgame databases")
+    solve.add_argument("--stones", type=int, required=True)
+    solve.add_argument("--game", default="awari",
+                       help="awari | awari-slam-allowed | awari-no-feed | kalah")
+    solve.add_argument("--procs", type=int, default=1)
+    solve.add_argument("--combine", type=int, default=256,
+                       help="combining buffer capacity in updates (1 = off)")
+    solve.add_argument("--partition", default="cyclic",
+                       choices=["block", "cyclic", "hash"])
+    solve.add_argument("--mode", default="unmove-cached",
+                       choices=["unmove", "unmove-cached", "csr"])
+    solve.add_argument("--out", default=None, help="save archive here (.npz)")
+
+    stats = sub.add_parser("stats", help="database statistics (Table 1)")
+    stats.add_argument("archive")
+
+    verify = sub.add_parser("verify", help="Bellman + replay certificates")
+    verify.add_argument("archive")
+    verify.add_argument("--samples", type=int, default=30)
+
+    query = sub.add_parser("query", help="evaluate one position")
+    query.add_argument("archive")
+    query.add_argument(
+        "--board",
+        required=True,
+        help="12 comma-separated pit counts, mover's pits first",
+    )
+
+    model = sub.add_parser(
+        "model", help="analytic runtime prediction (no simulation)"
+    )
+    model.add_argument("--stones", type=int, default=13)
+    model.add_argument("--procs", type=int, default=64)
+    model.add_argument("--combine", type=int, default=256)
+    return parser
+
+
+def _cmd_solve(args) -> int:
+    from .core.parallel.driver import ParallelSolver
+    from .core.sequential import SequentialSolver
+    from .games.registry import capture_game
+
+    game = capture_game(args.game)
+    if args.procs > 1:
+        config = ParallelConfig(
+            n_procs=args.procs,
+            combining_capacity=args.combine,
+            partition=args.partition,
+            predecessor_mode=args.mode,
+        )
+        values, stats = ParallelSolver(game, config).solve(args.stones)
+        total = stats[-1]
+        print(
+            f"solved {args.game} up to {args.stones} stones on {args.procs} "
+            f"simulated processors"
+        )
+        print(
+            f"  largest database: {format_seconds(total.makespan_seconds)} "
+            f"simulated, {total.packets_sent} packets, combining factor "
+            f"{total.combining_factor:.1f}"
+        )
+        rules = game.rules.describe() if hasattr(game, "rules") else ""
+        dbs = DatabaseSet(game_name=game.name, values=values, rules=rules)
+    else:
+        solver = SequentialSolver(game)
+        values, report = solver.solve(args.stones)
+        rules = game.rules.describe() if hasattr(game, "rules") else ""
+        dbs = DatabaseSet(game_name=game.name, values=values, rules=rules)
+        print(
+            f"solved {args.game} up to {args.stones} stones sequentially "
+            f"({dbs.total_positions:,} positions, "
+            f"{report.wall_seconds:.1f}s wall)"
+        )
+    if args.out:
+        dbs.save(args.out)
+        print(f"saved to {args.out} ({format_bytes(dbs.memory_bytes())})")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    dbs = DatabaseSet.load(args.archive)
+    table = Table(
+        f"database statistics — {dbs.game_name} ({dbs.rules})",
+        ["db", "positions", "wins", "draws", "losses", "win%", "draw%"],
+    )
+    for st in set_stats(dbs):
+        table.add(
+            st.db_id,
+            f"{st.positions:,}",
+            f"{st.wins:,}",
+            f"{st.draws:,}",
+            f"{st.losses:,}",
+            f"{100 * st.win_fraction:.2f}",
+            f"{100 * st.draw_fraction:.2f}",
+        )
+    table.show()
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from .games.registry import capture_game_for
+
+    dbs = DatabaseSet.load(args.archive)
+    game = capture_game_for(dbs)
+    failures = 0
+    for db_id in dbs.ids():
+        report = check_bellman(game, db_id, dbs.values)
+        status = "ok" if report.ok else f"{report.violations} VIOLATIONS"
+        print(f"db {db_id}: bellman {status} ({report.checked:,} positions)")
+        failures += report.violations
+    if failures:
+        print("skipping replay: bellman check already failed")
+        return 1
+    top = max(dbs.ids())
+    if top >= 1:
+        try:
+            replayed = replay_certificate(game, dbs, top, samples=args.samples)
+        except AssertionError as exc:
+            print(f"replay FAILED: {exc}")
+            return 1
+        print(f"db {top}: replayed {replayed} optimal lines, all matched")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from .games.registry import capture_game_for
+
+    dbs = DatabaseSet.load(args.archive)
+    game = capture_game_for(dbs)
+    board = np.array([int(x) for x in args.board.split(",")], dtype=np.int16)
+    if board.shape != (12,):
+        print("board must have 12 pit counts", file=sys.stderr)
+        return 2
+    if int(board.sum()) not in dbs:
+        print(
+            f"no database for {int(board.sum())} stones in this archive",
+            file=sys.stderr,
+        )
+        return 2
+    print(game.engine.board_to_string(board))
+    value, moves = best_moves(game, dbs, board)
+    print(f"value for the mover: {value:+d}")
+    if not moves:
+        print("terminal position (no legal move)")
+    for m in moves:
+        print(f"  optimal: pit {m.pit} (captures {m.captures})")
+    return 0
+
+
+def _cmd_model(args) -> int:
+    from .analysis.calibration import sequential_seconds
+    from .analysis.model import ModelInput, predict
+    from .games.awari_index import AwariIndexer
+
+    size = AwariIndexer(args.stones).count
+    # Notification rate and wave count fitted on the solved benchmark
+    # databases (see analysis.calibration); constants below match the
+    # measured awari averages.
+    notifications = 1.3 * size * args.stones
+    waves = 55.0
+    pred = predict(
+        ModelInput(
+            size=size,
+            thresholds=args.stones,
+            notifications=notifications,
+            n_procs=args.procs,
+            combining_capacity=args.combine,
+            waves=waves,
+        )
+    )
+    print(
+        f"awari {args.stones}-stone database "
+        f"({size:,} positions, modeled 1995 cluster):"
+    )
+    print(f"  sequential       : {format_seconds(pred.t_sequential)}")
+    print(f"  on {args.procs:>3} processors: {format_seconds(pred.t_parallel)} "
+          f"(speedup {pred.speedup:.1f})")
+    print(f"  compute/P        : {format_seconds(pred.t_compute)}")
+    print(f"  message CPU /P   : {format_seconds(pred.t_message_cpu)}")
+    print(f"  shared wire      : {format_seconds(pred.t_wire)}")
+    print(f"  combining factor : {pred.combining_factor:.1f}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """Parse arguments and dispatch to the subcommand handlers."""
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "solve": _cmd_solve,
+        "stats": _cmd_stats,
+        "verify": _cmd_verify,
+        "query": _cmd_query,
+        "model": _cmd_model,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

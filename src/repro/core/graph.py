@@ -1,0 +1,185 @@
+"""Per-database move-graph construction for capture games.
+
+For one database of a :class:`~repro.games.base.CaptureGame` this module
+separates each position's moves into
+
+* a single **best exit** — the maximum over capturing moves (and the
+  terminal rule) of ``capture - value(successor in a smaller database)``;
+  thanks to the threshold formulation only the maximum is ever needed; and
+* the **internal graph** — non-capturing moves within the database,
+  stored as forward CSR adjacency plus its transpose for retrograde
+  propagation.
+
+The scan is chunked so peak memory stays bounded, and all inner work is
+vectorized (millions of positions in plain Python would be hopeless
+otherwise; see the HPC guides).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..games.base import CaptureGame
+from .values import NO_EXIT
+
+__all__ = ["CSR", "DatabaseGraph", "build_database_graph", "WorkCounters"]
+
+
+@dataclass
+class CSR:
+    """Compressed sparse row adjacency: ``indices[indptr[i]:indptr[i+1]]``."""
+
+    indptr: np.ndarray
+    indices: np.ndarray
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.indices.shape[0])
+
+    def neighbors_of(self, idx: np.ndarray):
+        """Batch gather: returns ``(row, neighbor)`` pairs with multiplicity.
+
+        ``row[k]`` indexes into ``idx``; parallel edges appear once per
+        edge, which the RA counters rely on.
+        """
+        idx = np.asarray(idx, dtype=np.int64)
+        starts = self.indptr[idx]
+        counts = self.indptr[idx + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        row = np.repeat(np.arange(idx.shape[0], dtype=np.int64), counts)
+        # Offsets within each run: arange(total) - run starts, shifted.
+        run_starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(run_starts, counts)
+        flat = np.repeat(starts, counts) + offsets
+        return row, self.indices[flat]
+
+    @staticmethod
+    def from_edges(n: int, src: np.ndarray, dst: np.ndarray) -> "CSR":
+        """Build CSR from an edge list (counting sort, O(E))."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        counts = np.bincount(src, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        order = np.argsort(src, kind="stable")
+        return CSR(indptr=indptr, indices=dst[order])
+
+    def transpose(self, n: int) -> "CSR":
+        """Reverse adjacency over ``n`` nodes."""
+        src = np.repeat(
+            np.arange(self.indptr.shape[0] - 1, dtype=np.int64),
+            np.diff(self.indptr),
+        )
+        return CSR.from_edges(n, self.indices, src)
+
+
+@dataclass
+class WorkCounters:
+    """Operation counts accumulated while building/solving a database.
+
+    These are the units the calibrated 1995 cost model converts into
+    simulated seconds (:mod:`repro.analysis.calibration`).
+    """
+
+    positions_scanned: int = 0
+    moves_generated: int = 0
+    edges_internal: int = 0
+    exit_lookups: int = 0
+
+    def merge(self, other: "WorkCounters") -> None:
+        self.positions_scanned += other.positions_scanned
+        self.moves_generated += other.moves_generated
+        self.edges_internal += other.edges_internal
+        self.exit_lookups += other.exit_lookups
+
+
+@dataclass
+class DatabaseGraph:
+    """Solver-ready view of one capture-game database."""
+
+    db_id: object
+    size: int
+    best_exit: np.ndarray  # (size,) int16, NO_EXIT where none
+    out_degree: np.ndarray  # (size,) int32: number of internal moves
+    forward: CSR
+    reverse: CSR
+    work: WorkCounters
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the construction-time state (the paper's memory
+        bottleneck: this is what gets distributed over processors)."""
+        return (
+            self.best_exit.nbytes
+            + self.out_degree.nbytes
+            + self.forward.indptr.nbytes
+            + self.forward.indices.nbytes
+            + self.reverse.indptr.nbytes
+            + self.reverse.indices.nbytes
+        )
+
+
+def build_database_graph(
+    game: CaptureGame,
+    db_id,
+    lower_values: Mapping,
+    chunk: int = 1 << 15,
+) -> DatabaseGraph:
+    """Scan database ``db_id`` and build its :class:`DatabaseGraph`.
+
+    ``lower_values`` maps already-solved database ids to their value
+    arrays; every capturing move is folded into ``best_exit`` here.
+    """
+    size = game.db_size(db_id)
+    best_exit = np.full(size, NO_EXIT, dtype=np.int16)
+    out_degree = np.zeros(size, dtype=np.int32)
+    srcs, dsts = [], []
+    work = WorkCounters()
+    for start in range(0, size, chunk):
+        stop = min(start + chunk, size)
+        scan = game.scan_chunk(db_id, start, stop)
+        n = scan.size
+        work.positions_scanned += n
+        work.moves_generated += int(scan.legal.sum())
+        rows = np.arange(start, stop, dtype=np.int64)
+        # Terminal rule: an immediate, exact exit value.
+        term = scan.terminal
+        best_exit[rows[term]] = scan.terminal_value[term]
+        # Capturing moves: exits into smaller databases.
+        cap_mask = scan.legal & (scan.capture > 0)
+        if cap_mask.any():
+            r, c = np.nonzero(cap_mask)
+            caps = scan.capture[r, c]
+            succ = scan.succ_index[r, c]
+            vals = np.empty(r.shape[0], dtype=np.int64)
+            for amount in np.unique(caps):
+                m = caps == amount
+                target = game.exit_db(db_id, int(amount))
+                vals[m] = amount - lower_values[target][succ[m]].astype(np.int64)
+            work.exit_lookups += r.shape[0]
+            np.maximum.at(best_exit, rows[r], vals.astype(np.int16))
+        # Internal (non-capturing) moves.
+        int_mask = scan.legal & (scan.capture == 0)
+        if int_mask.any():
+            r, c = np.nonzero(int_mask)
+            srcs.append(rows[r])
+            dsts.append(scan.succ_index[r, c])
+            np.add.at(out_degree, rows[r], 1)
+    src = np.concatenate(srcs) if srcs else np.zeros(0, dtype=np.int64)
+    dst = np.concatenate(dsts) if dsts else np.zeros(0, dtype=np.int64)
+    forward = CSR.from_edges(size, src, dst)
+    reverse = CSR.from_edges(size, dst, src)
+    work.edges_internal = forward.n_edges
+    return DatabaseGraph(
+        db_id=db_id,
+        size=size,
+        best_exit=best_exit,
+        out_degree=out_degree,
+        forward=forward,
+        reverse=reverse,
+        work=work,
+    )

@@ -1,0 +1,157 @@
+"""Actual-parallel solving on the host machine (multiprocessing).
+
+Everything else in :mod:`repro.core.parallel` simulates a 1995 cluster;
+this module is for users who just want their databases faster on a
+modern multicore box.  The threshold runs of one database are mutually
+independent, so they fan out across a process pool (``fork`` start
+method: the prepared graph is inherited copy-on-write, no pickling of
+the big arrays on the way in).
+
+Falls back to in-process solving where ``fork`` is unavailable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from ..games.base import CaptureGame
+from .graph import build_database_graph
+from .kernel import solve_kernel, threshold_init
+from .values import LOSS, NO_EXIT, WIN, assemble_values
+
+__all__ = ["MultiprocessSolver"]
+
+# Module globals inherited by forked workers (set per database).
+_GRAPH = None
+_SCAN = None  # (game, db_id, lower_values)
+
+
+def _solve_one_threshold(t: int):
+    result = solve_kernel(threshold_init(_GRAPH, t))
+    return t, result.status
+
+
+def _scan_range(bounds):
+    """Forked worker: scan one chunk of the database into graph parts."""
+    import numpy as _np
+
+    game, db_id, lower_values = _SCAN
+    start, stop = bounds
+    scan = game.scan_chunk(db_id, start, stop)
+    rows = np.arange(start, stop, dtype=np.int64)
+    best_exit = np.full(stop - start, -(2**15), dtype=np.int16)
+    term = scan.terminal
+    best_exit[term] = scan.terminal_value[term]
+    cap_mask = scan.legal & (scan.capture > 0)
+    if cap_mask.any():
+        r, c = _np.nonzero(cap_mask)
+        caps = scan.capture[r, c]
+        succ = scan.succ_index[r, c]
+        vals = _np.empty(r.shape[0], dtype=_np.int64)
+        for amount in _np.unique(caps):
+            m = caps == amount
+            target = game.exit_db(db_id, int(amount))
+            vals[m] = amount - lower_values[target][succ[m]].astype(_np.int64)
+        _np.maximum.at(best_exit, r, vals.astype(_np.int16))
+    int_mask = scan.legal & (scan.capture == 0)
+    r, c = _np.nonzero(int_mask)
+    out_degree = _np.zeros(stop - start, dtype=_np.int32)
+    _np.add.at(out_degree, r, 1)
+    return start, best_exit, out_degree, rows[r], scan.succ_index[r, c]
+
+
+class MultiprocessSolver:
+    """Threshold-parallel database construction on real cores."""
+
+    def __init__(self, game: CaptureGame, workers: int | None = None):
+        self.game = game
+        self.workers = workers or mp.cpu_count()
+        try:
+            self._context = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            self._context = None
+
+    def solve_database(self, db_id, lower_values) -> np.ndarray:
+        global _GRAPH
+        graph = self._build_graph(db_id, lower_values)
+        bound = self.game.value_bound(db_id)
+        if bound == 0:
+            values = graph.best_exit.astype(np.int16)
+            values[values == np.int16(NO_EXIT)] = 0
+            return values
+        thresholds = list(range(1, bound + 1))
+        statuses: dict = {}
+        if self._context is None or self.workers <= 1 or bound == 1:
+            for t in thresholds:
+                statuses[t] = solve_kernel(threshold_init(graph, t)).status
+        else:
+            _GRAPH = graph
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.workers, bound),
+                    mp_context=self._context,
+                ) as pool:
+                    for t, status in pool.map(_solve_one_threshold, thresholds):
+                        statuses[t] = status
+            finally:
+                _GRAPH = None
+        win_sets = [statuses[t] == WIN for t in thresholds]
+        loss_sets = [statuses[t] == LOSS for t in thresholds]
+        return assemble_values(win_sets, loss_sets)
+
+    def solve(self, target) -> dict:
+        values: dict = {}
+        for db_id in self.game.db_sequence(target):
+            values[db_id] = self.solve_database(db_id, values)
+        return values
+
+    # ------------------------------------------------------------ internals
+
+    def _build_graph(self, db_id, lower_values, chunk: int = 1 << 15):
+        """Graph construction with the scan fanned out across processes
+        (the scan is the dominant cost for awari-sized databases)."""
+        global _SCAN
+        size = self.game.db_size(db_id)
+        n_chunks = (size + chunk - 1) // chunk
+        if self._context is None or self.workers <= 1 or n_chunks < 2:
+            return build_database_graph(self.game, db_id, lower_values)
+        from .graph import CSR, DatabaseGraph, WorkCounters
+
+        bounds = [
+            (start, min(start + chunk, size)) for start in range(0, size, chunk)
+        ]
+        best_exit = np.empty(size, dtype=np.int16)
+        out_degree = np.empty(size, dtype=np.int32)
+        srcs, dsts = [], []
+        work = WorkCounters(positions_scanned=size)
+        _SCAN = (self.game, db_id, lower_values)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=self._context
+            ) as pool:
+                for start, be, deg, src, dst in pool.map(_scan_range, bounds):
+                    stop = start + be.shape[0]
+                    best_exit[start:stop] = be
+                    out_degree[start:stop] = deg
+                    srcs.append(src)
+                    dsts.append(dst)
+        finally:
+            _SCAN = None
+        src = np.concatenate(srcs) if srcs else np.zeros(0, dtype=np.int64)
+        dst = np.concatenate(dsts) if dsts else np.zeros(0, dtype=np.int64)
+        forward = CSR.from_edges(size, src, dst)
+        reverse = CSR.from_edges(size, dst, src)
+        work.edges_internal = forward.n_edges
+        work.moves_generated = forward.n_edges  # captures folded into exits
+        return DatabaseGraph(
+            db_id=db_id,
+            size=size,
+            best_exit=best_exit,
+            out_degree=out_degree,
+            forward=forward,
+            reverse=reverse,
+            work=work,
+        )

@@ -1,0 +1,126 @@
+"""Slow, dense, independently-coded solvers used as test oracles.
+
+These implementations share no propagation machinery with the production
+kernel: they repeatedly rescan *forward* moves of every position until the
+win/loss sets stop growing.  O(size² ) in the worst case — only suitable
+for the small games and low stone counts used in tests, which is the
+point: an obviously-correct comparator.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..games.base import CaptureGame, WDLGame
+from .values import LOSS, UNKNOWN, WIN
+
+__all__ = ["oracle_capture_db", "oracle_capture_solve", "oracle_wdl"]
+
+
+def _full_scan(game: CaptureGame, db_id):
+    size = game.db_size(db_id)
+    return game.scan_chunk(db_id, 0, size)
+
+
+def oracle_capture_db(game: CaptureGame, db_id, lower_values: Mapping) -> np.ndarray:
+    """Dense fixpoint solve of one capture database.
+
+    For each threshold ``t`` the sets ``W = {value >= t}`` and
+    ``L = {value <= -t}`` are grown by whole-database Bellman passes until
+    stable (least fixpoint, so draws never enter either set).
+    """
+    size = game.db_size(db_id)
+    bound = game.value_bound(db_id)
+    scan = _full_scan(game, db_id)
+
+    # Precompute per-move exit values (captures and the terminal rule).
+    legal = scan.legal
+    n_slots = legal.shape[1]
+    exit_val = np.full((size, n_slots), np.iinfo(np.int32).min, dtype=np.int32)
+    internal = legal & (scan.capture == 0)
+    for s in range(n_slots):
+        m = legal[:, s] & (scan.capture[:, s] > 0)
+        if m.any():
+            caps = scan.capture[m, s]
+            succ = scan.succ_index[m, s]
+            vals = np.empty(caps.shape[0], dtype=np.int32)
+            for amount in np.unique(caps):
+                sel = caps == amount
+                target = game.exit_db(db_id, int(amount))
+                vals[sel] = amount - lower_values[target][succ[sel]]
+            exit_val[m, s] = vals
+
+    values = np.zeros(size, dtype=np.int16)
+    values[scan.terminal] = scan.terminal_value[scan.terminal]
+
+    for t in range(1, bound + 1):
+        w = np.zeros(size, dtype=bool)
+        l = np.zeros(size, dtype=bool)
+        # Terminal positions are decided by their terminal value alone.
+        w |= scan.terminal & (scan.terminal_value >= t)
+        l |= scan.terminal & (scan.terminal_value <= -t)
+        while True:
+            new_w = w.copy()
+            new_l = ~scan.terminal & ~w
+            for s in range(n_slots):
+                mv = legal[:, s]
+                good_exit = mv & (exit_val[:, s] >= t)
+                # Successor indices are only valid (within this database)
+                # for internal moves; mask before gathering.
+                succ_s = np.where(internal[:, s], scan.succ_index[:, s], 0)
+                to_lost = internal[:, s] & l[succ_s]
+                new_w |= good_exit | to_lost
+                # For LOSS every move must be bad.
+                bad_exit = exit_val[:, s] <= -t
+                bad_internal = internal[:, s] & w[succ_s]
+                move_ok_for_l = ~mv | (mv & ~internal[:, s] & bad_exit) | bad_internal
+                new_l &= move_ok_for_l
+            new_l |= l
+            new_l &= ~new_w
+            if (new_w == w).all() and (new_l == l).all():
+                break
+            w, l = new_w, new_l
+        values[w] = t
+        values[l] = -t
+    return values
+
+
+def oracle_capture_solve(game: CaptureGame, target) -> dict:
+    """Dense solve of every database up to ``target``."""
+    values: dict = {}
+    for db_id in game.db_sequence(target):
+        values[db_id] = oracle_capture_db(game, db_id, values)
+    return values
+
+
+def oracle_wdl(game: WDLGame) -> np.ndarray:
+    """Dense fixpoint win/draw/loss labels for a :class:`WDLGame`."""
+    size = game.size
+    scan = game.scan_chunk(0, size)
+    draw_terminal = (
+        scan.terminal_draw
+        if scan.terminal_draw is not None
+        else np.zeros(size, dtype=bool)
+    )
+    win = scan.terminal & scan.terminal_win & ~draw_terminal
+    loss = scan.terminal & ~scan.terminal_win & ~draw_terminal
+    n_slots = scan.legal.shape[1]
+    while True:
+        new_win = win.copy()
+        new_loss = ~scan.terminal
+        for s in range(n_slots):
+            mv = scan.legal[:, s]
+            succ = scan.succ_index[:, s]
+            new_win |= mv & loss[succ]
+            new_loss &= ~mv | win[succ]
+        new_loss |= loss
+        new_loss &= ~new_win
+        if (new_win == win).all() and (new_loss == loss).all():
+            break
+        win, loss = new_win, new_loss
+    status = np.full(size, UNKNOWN, dtype=np.uint8)
+    status[win] = WIN
+    status[loss] = LOSS
+    return status

@@ -1,0 +1,516 @@
+"""The distributed retrograde-analysis worker (one per simulated processor).
+
+Each worker owns a partition of the database under construction and runs
+the paper's algorithm:
+
+1. **Scan** its owned positions: compute each position's best exit
+   against the (replicated) smaller databases and its internal out-degree.
+   In ``csr`` mode the internal edges are then exchanged so that every
+   worker holds the *predecessor* lists of its owned positions.
+2. **Propagate**: every value level (threshold ``t = 1..n``) is seeded
+   from the exits and then propagated in a *single* asynchronous pass —
+   exactly as the original single-pass algorithm carried position values
+   in its update messages.  Finalizing an owned position generates its
+   predecessors (by un-moving); updates to local parents apply directly,
+   remote ones are routed through the **message-combining buffers**.
+   Partial buffers are force-flushed only after a short idle linger, so
+   combining survives the lulls between dependency waves.
+3. Detect global quiescence with Safra's token ring; the coordinator
+   (rank 0) then moves everyone to the assemble phase.
+4. **Assemble**: harvest the per-threshold labels into values and
+   broadcast the shard so every machine holds the full database for the
+   next stone count (the broadcast carries timing/bytes; the canonical
+   value arrays are collected by the driver).
+
+All heavy steps are vectorized; CPU time is charged through the
+:class:`~repro.simnet.costs.CostModel` so the simulated clock reflects a
+1995 C implementation rather than this Python one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...simnet.costs import CostModel
+from ...simnet.rts import Actor, Context, Message
+from ..combining import CombiningBuffers
+from ..graph import DatabaseGraph
+from ..partition import Partition
+from ..termination import SafraState, Token
+from ..values import LOSS, UNKNOWN, WIN
+
+__all__ = ["WorkerConfig", "RAWorker", "KIND_DEC", "KIND_WIN", "pack_kind", "unpack_kind"]
+
+#: Update kinds carried in packets.
+KIND_DEC = 0  # child became WIN: decrement the parent's counter
+KIND_WIN = 1  # child became LOSS: the parent has a winning move
+
+_PHASE_INIT = "init"
+_PHASE_RUN = "run"
+_PHASE_ASSEMBLE = "assemble"
+_PHASE_DONE = "done"
+
+#: Simulated sizes (bytes) of control messages and per-item payloads.
+_CTRL_BYTES = 16
+_EDGE_BYTES = 8
+
+
+def pack_kind(threshold: np.ndarray, kind: np.ndarray) -> np.ndarray:
+    """Pack (threshold, kind) into the one-byte tag carried per update."""
+    return (np.asarray(threshold, dtype=np.uint8) << np.uint8(1)) | np.asarray(
+        kind, dtype=np.uint8
+    )
+
+
+def unpack_kind(packed: np.ndarray):
+    """Inverse of :func:`pack_kind`: returns (threshold, kind)."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    return packed >> np.uint8(1), packed & np.uint8(1)
+
+
+@dataclass
+class WorkerConfig:
+    """Per-run knobs shared by all workers."""
+
+    combining_capacity: int = 256
+    work_batch: int = 1024
+    scan_batch: int = 4096
+    predecessor_mode: str = "unmove"  # "unmove" | "unmove-cached" | "csr"
+    #: How long a worker lingers before force-flushing partial buffers.
+    #: While remote updates keep arriving faster than this, buffers only
+    #: leave when full — the behaviour that makes combining effective.
+    flush_linger: float = 5e-3
+    #: Coordinator pause between termination-detection rounds.
+    token_interval: float = 50e-3
+    costs: CostModel = field(default_factory=CostModel)
+
+    def __post_init__(self):
+        if self.predecessor_mode not in ("unmove", "unmove-cached", "csr"):
+            raise ValueError(
+                f"unknown predecessor_mode {self.predecessor_mode!r}"
+            )
+
+
+class RAWorker(Actor):
+    """One SPMD worker; see the module docstring for the protocol."""
+
+    def __init__(
+        self,
+        rank: int,
+        game,
+        db_id,
+        graph: DatabaseGraph,
+        partition: Partition,
+        bound: int,
+        config: WorkerConfig,
+        lower_values_bytes: int = 0,
+    ):
+        self.rank = rank
+        self.game = game
+        self.db_id = db_id
+        self.graph = graph
+        self.partition = partition
+        self.bound = bound
+        self.config = config
+        self.size = partition.n_parts
+        self.lower_values_bytes = lower_values_bytes
+
+        self.own_global = partition.local_indices(rank)
+        self.n_local = int(self.own_global.shape[0])
+        # Owned slices of the (host-precomputed) scan results; the scan
+        # phase charges the simulated cost of producing them.
+        self.best_exit = graph.best_exit[self.own_global].astype(np.int32)
+        self.out_degree = graph.out_degree[self.own_global].astype(np.int32)
+        self.values = np.zeros(self.n_local, dtype=np.int16)
+        # Per-threshold propagation state, all levels live at once (row 0
+        # unused; thresholds are 1-based).
+        self.status = np.zeros((bound + 1, self.n_local), dtype=np.uint8)
+        self.counts = np.zeros((bound + 1, self.n_local), dtype=np.int32)
+
+        #: Frontier of freshly finalized (threshold, local slots) batches.
+        self.frontier: deque = deque()
+        self.buffers = CombiningBuffers(self.size, config.combining_capacity)
+        self.safra = SafraState(rank, self.size)
+
+        self.phase = _PHASE_INIT
+        self._scan_done = 0
+        self._edges_expected = self.size - 1
+        self._edges_received = 0
+        self._values_expected = self.size - 1
+        self._values_received = 0
+        self._timer_armed = False
+        # Coordinator-only state.
+        self._init_done = 0
+        self._assemble_done = 0
+        self._token_outstanding = False
+
+    # --------------------------------------------------------------- hooks
+
+    def on_start(self, ctx: Context) -> None:
+        if self.n_local == 0:
+            # Degenerate shard: jump straight to the exchange/end of scan.
+            self._finish_scan(ctx)
+
+    def has_local_work(self) -> bool:
+        if self.phase == _PHASE_INIT:
+            return self._scan_done < self.n_local
+        if self.phase == _PHASE_RUN:
+            return bool(self.frontier)
+        return False
+
+    def on_idle(self, ctx: Context) -> None:
+        if self.phase == _PHASE_INIT:
+            self._scan_step(ctx)
+        elif self.phase == _PHASE_RUN and self.frontier:
+            self._process_batch(ctx)
+        self._after_step(ctx)
+
+    def on_message(self, ctx: Context, msg: Message) -> None:
+        handler = getattr(self, f"_msg_{msg.tag.lower()}", None)
+        if handler is None:
+            raise RuntimeError(f"rank {self.rank}: unknown message {msg.tag}")
+        handler(ctx, msg)
+        self._after_step(ctx)
+
+    def on_timer(self, ctx: Context) -> None:
+        """Linger expired: a genuine lull.  Ship the partial buffers,
+        release a held token, and (coordinator) probe for termination."""
+        self._timer_armed = False
+        if self.phase != _PHASE_RUN or self.frontier:
+            return
+        if self.buffers.total_pending:
+            self._send_packets(ctx, self.buffers.flush_all())
+        if self.safra.held_token is not None:
+            self._dispose_token(ctx, self.safra.release())
+        if (
+            self.rank == 0
+            and self.phase == _PHASE_RUN
+            and not self.frontier
+            and not self._token_outstanding
+        ):
+            self._start_token_round(ctx)
+
+    def _after_step(self, ctx: Context) -> None:
+        """Idle-state bookkeeping shared by every step kind.
+
+        With frontier work pending nothing happens (the idle loop runs).
+        Otherwise: pending buffers arm the flush linger; with everything
+        drained a held token moves on immediately and the coordinator
+        schedules its next termination probe."""
+        if self.phase != _PHASE_RUN:
+            return
+        if self.frontier:
+            if self._timer_armed:
+                ctx.cancel_timer()
+                self._timer_armed = False
+            return
+        if self.buffers.total_pending:
+            if not self._timer_armed:
+                ctx.set_timer(self.config.flush_linger)
+                self._timer_armed = True
+            return
+        if self.safra.held_token is not None:
+            self._dispose_token(ctx, self.safra.release())
+        if (
+            self.rank == 0
+            and self.phase == _PHASE_RUN
+            and not self.frontier
+            and not self._token_outstanding
+            and not self._timer_armed
+        ):
+            ctx.set_timer(self.config.token_interval)
+            self._timer_armed = True
+
+    # ---------------------------------------------------------------- scan
+
+    def _scan_step(self, ctx: Context) -> None:
+        stop = min(self._scan_done + self.config.scan_batch, self.n_local)
+        n = stop - self._scan_done
+        ctx.charge(n * self.config.costs.scan_position)
+        ctx.stats.bump("positions_scanned", n)
+        self._scan_done = stop
+        if self._scan_done >= self.n_local:
+            self._finish_scan(ctx)
+
+    def _finish_scan(self, ctx: Context) -> None:
+        if self.config.predecessor_mode == "csr":
+            self._exchange_edges(ctx)
+        else:
+            self._send_init_done(ctx)
+
+    def _exchange_edges(self, ctx: Context) -> None:
+        """Ship every discovered internal edge to the owner of its child —
+        the distributed graph transpose that the ``csr`` variant pays for
+        up front (size-only messages; the host holds the actual arrays)."""
+        _, children = self.graph.forward.neighbors_of(self.own_global)
+        owners = self.partition.owner_of(children)
+        per_dest = np.bincount(owners, minlength=self.size)
+        for dest in range(self.size):
+            if dest == self.rank:
+                continue
+            ctx.send(
+                dest,
+                "EDGES",
+                payload=int(per_dest[dest]),
+                size_bytes=max(_CTRL_BYTES, int(per_dest[dest]) * _EDGE_BYTES),
+            )
+        ctx.stats.bump("edges_shipped", int(per_dest.sum() - per_dest[self.rank]))
+        self.phase = "await_edges"
+        self._check_edges_complete(ctx)
+
+    def _msg_edges(self, ctx: Context, msg: Message) -> None:
+        self._edges_received += 1
+        # Insert the received parent links into the local reverse shard.
+        ctx.charge(int(msg.payload) * self.config.costs.update_apply)
+        self._check_edges_complete(ctx)
+
+    def _check_edges_complete(self, ctx: Context) -> None:
+        if (
+            self.phase == "await_edges"
+            and self._edges_received >= self._edges_expected
+        ):
+            self._send_init_done(ctx)
+
+    def _send_init_done(self, ctx: Context) -> None:
+        self.phase = "await_phase"
+        if self.rank == 0:
+            self._note_init_done(ctx)
+        else:
+            ctx.send(0, "INIT_DONE", size_bytes=_CTRL_BYTES)
+
+    def _msg_init_done(self, ctx: Context, msg: Message) -> None:
+        self._note_init_done(ctx)
+
+    def _note_init_done(self, ctx: Context) -> None:
+        self._init_done += 1
+        if self._init_done >= self.size:
+            ctx.broadcast("PHASE", payload="run", size_bytes=_CTRL_BYTES)
+            self._begin_run(ctx)
+
+    # --------------------------------------------------------------- phase
+
+    def _msg_phase(self, ctx: Context, msg: Message) -> None:
+        if msg.payload == "run":
+            self._begin_run(ctx)
+        else:
+            self._begin_assemble(ctx)
+
+    def _begin_run(self, ctx: Context) -> None:
+        """Seed every threshold's initial labels from the exits and enter
+        the single propagation phase."""
+        self.phase = _PHASE_RUN
+        self.safra.reset()
+        self._token_outstanding = False
+        degree0 = self.out_degree == 0
+        for t in range(1, self.bound + 1):
+            win0 = self.best_exit >= t
+            loss0 = (self.best_exit <= -t) & degree0
+            row = self.status[t]
+            row[win0] = WIN
+            row[loss0] = LOSS
+            np.copyto(self.counts[t], self.out_degree)
+            seed = np.flatnonzero(win0 | loss0)
+            if seed.size:
+                self.frontier.append((t, seed))
+        ctx.charge(
+            self.bound * self.n_local * self.config.costs.threshold_init_position
+        )
+        ctx.stats.bump("thresholds_run", self.bound)
+
+    def _begin_assemble(self, ctx: Context) -> None:
+        # Harvest ascending so higher thresholds overwrite lower ones.
+        for t in range(1, self.bound + 1):
+            self.values[self.status[t] == WIN] = t
+            self.values[self.status[t] == LOSS] = -t
+        ctx.charge(
+            self.bound * self.n_local * self.config.costs.value_assemble_position
+        )
+        self.phase = _PHASE_ASSEMBLE
+        # Broadcast this worker's value shard (one byte per position on the
+        # wire, as the 1995 implementation packed them).
+        ctx.broadcast(
+            "VALUES", payload=self.rank, size_bytes=max(_CTRL_BYTES, self.n_local)
+        )
+        ctx.stats.bump("values_broadcast_bytes", self.n_local)
+        self._check_assemble_complete(ctx)
+
+    def _msg_values(self, ctx: Context, msg: Message) -> None:
+        self._values_received += 1
+        ctx.charge(msg.size_bytes * self.config.costs.marshal_per_byte)
+        self._check_assemble_complete(ctx)
+
+    def _check_assemble_complete(self, ctx: Context) -> None:
+        if (
+            self.phase == _PHASE_ASSEMBLE
+            and self._values_received >= self._values_expected
+        ):
+            self.phase = "await_done"
+            if self.rank == 0:
+                self._note_assemble_done(ctx)
+            else:
+                ctx.send(0, "ASSEMBLE_DONE", size_bytes=_CTRL_BYTES)
+
+    def _msg_assemble_done(self, ctx: Context, msg: Message) -> None:
+        self._note_assemble_done(ctx)
+
+    def _note_assemble_done(self, ctx: Context) -> None:
+        self._assemble_done += 1
+        if self._assemble_done >= self.size:
+            ctx.broadcast("DB_DONE", size_bytes=_CTRL_BYTES)
+            self.phase = _PHASE_DONE
+
+    def _msg_db_done(self, ctx: Context, msg: Message) -> None:
+        self.phase = _PHASE_DONE
+
+    # --------------------------------------------------------- propagation
+
+    def _predecessors(self, children_global: np.ndarray):
+        mode = self.config.predecessor_mode
+        if mode == "unmove":
+            return self.game.predecessors_internal(self.db_id, children_global)
+        # Cached/CSR modes read the host-side transposed graph; in
+        # "unmove-cached" the *charges* still model run-time un-moving.
+        return self.graph.reverse.neighbors_of(children_global)
+
+    def _generate_cost(self) -> float:
+        if self.config.predecessor_mode == "csr":
+            return self.config.costs.update_generate_fast
+        return self.config.costs.update_generate
+
+    def _process_batch(self, ctx: Context) -> None:
+        threshold, slots = self.frontier.popleft()
+        if slots.shape[0] > self.config.work_batch:
+            self.frontier.appendleft((threshold, slots[self.config.work_batch :]))
+            slots = slots[: self.config.work_batch]
+        children_global = self.own_global[slots]
+        kinds = (self.status[threshold][slots] == LOSS).astype(np.uint8)
+        child_row, parents_global = self._predecessors(children_global)
+        ctx.charge(
+            slots.shape[0] * self.config.costs.threshold_init_position
+            + parents_global.shape[0] * self._generate_cost()
+        )
+        ctx.stats.bump("updates_generated", int(parents_global.shape[0]))
+        if parents_global.size == 0:
+            return
+        packed = pack_kind(np.full(child_row.shape[0], threshold), kinds[child_row])
+        owners = self.partition.owner_of(parents_global)
+        local = owners == self.rank
+        if local.any():
+            self._apply_updates(
+                ctx,
+                self.partition.to_local(parents_global[local]),
+                packed[local],
+            )
+            ctx.stats.bump("updates_local", int(local.sum()))
+        remote = ~local
+        if remote.any():
+            ready = self.buffers.append(
+                owners[remote], parents_global[remote], packed[remote]
+            )
+            self._send_packets(ctx, ready)
+
+    def _apply_updates(self, ctx: Context, slots: np.ndarray, packed: np.ndarray):
+        """Apply a batch of updates to owned positions (vectorized; WIN
+        notifications take priority over counter exhaustion, mirroring the
+        sequential kernel)."""
+        ctx.charge(slots.shape[0] * self.config.costs.update_apply)
+        ctx.stats.bump("updates_applied", int(slots.shape[0]))
+        thresholds, kinds = unpack_kind(packed)
+        for t in np.unique(thresholds):
+            sel = thresholds == t
+            self._apply_threshold(int(t), slots[sel], kinds[sel])
+
+    def _apply_threshold(self, t: int, slots: np.ndarray, kinds: np.ndarray):
+        status = self.status[t]
+        counts = self.counts[t]
+        win_slots = slots[kinds == KIND_WIN]
+        if win_slots.size:
+            new_win = np.unique(win_slots[status[win_slots] == UNKNOWN])
+            if new_win.size:
+                status[new_win] = WIN
+                self.frontier.append((t, new_win))
+        dec_slots = slots[kinds == KIND_DEC]
+        if dec_slots.size:
+            np.subtract.at(counts, dec_slots, 1)
+            zeroed = np.unique(dec_slots)
+            new_loss = zeroed[
+                (counts[zeroed] == 0)
+                & (status[zeroed] == UNKNOWN)
+                & (self.best_exit[zeroed] <= -t)
+            ]
+            if new_loss.size:
+                status[new_loss] = LOSS
+                self.frontier.append((t, new_loss))
+
+    def _send_packets(self, ctx: Context, ready) -> None:
+        for dest, packet in ready:
+            ctx.send(dest, "UPDATE", payload=packet, size_bytes=packet.size_bytes)
+            self.safra.on_app_send()
+            ctx.stats.bump("packets_sent")
+            ctx.stats.bump("updates_sent", packet.n_updates)
+
+    def _msg_update(self, ctx: Context, msg: Message) -> None:
+        self.safra.on_app_receive()
+        packet = msg.payload
+        self._apply_updates(
+            ctx, self.partition.to_local(packet.positions), packet.kinds
+        )
+
+    # --------------------------------------------------------- termination
+
+    def _start_token_round(self, ctx: Context) -> None:
+        self._token_outstanding = True
+        token = self.safra.start_round()
+        ctx.send(self.safra.next_rank(), "TOKEN", payload=token,
+                 size_bytes=_CTRL_BYTES)
+        ctx.stats.bump("token_rounds")
+
+    def _msg_token(self, ctx: Context, msg: Message) -> None:
+        token: Token = msg.payload
+        if self.frontier or self.buffers.total_pending:
+            self.safra.hold(token)
+            return
+        self._dispose_token(ctx, token)
+
+    def _dispose_token(self, ctx: Context, token: Token) -> None:
+        if self.rank == 0:
+            self._token_outstanding = False
+            if self.phase == _PHASE_RUN and self.safra.coordinator_check(token):
+                ctx.broadcast("PHASE", payload="assemble", size_bytes=_CTRL_BYTES)
+                self._begin_assemble(ctx)
+            # Otherwise a fresh round starts from the idle bookkeeping.
+        else:
+            ctx.send(
+                self.safra.next_rank(),
+                "TOKEN",
+                payload=self.safra.forward(token),
+                size_bytes=_CTRL_BYTES,
+            )
+
+    # ------------------------------------------------------------- results
+
+    def local_values(self) -> tuple[np.ndarray, np.ndarray]:
+        """(global indices, values) of this worker's shard."""
+        return self.own_global, self.values
+
+    #: Construction-state bytes per position of the modeled 1995 layout:
+    #: value, best exit, out-degree, status byte, 16-bit counter, plus
+    #: amortized frontier-queue and bookkeeping entries.
+    MODELED_BYTES_PER_POSITION = 12
+
+    def memory_modeled_bytes(self) -> int:
+        """Memory a 1995 C implementation would hold on this node:
+        :data:`MODELED_BYTES_PER_POSITION` of construction state per owned
+        position, 4 bytes per reverse edge in ``csr`` mode, plus the
+        replicated smaller databases at one byte per position."""
+        per_pos = self.MODELED_BYTES_PER_POSITION * self.n_local
+        edges = 0
+        if self.config.predecessor_mode == "csr":
+            rev = self.graph.reverse
+            edges = 4 * int(
+                (rev.indptr[self.own_global + 1] - rev.indptr[self.own_global]).sum()
+            )
+        return per_pos + edges + self.lower_values_bytes

@@ -1,0 +1,168 @@
+"""Sequential capture-difference database construction.
+
+This is the paper's uniprocessor baseline (the "40 hours on one machine"
+side of the headline result).  For each database in dependency order it
+builds the move graph once and runs one retrograde propagation per
+threshold ``t = 1..n``; the threshold labels are then assembled into the
+final value array (see DESIGN.md for why this decomposition is exactly
+classic win/loss RA run ``n`` times).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..games.base import CaptureGame
+from .graph import DatabaseGraph, WorkCounters, build_database_graph
+from .kernel import RAProblem, solve_kernel, threshold_init, unmove_provider
+from .values import LOSS, WIN, assemble_values, check_nested_thresholds
+
+__all__ = ["DatabaseReport", "SolveReport", "SequentialSolver"]
+
+
+@dataclass
+class DatabaseReport:
+    """Everything measured while solving one database."""
+
+    db_id: object
+    size: int
+    work: WorkCounters
+    thresholds: int = 0
+    propagation_rounds: int = 0
+    parent_notifications: int = 0
+    wall_seconds: float = 0.0
+    graph_memory_bytes: int = 0
+
+    @property
+    def total_ops(self) -> int:
+        """Abstract operation count fed to the calibrated cost model."""
+        return (
+            self.work.positions_scanned
+            + self.work.moves_generated
+            + self.work.exit_lookups
+            + self.parent_notifications
+        )
+
+
+@dataclass
+class SolveReport:
+    """Per-database reports for a full solve."""
+
+    databases: list = field(default_factory=list)
+
+    def by_id(self) -> Mapping:
+        return {r.db_id: r for r in self.databases}
+
+    @property
+    def total_ops(self) -> int:
+        return sum(r.total_ops for r in self.databases)
+
+    @property
+    def wall_seconds(self) -> float:
+        return sum(r.wall_seconds for r in self.databases)
+
+
+class SequentialSolver:
+    """Uniprocessor retrograde analysis over a :class:`CaptureGame`.
+
+    Parameters
+    ----------
+    game:
+        The stratified game to solve.
+    predecessor_mode:
+        ``"csr"`` (default) propagates through a precomputed transposed
+        graph; ``"unmove"`` regenerates predecessors on the fly exactly as
+        the paper's memory-constrained implementation did.  Both produce
+        identical databases (asserted in tests).
+    chunk:
+        Scan batch size.
+    """
+
+    def __init__(
+        self,
+        game: CaptureGame,
+        predecessor_mode: str = "csr",
+        chunk: int = 1 << 15,
+        check_invariants: bool = False,
+        collect_depth: bool = False,
+    ):
+        if predecessor_mode not in ("csr", "unmove"):
+            raise ValueError(f"unknown predecessor_mode {predecessor_mode!r}")
+        self.game = game
+        self.predecessor_mode = predecessor_mode
+        self.chunk = chunk
+        self.check_invariants = check_invariants
+        #: When set, :meth:`solve` also returns per-database distance
+        #: arrays: plies of optimal play needed to realize the value
+        #: within its database (draws: -1).  A strict progress measure for
+        #: optimal-line replay.
+        self.collect_depth = collect_depth
+        self.depths: dict = {}
+
+    # ------------------------------------------------------------ database
+
+    def solve_database(
+        self, db_id, lower_values: Mapping
+    ) -> tuple[np.ndarray, DatabaseReport]:
+        """Solve one database given all its dependencies."""
+        t0 = time.perf_counter()
+        graph = build_database_graph(
+            self.game, db_id, lower_values, chunk=self.chunk
+        )
+        report = DatabaseReport(
+            db_id=db_id,
+            size=graph.size,
+            work=graph.work,
+            graph_memory_bytes=graph.memory_bytes(),
+        )
+        bound = self.game.value_bound(db_id)
+        if bound == 0:
+            # Single-valued database (e.g. the empty awari board).
+            values = graph.best_exit.astype(np.int16)
+            values[values == np.iinfo(np.int16).min] = 0
+            report.wall_seconds = time.perf_counter() - t0
+            return values, report
+
+        win_sets, loss_sets = [], []
+        depths = [] if self.collect_depth else None
+        for t in range(1, bound + 1):
+            problem = threshold_init(graph, t)
+            if self.predecessor_mode == "unmove":
+                problem.predecessors = unmove_provider(self.game, db_id)
+            result = solve_kernel(problem)
+            win_sets.append(result.status == WIN)
+            loss_sets.append(result.status == LOSS)
+            if depths is not None:
+                depths.append(result.depth)
+            report.thresholds += 1
+            report.propagation_rounds += result.rounds
+            report.parent_notifications += result.parent_notifications
+        if self.check_invariants:
+            check_nested_thresholds(win_sets, loss_sets)
+        values = assemble_values(win_sets, loss_sets)
+        if depths is not None:
+            # A position's distance comes from the threshold run that
+            # finalized it at its exact value t = |v|.
+            db_depth = np.full(graph.size, -1, dtype=np.int32)
+            for t, (w, l, d) in enumerate(zip(win_sets, loss_sets, depths), 1):
+                exact = (w | l) & (np.abs(values) == t)
+                db_depth[exact] = d[exact]
+            self.depths[db_id] = db_depth
+        report.wall_seconds = time.perf_counter() - t0
+        return values, report
+
+    # ---------------------------------------------------------------- all
+
+    def solve(self, target) -> tuple[dict, SolveReport]:
+        """Solve every database up to ``target`` in dependency order."""
+        values: dict = {}
+        report = SolveReport()
+        for db_id in self.game.db_sequence(target):
+            vals, db_report = self.solve_database(db_id, values)
+            values[db_id] = vals
+            report.databases.append(db_report)
+        return values, report

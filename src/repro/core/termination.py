@@ -1,0 +1,111 @@
+"""Safra's distributed termination-detection algorithm.
+
+The propagation phase of the parallel RA is done when (a) every worker's
+local frontier is empty and (b) no update packet is in flight.  No single
+worker can observe this, so the workers run Safra's token algorithm on a
+logical ring:
+
+* every worker keeps a message counter (sent - received app packets) and
+  a colour; *receiving* an app packet turns a worker black;
+* the coordinator (rank 0), when idle, sends a white token with count 0
+  around the ring; each idle worker adds its counter, taints the token if
+  it is black, whitens itself, and forwards;
+* when the token returns white and ``token count + coordinator counter``
+  is zero while the coordinator is still white and idle, the system has
+  terminated; otherwise a new round starts.
+
+A worker holding the token while it still has local work simply delays
+forwarding until it drains (handled by the worker's step loop).
+
+This module is pure protocol state — no simulation dependencies — so it
+is unit-testable in isolation and reusable by any actor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WHITE", "BLACK", "Token", "SafraState"]
+
+WHITE = 0
+BLACK = 1
+
+
+@dataclass
+class Token:
+    """The circulating token: cumulative count and colour."""
+
+    count: int = 0
+    color: int = WHITE
+    round_no: int = 0
+
+
+class SafraState:
+    """Per-worker Safra bookkeeping."""
+
+    def __init__(self, rank: int, size: int):
+        self.rank = rank
+        self.size = size
+        self.counter = 0  # app packets sent - received
+        self.color = WHITE
+        self.held_token: Token | None = None
+        self.rounds_started = 0
+
+    # ------------------------------------------------------------- events
+
+    def on_app_send(self, n: int = 1) -> None:
+        self.counter += n
+
+    def on_app_receive(self, n: int = 1) -> None:
+        self.counter -= n
+        self.color = BLACK
+
+    def reset(self) -> None:
+        """Fresh phase: counters and colours start over."""
+        self.counter = 0
+        self.color = WHITE
+        self.held_token = None
+
+    # -------------------------------------------------------------- token
+
+    def next_rank(self) -> int:
+        return (self.rank + 1) % self.size
+
+    def start_round(self) -> Token:
+        """Coordinator only: emit a fresh white token."""
+        if self.rank != 0:
+            raise RuntimeError("only rank 0 starts token rounds")
+        self.rounds_started += 1
+        self.color = WHITE
+        return Token(count=0, color=WHITE, round_no=self.rounds_started)
+
+    def hold(self, token: Token) -> None:
+        """Park the token until local work drains."""
+        if self.held_token is not None:
+            raise RuntimeError(f"rank {self.rank} already holds a token")
+        self.held_token = token
+
+    def release(self) -> Token | None:
+        token, self.held_token = self.held_token, None
+        return token
+
+    def forward(self, token: Token) -> Token:
+        """Non-coordinator: stamp the token and pass it on."""
+        if self.rank == 0:
+            raise RuntimeError("coordinator does not forward its own token")
+        token.count += self.counter
+        if self.color == BLACK:
+            token.color = BLACK
+        self.color = WHITE
+        return token
+
+    def coordinator_check(self, token: Token) -> bool:
+        """Coordinator: True iff the returned token proves termination."""
+        if self.rank != 0:
+            raise RuntimeError("only rank 0 evaluates tokens")
+        terminated = (
+            token.color == WHITE
+            and self.color == WHITE
+            and token.count + self.counter == 0
+        )
+        return terminated

@@ -1,0 +1,120 @@
+"""Classic win/draw/loss retrograde analysis for converging games.
+
+This is the textbook form of RA (chess endgames, nine men's morris,
+connect-four back ends ...): a single position space, terminal positions
+labelled win or loss for the mover, and the least-fixpoint propagation of
+:mod:`repro.core.kernel`.  Distance-to-outcome in plies falls out of the
+level-synchronous rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..games.base import WDLGame
+from .graph import CSR, WorkCounters
+from .kernel import RAProblem, RAResult, csr_provider, solve_kernel
+from .values import LOSS, UNKNOWN, WIN
+
+__all__ = ["WDLGraph", "build_wdl_graph", "solve_wdl", "WDLSolution"]
+
+
+@dataclass
+class WDLGraph:
+    """Scanned structure of a win/draw/loss game."""
+
+    size: int
+    terminal: np.ndarray
+    terminal_win: np.ndarray
+    terminal_draw: np.ndarray
+    out_degree: np.ndarray
+    forward: CSR
+    reverse: CSR
+    work: WorkCounters
+
+
+@dataclass
+class WDLSolution:
+    """Labels plus distance (plies to the forced outcome; -1 for draws)."""
+
+    status: np.ndarray
+    depth: np.ndarray
+    result: RAResult
+
+    @property
+    def wins(self) -> int:
+        return int((self.status == WIN).sum())
+
+    @property
+    def losses(self) -> int:
+        return int((self.status == LOSS).sum())
+
+    @property
+    def draws(self) -> int:
+        return int((self.status == UNKNOWN).sum())
+
+
+def build_wdl_graph(game: WDLGame, chunk: int = 1 << 15) -> WDLGraph:
+    """Chunked scan of a :class:`WDLGame` into CSR adjacency."""
+    size = game.size
+    terminal = np.zeros(size, dtype=bool)
+    terminal_win = np.zeros(size, dtype=bool)
+    terminal_draw = np.zeros(size, dtype=bool)
+    out_degree = np.zeros(size, dtype=np.int32)
+    srcs, dsts = [], []
+    work = WorkCounters()
+    for start in range(0, size, chunk):
+        stop = min(start + chunk, size)
+        scan = game.scan_chunk(start, stop)
+        rows = np.arange(start, stop, dtype=np.int64)
+        work.positions_scanned += scan.size
+        work.moves_generated += int(scan.legal.sum())
+        terminal[rows] = scan.terminal
+        terminal_win[rows] = scan.terminal & scan.terminal_win
+        if scan.terminal_draw is not None:
+            terminal_draw[rows] = scan.terminal & scan.terminal_draw
+        r, c = np.nonzero(scan.legal)
+        if r.size:
+            srcs.append(rows[r])
+            dsts.append(scan.succ_index[r, c])
+            np.add.at(out_degree, rows[r], 1)
+    src = np.concatenate(srcs) if srcs else np.zeros(0, dtype=np.int64)
+    dst = np.concatenate(dsts) if dsts else np.zeros(0, dtype=np.int64)
+    forward = CSR.from_edges(size, src, dst)
+    reverse = CSR.from_edges(size, dst, src)
+    work.edges_internal = forward.n_edges
+    return WDLGraph(
+        size=size,
+        terminal=terminal,
+        terminal_win=terminal_win,
+        terminal_draw=terminal_draw,
+        out_degree=out_degree,
+        forward=forward,
+        reverse=reverse,
+        work=work,
+    )
+
+
+def wdl_problem(graph: WDLGraph) -> RAProblem:
+    """Initial labels: terminals are WIN, LOSS or (stalemate-style) drawn;
+    everyone else may lose once all their moves are exhausted."""
+    status = np.zeros(graph.size, dtype=np.uint8)
+    decided = graph.terminal & ~graph.terminal_draw
+    status[decided & graph.terminal_win] = WIN
+    status[decided & ~graph.terminal_win] = LOSS
+    return RAProblem(
+        size=graph.size,
+        status=status,
+        counts=graph.out_degree.astype(np.int32).copy(),
+        predecessors=csr_provider(graph.reverse),
+        loss_eligible=np.ones(graph.size, dtype=bool),
+    )
+
+
+def solve_wdl(game: WDLGame, chunk: int = 1 << 15) -> WDLSolution:
+    """Solve a win/draw/loss game by retrograde analysis."""
+    graph = build_wdl_graph(game, chunk=chunk)
+    result = solve_kernel(wdl_problem(graph), record_rounds=True)
+    return WDLSolution(status=result.status, depth=result.depth, result=result)

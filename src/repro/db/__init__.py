@@ -1,0 +1,24 @@
+"""Endgame database storage, statistics and querying."""
+
+from .packing import PackedDatabase, pack_values, unpack_values
+from .query import MoveEvaluation, best_moves, evaluate_moves, optimal_line
+from .search import DatabaseProbingSearch, SearchResult, SearchStats
+from .stats import DatabaseStats, database_stats, set_stats
+from .store import DatabaseSet
+
+__all__ = [
+    "DatabaseSet",
+    "DatabaseStats",
+    "database_stats",
+    "set_stats",
+    "MoveEvaluation",
+    "best_moves",
+    "evaluate_moves",
+    "optimal_line",
+    "PackedDatabase",
+    "pack_values",
+    "unpack_values",
+    "DatabaseProbingSearch",
+    "SearchResult",
+    "SearchStats",
+]

@@ -1,0 +1,79 @@
+"""1995-style packed database encodings.
+
+600 MB was a wall in 1995; the original databases were stored packed.
+Two codecs, chosen per database by :func:`pack_values`:
+
+* ``int8`` — one byte per value, for bounds up to 127;
+* ``nibble`` — two values per byte for bounds up to 7 (values in
+  [-7, 7] are biased by +7 into 4 bits), halving the archive again.
+
+Round-trips are exact; :meth:`PackedDatabase.ratio` reports the
+compression against the in-memory int16 arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PackedDatabase", "pack_values", "unpack_values"]
+
+_NIBBLE_BIAS = 7
+
+
+@dataclass(frozen=True)
+class PackedDatabase:
+    """One packed value array plus the codec needed to restore it."""
+
+    codec: str  # "nibble" | "int8"
+    count: int
+    payload: np.ndarray  # uint8 buffer
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.payload.nbytes)
+
+    def ratio(self) -> float:
+        """Compression vs the int16 working representation."""
+        return (2.0 * self.count) / self.nbytes if self.nbytes else 0.0
+
+
+def pack_values(values: np.ndarray, bound: int | None = None) -> PackedDatabase:
+    """Pack a value array with the tightest applicable codec."""
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise ValueError("values must be one-dimensional")
+    if bound is None:
+        bound = int(np.abs(values).max()) if values.size else 0
+    if values.size and int(np.abs(values).max()) > bound:
+        raise ValueError("values exceed the stated bound")
+    if bound <= _NIBBLE_BIAS:
+        biased = (values.astype(np.int16) + _NIBBLE_BIAS).astype(np.uint8)
+        if biased.shape[0] % 2:
+            biased = np.concatenate([biased, np.zeros(1, dtype=np.uint8)])
+        payload = (biased[0::2] << np.uint8(4)) | biased[1::2]
+        return PackedDatabase(
+            codec="nibble", count=int(values.shape[0]), payload=payload
+        )
+    if bound <= 127:
+        return PackedDatabase(
+            codec="int8",
+            count=int(values.shape[0]),
+            payload=values.astype(np.int8).view(np.uint8).copy(),
+        )
+    raise ValueError(f"bound {bound} too large for the 1995 codecs")
+
+
+def unpack_values(packed: PackedDatabase) -> np.ndarray:
+    """Exact inverse of :func:`pack_values` (returns int16)."""
+    if packed.codec == "int8":
+        return packed.payload.view(np.int8).astype(np.int16)
+    if packed.codec == "nibble":
+        high = (packed.payload >> np.uint8(4)).astype(np.int16)
+        low = (packed.payload & np.uint8(0x0F)).astype(np.int16)
+        out = np.empty(packed.payload.shape[0] * 2, dtype=np.int16)
+        out[0::2] = high
+        out[1::2] = low
+        return out[: packed.count] - _NIBBLE_BIAS
+    raise ValueError(f"unknown codec {packed.codec!r}")

@@ -1,0 +1,253 @@
+"""Forward search backed by endgame databases.
+
+This is what endgame databases are *for* in a game-playing program (the
+paper's motivation): a forward alpha-beta search probes the database the
+moment a capture drops the position into solved territory, turning a
+bounded-depth heuristic search into an exact solver for positions well
+above the database horizon.
+
+The searcher is a full negamax with:
+
+* **database probing** at every node whose stone count is solved;
+* a **transposition table** with the usual EXACT/LOWER/UPPER bound flags;
+* correct **repetition handling** for this game class: a position
+  repeated on the current path scores 0 (the cycle convention), and —
+  the classic graph-history-interaction pitfall — results that depended
+  on such a back-edge are only cached when the back-edge target lies
+  within the subtree (low-link tracking), never when they depend on
+  ancestors above the cache point.
+
+With a complete database set the search trivially agrees with lookup;
+with *partial* databases it extends them exactly — both are asserted in
+the test suite against full-database ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SearchResult", "SearchStats", "DatabaseProbingSearch"]
+
+_INF = 10**6
+_NO_DEP = 10**9  # low-link value meaning "depends on no ancestor"
+
+_EXACT, _LOWER, _UPPER = 0, 1, 2
+
+
+@dataclass
+class SearchStats:
+    """Search-effort counters for one solve call."""
+
+    nodes: int = 0
+    db_probes: int = 0
+    cutoffs: int = 0
+    depth_limit_hits: int = 0
+    tt_hits: int = 0
+    repetition_hits: int = 0
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search: exact unless the depth limit interfered."""
+
+    value: int
+    exact: bool
+    best_pit: int | None
+    stats: SearchStats
+
+
+class DatabaseProbingSearch:
+    """Negamax alpha-beta over awari-style capture games with DB probing.
+
+    Parameters
+    ----------
+    game:
+        A capture game exposing ``engine`` (move application + indexer),
+        e.g. :class:`~repro.games.awari_db.AwariCaptureGame`.
+    dbs:
+        Mapping / :class:`~repro.db.store.DatabaseSet` of solved
+        databases; any position whose stone count is present is resolved
+        by lookup.
+    max_depth:
+        Ply budget for the non-database part of the tree.
+    """
+
+    def __init__(
+        self,
+        game,
+        dbs,
+        max_depth: int = 24,
+        max_nodes: int = 200_000,
+        persistent_tt: bool = True,
+    ):
+        self.game = game
+        self.dbs = dbs
+        self.max_depth = max_depth
+        #: Node budget per :meth:`solve`.  Large drawish regions form
+        #: cycles whose values are path-dependent (the classic
+        #: graph-history-interaction wall), where no transposition table
+        #: helps and DFS degenerates — the very reason the paper computes
+        #: such regions by retrograde analysis instead of forward search.
+        #: When the budget runs out the result is reported inexact.
+        self.max_nodes = max_nodes
+        #: Keep the transposition table across :meth:`solve` calls —
+        #: sound (entries are position-only facts) and a large win when
+        #: solving many related positions.
+        self.persistent_tt = persistent_tt
+        self._tt: dict = {}
+        self._on_path: dict = {}
+        self._expansions: dict = {}
+        self._hints: dict = {}  # board -> pit that was best last visit
+        self._all_pits = np.arange(6, dtype=np.int64)
+
+    # ------------------------------------------------------------------ api
+
+    def solve(self, board: np.ndarray) -> SearchResult:
+        """Search ``board`` (mover = pits 0-5) to an exact value if the
+        databases and depth budget allow.
+
+        Runs iterative deepening: shallow passes seed the move-ordering
+        hints that make the deep pass's alpha-beta cutoffs effective.
+        """
+        board = np.asarray(board, dtype=np.int16).reshape(12)
+        stats = SearchStats()
+        if not self.persistent_tt:
+            self._tt.clear()
+            self._expansions.clear()
+            self._hints.clear()
+        value, exact = 0, False
+        for depth in range(4, self.max_depth + 1, 4):
+            self._on_path.clear()
+            value, exact, _ = self._search(board, -_INF, _INF, depth, 0, stats)
+            if exact or stats.nodes > self.max_nodes:
+                break
+        best_pit = self._best_root_move(board, value, stats)
+        return SearchResult(value=value, exact=exact, best_pit=best_pit, stats=stats)
+
+    # ------------------------------------------------------------- internals
+
+    def _probe(self, board: np.ndarray, stats: SearchStats):
+        n = int(board.sum())
+        if n in self.dbs:
+            stats.db_probes += 1
+            idx = int(self.game.engine.indexer(n).rank(board[None, :])[0])
+            return int(self.dbs[n][idx])
+        return None
+
+    def _search(self, board, alpha, beta, depth, pdepth, stats):
+        """Returns ``(value, exact, low)`` where ``low`` is the smallest
+        path depth of any repetition back-edge the value depends on."""
+        stats.nodes += 1
+        direct = self._probe(board, stats)
+        if direct is not None:
+            return direct, True, _NO_DEP
+
+        key = board.tobytes()
+        back = self._on_path.get(key)
+        if back is not None:
+            # Repetition: the mover can hold the cycle, worth 0 from here.
+            stats.repetition_hits += 1
+            return 0, True, back
+
+        entry = self._tt.get(key)
+        if entry is not None:
+            flag, value = entry
+            if (
+                flag == _EXACT
+                or (flag == _LOWER and value >= beta)
+                or (flag == _UPPER and value <= alpha)
+            ):
+                stats.tt_hits += 1
+                return value, True, _NO_DEP
+
+        if depth <= 0 or stats.nodes > self.max_nodes:
+            stats.depth_limit_hits += 1
+            # Heuristic stand-in: current material difference, inexact.
+            return int(board[:6].sum() - board[6:].sum()), False, None
+
+        moves = self._expand(board)
+        if not moves:
+            value = int(board[:6].sum() - board[6:].sum())
+            self._tt[key] = (_EXACT, value)
+            return value, True, _NO_DEP
+
+        self._on_path[key] = pdepth
+        best = -_INF
+        best_pit = None
+        low = _NO_DEP
+        exact = True
+        a = alpha
+        hint = self._hints.get(key)
+        if hint is not None:
+            moves = sorted(moves, key=lambda m: m[0] != hint)
+        try:
+            for pit, captured, successor in moves:
+                v, child_exact, child_low = self._search(
+                    successor, -beta, -a, depth - 1, pdepth + 1, stats
+                )
+                if not child_exact:
+                    exact = False
+                    child_low = _NO_DEP if child_low is None else child_low
+                v = captured - v
+                low = min(low, child_low)
+                if v > best:
+                    best = v
+                    best_pit = pit
+                a = max(a, v)
+                if a >= beta:
+                    stats.cutoffs += 1
+                    break
+        finally:
+            del self._on_path[key]
+        if best_pit is not None:
+            self._hints[key] = best_pit
+
+        # Cache only path-independent, exact results, with the proper
+        # bound flag for the window actually searched.
+        if exact and low >= pdepth:
+            if best >= beta:
+                flag = _LOWER
+            elif best <= alpha:
+                flag = _UPPER
+            else:
+                flag = _EXACT
+            self._tt[key] = (flag, best)
+            low = _NO_DEP
+        return best, exact, low
+
+    def _best_root_move(self, board, value, stats):
+        """Re-evaluate the root's children to name an optimal move."""
+        moves = self._expand(board)
+        for pit, captured, successor in moves:
+            v, exact, _ = self._search(
+                successor,
+                -_INF,
+                _INF,
+                self.max_depth - 1,
+                1,
+                stats,
+            )
+            if exact and captured - v == value:
+                return pit
+        return moves[0][0] if moves else None
+
+    def _expand(self, board):
+        """Legal moves ordered captures-first (better cutoffs and the
+        fastest path into the databases).  One vectorized engine call for
+        all six pits, memoized per position."""
+        key = board.tobytes()
+        cached = self._expansions.get(key)
+        if cached is not None:
+            return cached
+        batch = np.broadcast_to(board, (6, 12))
+        outcome = self.game.engine.apply_move(batch, self._all_pits)
+        out = [
+            (pit, int(outcome.captured[pit]), outcome.boards[pit].copy())
+            for pit in range(6)
+            if outcome.legal[pit]
+        ]
+        out.sort(key=lambda m: -m[1])
+        self._expansions[key] = out
+        return out

@@ -1,0 +1,61 @@
+"""Database statistics — the raw material of the paper's Table 1.
+
+For each database: position count, win/draw/loss split (from the mover's
+perspective) and the full value histogram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .store import DatabaseSet
+
+__all__ = ["DatabaseStats", "database_stats", "set_stats"]
+
+
+@dataclass
+class DatabaseStats:
+    """Win/draw/loss summary and value histogram of one database."""
+
+    db_id: object
+    positions: int
+    wins: int
+    draws: int
+    losses: int
+    histogram: dict
+
+    @property
+    def win_fraction(self) -> float:
+        return self.wins / self.positions if self.positions else 0.0
+
+    @property
+    def draw_fraction(self) -> float:
+        return self.draws / self.positions if self.positions else 0.0
+
+    def row(self) -> str:
+        return (
+            f"{self.db_id!s:>6} {self.positions:>12,} {self.wins:>12,} "
+            f"{self.draws:>10,} {self.losses:>12,} "
+            f"{100 * self.win_fraction:6.2f}% {100 * self.draw_fraction:6.2f}%"
+        )
+
+
+def database_stats(db_id, values: np.ndarray) -> DatabaseStats:
+    """Summarize one value array."""
+    uniq, counts = np.unique(values, return_counts=True)
+    hist = {int(v): int(c) for v, c in zip(uniq, counts)}
+    return DatabaseStats(
+        db_id=db_id,
+        positions=int(values.shape[0]),
+        wins=int((values > 0).sum()),
+        draws=int((values == 0).sum()),
+        losses=int((values < 0).sum()),
+        histogram=hist,
+    )
+
+
+def set_stats(dbs: DatabaseSet) -> list[DatabaseStats]:
+    """Statistics for every database in the set, in id order."""
+    return [database_stats(db_id, dbs[db_id]) for db_id in dbs.ids()]

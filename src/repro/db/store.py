@@ -1,0 +1,121 @@
+"""Endgame database storage.
+
+A :class:`DatabaseSet` holds the value arrays of every solved database of
+one game plus the metadata needed to interpret them (game name, rule
+configuration).  It supports saving/loading as a single ``.npz`` archive,
+memory accounting (the paper's uniprocessor memory wall is a first-class
+measurement here) and shard views for distributed storage.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["DatabaseSet"]
+
+_META_KEY = "__meta__"
+
+
+@dataclass
+class DatabaseSet:
+    """Solved databases keyed by database id (awari: stone count).
+
+    ``depths`` optionally holds per-database distance arrays (plies of
+    optimal play to realize the value inside its database; -1 for draws)
+    produced by ``SequentialSolver(collect_depth=True)``.
+    """
+
+    game_name: str
+    values: dict
+    rules: str = ""
+    depths: dict | None = None
+
+    def depth_of(self, db_id, index: int):
+        """Distance for one position, or ``None`` when not collected."""
+        if self.depths is None or db_id not in self.depths:
+            return None
+        return int(self.depths[db_id][index])
+
+    # ------------------------------------------------------------- access
+
+    def __contains__(self, db_id) -> bool:
+        return db_id in self.values
+
+    def __getitem__(self, db_id) -> np.ndarray:
+        try:
+            return self.values[db_id]
+        except KeyError:
+            raise KeyError(
+                f"database {db_id!r} not present; have {sorted(self.values)}"
+            ) from None
+
+    def ids(self) -> list:
+        return sorted(self.values)
+
+    @property
+    def total_positions(self) -> int:
+        return sum(int(v.shape[0]) for v in self.values.values())
+
+    # ------------------------------------------------------------- memory
+
+    def memory_bytes(self) -> int:
+        """Bytes of the stored value arrays (int16 in memory here)."""
+        return sum(v.nbytes for v in self.values.values())
+
+    def memory_modeled_bytes(self) -> int:
+        """Bytes a packed 1995 representation would need (1 byte/value)."""
+        return self.total_positions
+
+    # ----------------------------------------------------------------- io
+
+    def save(self, path) -> None:
+        """Write all databases plus metadata to one ``.npz`` archive."""
+        path = Path(path)
+        arrays = {f"db_{db_id}": v for db_id, v in self.values.items()}
+        if self.depths:
+            arrays.update({f"depth_{db_id}": d for db_id, d in self.depths.items()})
+        meta = json.dumps(
+            {
+                "game": self.game_name,
+                "rules": self.rules,
+                "ids": [str(i) for i in self.ids()],
+            }
+        )
+        arrays[_META_KEY] = np.frombuffer(meta.encode(), dtype=np.uint8)
+        np.savez_compressed(path, **arrays)
+
+    @staticmethod
+    def _parse_id(text: str):
+        return int(text) if text.lstrip("-").isdigit() else text
+
+    @classmethod
+    def load(cls, path) -> "DatabaseSet":
+        path = Path(path)
+        with np.load(path) as archive:
+            meta = json.loads(bytes(archive[_META_KEY]).decode())
+            values, depths = {}, {}
+            for key in archive.files:
+                if key == _META_KEY:
+                    continue
+                if key.startswith("db_"):
+                    values[cls._parse_id(key[3:])] = archive[key]
+                elif key.startswith("depth_"):
+                    depths[cls._parse_id(key[6:])] = archive[key]
+        return cls(
+            game_name=meta["game"],
+            values=values,
+            rules=meta["rules"],
+            depths=depths or None,
+        )
+
+    # -------------------------------------------------------------- shards
+
+    def shard(self, db_id, partition) -> list[np.ndarray]:
+        """Per-rank views of one database under ``partition`` (what each
+        simulated processor holds after distribution)."""
+        v = self[db_id]
+        return [v[partition.local_indices(r)] for r in range(partition.n_parts)]

@@ -1,0 +1,32 @@
+"""Game substrates for retrograde analysis."""
+
+from .awari import AwariGame, AwariRules, GrandSlam, MoveOutcome
+from .awari_db import AwariCaptureGame
+from .awari_index import AwariIndexer, binomial_table
+from .base import CaptureGame, ChunkScan, WDLGame, WDLScan
+from .kalah import KalahCaptureGame, KalahGame
+from .krk import KRKGame
+from .loopy import LoopyGraphGame, random_loopy_game
+from .nim import NimGame
+from .synthetic import SyntheticCaptureGame
+
+__all__ = [
+    "AwariGame",
+    "AwariRules",
+    "GrandSlam",
+    "MoveOutcome",
+    "AwariCaptureGame",
+    "AwariIndexer",
+    "binomial_table",
+    "CaptureGame",
+    "ChunkScan",
+    "WDLGame",
+    "WDLScan",
+    "KalahGame",
+    "KalahCaptureGame",
+    "KRKGame",
+    "LoopyGraphGame",
+    "random_loopy_game",
+    "NimGame",
+    "SyntheticCaptureGame",
+]

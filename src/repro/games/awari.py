@@ -1,0 +1,305 @@
+"""Awari rules engine, fully vectorized.
+
+Board convention
+----------------
+A position is a length-12 vector of pit counts.  Pits 0-5 belong to the
+player to move ("the mover"); pits 6-11 to the opponent.  Sowing proceeds
+counterclockwise in increasing pit order, wrapping 11 -> 0 and always
+skipping the origin pit, so a pit just emptied stays empty until the
+opponent sows into it.
+
+A move from pit ``i`` with ``s`` stones distributes ``q = s // 11`` stones
+to every other pit plus one extra stone to the ``r = s % 11`` pits
+immediately after ``i``.  If the last stone lands in an opponent pit whose
+new count is 2 or 3, that pit is captured together with the unbroken chain
+of preceding opponent pits holding 2 or 3 stones.
+
+Rule variants (all configurable through :class:`AwariRules`):
+
+* **Grand slam** — a capture that would take *every* opponent stone:
+  ``CAPTURE_NOTHING`` (move stands, nothing captured; the default,
+  matching common tournament rules), ``ALLOWED`` or ``FORBIDDEN``.
+* **Feeding** — if the opponent's side is empty, the mover must play a
+  move that reaches the opponent's side when one exists.
+* **Starvation end** — when the mover has no legal move the game ends and
+  each player keeps the stones remaining on their own side, i.e. the value
+  to the mover is ``(mover stones) - (opponent stones)``.
+
+Endgame-database semantics: the *value* of a position is the optimal
+capture difference (mover's future captures minus the opponent's) with the
+convention that infinite non-capturing play yields 0 for both sides.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from .awari_index import AwariIndexer
+
+__all__ = ["GrandSlam", "AwariRules", "AwariGame", "MoveOutcome"]
+
+N_PITS = 12
+N_MOVE_SLOTS = 6  # the mover can only sow from pits 0..5
+_MOVER = slice(0, 6)
+_OPP = slice(6, 12)
+
+
+class GrandSlam(enum.Enum):
+    """How to treat a capture that would empty the opponent's side."""
+
+    ALLOWED = "allowed"
+    CAPTURE_NOTHING = "capture_nothing"
+    FORBIDDEN = "forbidden"
+
+
+@dataclass(frozen=True)
+class AwariRules:
+    """Immutable rule configuration for an awari game."""
+
+    grand_slam: GrandSlam = GrandSlam.CAPTURE_NOTHING
+    must_feed: bool = True
+
+    def describe(self) -> str:
+        return f"grand_slam={self.grand_slam.value}, must_feed={self.must_feed}"
+
+
+@dataclass
+class MoveOutcome:
+    """Result of applying one move slot to a batch of boards.
+
+    Attributes
+    ----------
+    legal:
+        Boolean mask; illegal entries of the other arrays are undefined.
+    captured:
+        Stones captured by the move (0 for non-capturing moves).
+    boards:
+        Successor boards *from the new mover's perspective* (sides swapped).
+    """
+
+    legal: np.ndarray
+    captured: np.ndarray
+    boards: np.ndarray
+
+
+def _swap_sides(boards: np.ndarray) -> np.ndarray:
+    """Return boards viewed from the other player's perspective."""
+    return np.concatenate([boards[:, _OPP], boards[:, _MOVER]], axis=1)
+
+
+class AwariGame:
+    """Vectorized awari move/unmove generation and terminal evaluation."""
+
+    name = "awari"
+
+    def __init__(self, rules: AwariRules | None = None):
+        self.rules = rules or AwariRules()
+        self._indexers: dict[int, AwariIndexer] = {}
+        # delta[i, j] = (j - i) mod 12, used to compute sowing increments.
+        j = np.arange(N_PITS)
+        self._delta = (j[None, :] - j[:, None]) % N_PITS
+
+    # ------------------------------------------------------------- indexing
+
+    def indexer(self, n_stones: int) -> AwariIndexer:
+        """Cached :class:`AwariIndexer` for the ``n_stones`` database."""
+        idx = self._indexers.get(n_stones)
+        if idx is None:
+            idx = self._indexers[n_stones] = AwariIndexer(n_stones)
+        return idx
+
+    # ----------------------------------------------------------------- sow
+
+    def sow(self, boards: np.ndarray, pits: np.ndarray):
+        """Sow from ``pits`` without evaluating captures or legality.
+
+        Returns ``(sown_boards, last_pit, stones)`` where ``last_pit`` is
+        the pit receiving the final stone (undefined where ``stones == 0``).
+        """
+        boards = np.asarray(boards, dtype=np.int16)
+        pits = np.asarray(pits, dtype=np.int64)
+        rows = np.arange(boards.shape[0])
+        stones = boards[rows, pits].astype(np.int64)
+        q, r = np.divmod(stones, N_PITS - 1)
+        delta = self._delta[pits]  # (N, 12): distance of each pit after origin
+        inc = q[:, None] + ((delta >= 1) & (delta <= r[:, None]))
+        inc[delta == 0] = 0  # the origin pit is skipped on every lap
+        sown = boards + inc.astype(np.int16)
+        sown[rows, pits] = 0
+        last_delta = np.where(r > 0, r, N_PITS - 1)
+        last_pit = (pits + last_delta) % N_PITS
+        return sown, last_pit, stones
+
+    # -------------------------------------------------------------- moves
+
+    def apply_move(self, boards: np.ndarray, pits: np.ndarray) -> MoveOutcome:
+        """Apply move slot ``pits`` (0..5) to each board in the batch.
+
+        Handles sowing, capture chains, the grand-slam variant and the
+        feeding rule.  Successors are returned side-swapped so that the
+        new mover again owns pits 0-5.
+        """
+        boards = np.asarray(boards, dtype=np.int16)
+        if boards.ndim != 2 or boards.shape[1] != N_PITS:
+            raise ValueError(f"boards must be (N, {N_PITS}), got {boards.shape}")
+        pits = np.broadcast_to(np.asarray(pits, dtype=np.int64), boards.shape[:1]).copy()
+        if pits.size and ((pits < 0) | (pits >= N_MOVE_SLOTS)).any():
+            raise ValueError("move pits must be in 0..5")
+        n = boards.shape[0]
+        rows = np.arange(n)
+
+        sown, last_pit, stones = self.sow(boards, pits)
+        legal = stones > 0
+
+        # Feeding rule: when the opponent side is empty the move must reach it.
+        if self.rules.must_feed:
+            opp_empty = boards[:, _OPP].sum(axis=1) == 0
+            feeds = sown[:, _OPP].sum(axis=1) > 0
+            # Only restrict when *some* legal feeding move exists; the caller
+            # (legal_moves) handles the "no feeding move at all" terminal case
+            # by consulting has_any_feeding_move first.
+            legal &= ~opp_empty | feeds
+
+        # Capture chain: walk backwards from last_pit through opponent pits
+        # holding 2 or 3 stones.  At most 6 steps.
+        chain = np.zeros((n, N_PITS), dtype=bool)
+        cur = last_pit.copy()
+        active = legal & (cur >= 6)
+        for _ in range(6):
+            cnt = sown[rows, cur]
+            active = active & ((cnt == 2) | (cnt == 3))
+            if not active.any():
+                break
+            chain[rows[active], cur[active]] = True
+            cur = cur - 1
+            active = active & (cur >= 6)
+
+        cap = np.where(chain, sown, 0).sum(axis=1).astype(np.int64)
+        opp_total = sown[:, _OPP].sum(axis=1)
+        slam = legal & (cap > 0) & (cap == opp_total)
+
+        if self.rules.grand_slam is GrandSlam.CAPTURE_NOTHING:
+            chain[slam] = False
+            cap[slam] = 0
+        elif self.rules.grand_slam is GrandSlam.FORBIDDEN:
+            legal &= ~slam
+        # GrandSlam.ALLOWED: keep the capture as computed.
+
+        result = np.where(chain, 0, sown)
+        return MoveOutcome(legal=legal, captured=cap, boards=_swap_sides(result))
+
+    def legal_moves(self, boards: np.ndarray) -> np.ndarray:
+        """Return an ``(N, 6)`` legality mask for every move slot."""
+        boards = np.asarray(boards, dtype=np.int16)
+        masks = [
+            self.apply_move(boards, np.full(boards.shape[0], p)).legal
+            for p in range(N_MOVE_SLOTS)
+        ]
+        mask = np.stack(masks, axis=1)
+        if self.rules.must_feed:
+            # If the opponent is starved and no move feeds, the position is
+            # terminal; apply_move already removed non-feeding moves, so the
+            # row is all-False there, which is exactly the terminal signal.
+            pass
+        return mask
+
+    # ------------------------------------------------------------ terminal
+
+    def terminal_values(self, boards: np.ndarray):
+        """Evaluate the end-of-game rule for a batch.
+
+        Returns ``(is_terminal, value)``; ``value`` (mover's perspective)
+        is meaningful only where ``is_terminal``.  A position is terminal
+        when no legal move exists; the remaining stones then go to the
+        owner of the side they sit on.
+        """
+        boards = np.asarray(boards, dtype=np.int16)
+        legal = self.legal_moves(boards)
+        is_terminal = ~legal.any(axis=1)
+        value = (
+            boards[:, _MOVER].sum(axis=1) - boards[:, _OPP].sum(axis=1)
+        ).astype(np.int64)
+        return is_terminal, value
+
+    # -------------------------------------------------------------- unmove
+
+    def noncapture_predecessors(self, boards: np.ndarray, max_stones: int):
+        """Generate the non-capturing predecessors of each board.
+
+        ``boards`` is an ``(N, 12)`` batch of positions (mover = pits 0-5)
+        in the ``max_stones``-stone space.  A *predecessor* is a position
+        with the same stone count from which one legal, non-capturing move
+        produces the board.
+
+        Candidate predecessors are enumerated by un-sowing (the origin pit
+        of the move must be empty in the unswapped child) and each one is
+        verified by forward application, so the result is exact by
+        construction.
+
+        Returns ``(child_row, pred_boards)`` where ``pred_boards[k]`` is a
+        predecessor of ``boards[child_row[k]]``.
+        """
+        boards = np.asarray(boards, dtype=np.int16)
+        n = boards.shape[0]
+        if n == 0:
+            return (
+                np.zeros(0, dtype=np.int64),
+                np.zeros((0, N_PITS), dtype=np.int16),
+            )
+        # Undo the side swap: view the child from the previous mover's side.
+        pre = _swap_sides(boards)
+        out_rows, out_boards = [], []
+        for pit in range(N_MOVE_SLOTS):
+            # The origin pit receives nothing and is emptied, and a
+            # non-capturing move leaves opponent pits untouched, so the
+            # origin must be empty in the unswapped child.
+            cand = np.flatnonzero(pre[:, pit] == 0)
+            if cand.size == 0:
+                continue
+            base = pre[cand]
+            for s in range(1, max_stones + 1):
+                q, r = divmod(s, N_PITS - 1)
+                delta = self._delta[pit]
+                inc = (q + ((delta >= 1) & (delta <= r))).astype(np.int16)
+                parent = base - inc[None, :]
+                parent[:, pit] = s
+                ok = (parent >= 0).all(axis=1)
+                if not ok.any():
+                    continue
+                rows = cand[ok]
+                pboards = parent[ok]
+                # Forward verification: the move must be legal, capture
+                # nothing, and reproduce the child exactly.
+                outcome = self.apply_move(pboards, np.full(rows.size, pit))
+                good = (
+                    outcome.legal
+                    & (outcome.captured == 0)
+                    & (outcome.boards == boards[rows]).all(axis=1)
+                )
+                if good.any():
+                    out_rows.append(rows[good])
+                    out_boards.append(pboards[good])
+        if not out_rows:
+            return (
+                np.zeros(0, dtype=np.int64),
+                np.zeros((0, N_PITS), dtype=np.int16),
+            )
+        return np.concatenate(out_rows), np.concatenate(out_boards, axis=0)
+
+    # ------------------------------------------------------------- helpers
+
+    def board_to_string(self, board: np.ndarray) -> str:
+        """Human-readable two-row rendering (opponent row reversed)."""
+        board = np.asarray(board).ravel()
+        opp = " ".join(f"{int(v):2d}" for v in board[11:5:-1])
+        mov = " ".join(f"{int(v):2d}" for v in board[:6])
+        return f"opp  [{opp}]\nmove [{mov}]"
+
+    def random_boards(self, n_stones: int, count: int, rng) -> np.ndarray:
+        """Sample ``count`` uniform n-stone boards (by uniform index)."""
+        indexer = self.indexer(n_stones)
+        idx = rng.integers(0, indexer.count, size=count)
+        return indexer.unrank(idx)

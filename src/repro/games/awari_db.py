@@ -1,0 +1,108 @@
+"""Awari wired into the :class:`~repro.games.base.CaptureGame` protocol.
+
+Database ids are stone counts.  The n-stone database depends on every
+smaller database that a capture can reach (captures take at least 2
+stones, so databases n-2, n-3, ..., 0 — never n-1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .awari import N_MOVE_SLOTS, AwariGame, AwariRules
+from .base import CaptureGame, ChunkScan
+
+__all__ = ["AwariCaptureGame"]
+
+
+class AwariCaptureGame(CaptureGame):
+    """Batch scan/unmove interface over :class:`AwariGame`."""
+
+    def __init__(self, rules: AwariRules | None = None):
+        self.engine = AwariGame(rules)
+        self.name = "awari"
+
+    @property
+    def rules(self) -> AwariRules:
+        return self.engine.rules
+
+    # ---------------------------------------------------------- structure
+
+    def db_sequence(self, target: int):
+        if target < 0:
+            raise ValueError("stone count must be >= 0")
+        return list(range(target + 1))
+
+    def db_size(self, db_id: int) -> int:
+        return self.engine.indexer(db_id).count
+
+    def value_bound(self, db_id: int) -> int:
+        return int(db_id)
+
+    def exit_db(self, db_id: int, capture: int) -> int:
+        if capture <= 0 or capture > db_id:
+            raise ValueError(f"invalid capture {capture} from {db_id}-stone db")
+        return db_id - capture
+
+    # --------------------------------------------------------------- scan
+
+    def scan_chunk(self, db_id: int, start: int, stop: int) -> ChunkScan:
+        indexer = self.engine.indexer(db_id)
+        if not (0 <= start <= stop <= indexer.count):
+            raise ValueError(f"bad chunk [{start}, {stop}) for db {db_id}")
+        return self.scan_positions(
+            db_id, np.arange(start, stop, dtype=np.int64), start=start
+        )
+
+    def scan_positions(
+        self, db_id: int, idx: np.ndarray, start: int = -1
+    ) -> ChunkScan:
+        """Scan an arbitrary batch of position indices (used by workers
+        owning non-contiguous partitions)."""
+        indexer = self.engine.indexer(db_id)
+        idx = np.asarray(idx, dtype=np.int64)
+        boards = indexer.unrank(idx)
+        n = idx.shape[0]
+        legal = np.zeros((n, N_MOVE_SLOTS), dtype=bool)
+        capture = np.zeros((n, N_MOVE_SLOTS), dtype=np.int64)
+        succ = np.zeros((n, N_MOVE_SLOTS), dtype=np.int64)
+        for pit in range(N_MOVE_SLOTS):
+            outcome = self.engine.apply_move(boards, np.full(n, pit))
+            legal[:, pit] = outcome.legal
+            ok = outcome.legal
+            if not ok.any():
+                continue
+            caps = outcome.captured[ok]
+            capture[ok, pit] = caps
+            sub = outcome.boards[ok]
+            # Rank successors per destination database (n - captured).
+            col = np.zeros(ok.sum(), dtype=np.int64)
+            for c in np.unique(caps):
+                m = caps == c
+                col[m] = self.engine.indexer(db_id - int(c)).rank(sub[m])
+            succ[ok, pit] = col
+        # Mover's remaining stones minus the opponent's: the starvation rule.
+        mover = boards[:, :6].sum(axis=1).astype(np.int64)
+        terminal = ~legal.any(axis=1)
+        terminal_value = mover - (db_id - mover)
+        return ChunkScan(
+            start=start,
+            terminal=terminal,
+            terminal_value=terminal_value,
+            legal=legal,
+            capture=capture,
+            succ_index=succ,
+        )
+
+    # ------------------------------------------------------- predecessors
+
+    def predecessors_internal(self, db_id: int, indices: np.ndarray):
+        indexer = self.engine.indexer(db_id)
+        idx = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        boards = indexer.unrank(idx)
+        child_row, pred_boards = self.engine.noncapture_predecessors(
+            boards, max_stones=db_id
+        )
+        if child_row.size == 0:
+            return child_row, np.zeros(0, dtype=np.int64)
+        return child_row, indexer.rank(pred_boards)

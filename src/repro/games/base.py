@@ -1,0 +1,146 @@
+"""Game protocols consumed by the retrograde-analysis solvers.
+
+Two families of games are supported, mirroring the applications of
+retrograde analysis discussed in the paper:
+
+* :class:`CaptureGame` — games whose endgame value is an integer *capture
+  difference* (awari).  The state space is stratified into databases
+  (awari: one per stone count); capturing moves are *exits* into smaller,
+  already-solved databases while non-capturing moves stay inside the
+  current database and may form cycles.
+
+* :class:`WDLGame` — games solved for win/loss/draw (plus
+  distance-to-win), the classic retrograde-analysis setting (chess
+  endgames, nine men's morris, ...).  A single position space with
+  internal moves and terminal positions.
+
+Both protocols are *batch oriented*: every method maps arrays to arrays,
+which is what makes a pure-Python implementation of million-position
+databases viable (see the HPC guides bundled with this repository).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ChunkScan", "CaptureGame", "WDLScan", "WDLGame"]
+
+
+@dataclass
+class ChunkScan:
+    """Move scan for a contiguous chunk of one capture-game database.
+
+    Attributes
+    ----------
+    start:
+        Index of the first position in the chunk.
+    terminal:
+        ``(C,)`` bool — positions with no legal move.
+    terminal_value:
+        ``(C,)`` int — game value where ``terminal`` (undefined elsewhere).
+    legal:
+        ``(C, S)`` bool — legality of each move slot.
+    capture:
+        ``(C, S)`` int — stones captured; 0 marks an internal edge.
+    succ_index:
+        ``(C, S)`` int64 — successor index, valid where ``legal``.  For a
+        capturing move this indexes the smaller database identified by the
+        game's dependency rule; for an internal move it indexes the current
+        database.
+    """
+
+    start: int
+    terminal: np.ndarray
+    terminal_value: np.ndarray
+    legal: np.ndarray
+    capture: np.ndarray
+    succ_index: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(self.terminal.shape[0])
+
+
+class CaptureGame(abc.ABC):
+    """A stratified game solved for integer capture-difference values."""
+
+    name: str = "capture-game"
+
+    @abc.abstractmethod
+    def db_sequence(self, target) -> Sequence:
+        """Database ids required to solve ``target``, dependencies first."""
+
+    @abc.abstractmethod
+    def db_size(self, db_id) -> int:
+        """Number of positions in database ``db_id``."""
+
+    @abc.abstractmethod
+    def value_bound(self, db_id) -> int:
+        """Largest achievable ``|value|`` inside database ``db_id``."""
+
+    @abc.abstractmethod
+    def exit_db(self, db_id, capture: int):
+        """Database id reached from ``db_id`` by capturing ``capture``."""
+
+    @abc.abstractmethod
+    def scan_chunk(self, db_id, start: int, stop: int) -> ChunkScan:
+        """Scan moves for positions ``start <= i < stop`` of ``db_id``."""
+
+    @abc.abstractmethod
+    def predecessors_internal(self, db_id, indices: np.ndarray):
+        """On-the-fly unmove generation for internal (non-capturing) edges.
+
+        Returns ``(child_row, parent_index)`` pairs: for each ``k``,
+        position ``parent_index[k]`` has a legal non-capturing move into
+        position ``indices[child_row[k]]``.  This is the faithful
+        formulation used by the paper's distributed workers (no stored
+        transposed graph); the graph-based solvers use a precomputed
+        reverse adjacency instead and the two are cross-checked in tests.
+        """
+
+
+@dataclass
+class WDLScan:
+    """Move scan for a chunk of a win/loss/draw game.
+
+    ``terminal_win`` is from the *mover's* perspective: ``True`` means the
+    mover has already won (rarely used — most games mark the mover as lost
+    when no move exists, e.g. normal-play nim).  ``terminal_draw`` marks
+    terminal positions that are drawn for both sides (chess stalemate,
+    dead positions); when ``None`` no terminal draws exist.
+    """
+
+    start: int
+    terminal: np.ndarray
+    terminal_win: np.ndarray
+    legal: np.ndarray
+    succ_index: np.ndarray
+    terminal_draw: np.ndarray | None = None
+
+    @property
+    def size(self) -> int:
+        return int(self.terminal.shape[0])
+
+
+class WDLGame(abc.ABC):
+    """A single-space game solved for win/loss/draw."""
+
+    name: str = "wdl-game"
+
+    @property
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Number of positions."""
+
+    @abc.abstractmethod
+    def scan_chunk(self, start: int, stop: int) -> WDLScan:
+        """Scan moves for positions ``start <= i < stop``."""
+
+    @abc.abstractmethod
+    def predecessors(self, indices: np.ndarray):
+        """Unmove generation, same contract as
+        :meth:`CaptureGame.predecessors_internal`."""

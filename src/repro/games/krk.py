@@ -1,0 +1,283 @@
+"""The KRK and KQK chess endgames (king + rook/queen vs king).
+
+Chess endgame databases are the original application of retrograde
+analysis (Thompson's KQKR etc.) and the canonical example the paper's
+introduction leans on.  KRK is the textbook case: 64³ piece placements ×
+2 sides to move, with the famous result that white mates in **at most 16
+moves** from every winning position; the queen variant mates in **at
+most 10**.  Both are hard external anchors the test suite checks against
+the solver's distance output.
+
+Encoding
+--------
+``index = stm·64³ + wk·64² + wr·64 + bk + (stm, wk, wr, bk as below)``
+with ``stm`` 0 = white to move, 1 = black to move; squares 0..63 with
+file = s % 8, rank = s // 8.  One extra sentinel position (the last
+index) represents "rook captured" — a terminal draw that black's
+rook-capturing moves lead to.
+
+Positions that are not legal chess positions (coincident pieces,
+adjacent kings, or the side *not* to move in check) are marked as
+terminal draws; they are unreachable from legal play (no legal move
+generates them) and are excluded from statistics by :meth:`legal_mask`.
+
+Rules are full FIDE for this material: sliding rook blocked by either
+king, black may capture an undefended rook (→ draw sentinel), checkmate
+and stalemate detected exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import WDLGame, WDLScan
+
+__all__ = ["KRKGame", "WHITE", "BLACK"]
+
+WHITE = 0
+BLACK = 1
+
+_N_SQ = 64
+#: move slots: white = 8 king directions + 4 rook rays × 7 steps = 36;
+#: black = 8 king directions.  One shared layout sized for white.
+_K_DIRS = np.array(
+    [(-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 1), (1, -1), (1, 0), (1, 1)],
+    dtype=np.int64,
+)
+_R_DIRS = np.array([(-1, 0), (1, 0), (0, -1), (0, 1)], dtype=np.int64)
+_B_DIRS = np.array([(-1, -1), (-1, 1), (1, -1), (1, 1)], dtype=np.int64)
+
+
+def _king_targets() -> np.ndarray:
+    """(64, 8) target square per direction, -1 off board."""
+    out = np.full((_N_SQ, 8), -1, dtype=np.int64)
+    for s in range(_N_SQ):
+        r, f = divmod(s, 8)
+        for d, (dr, df) in enumerate(_K_DIRS):
+            rr, ff = r + dr, f + df
+            if 0 <= rr < 8 and 0 <= ff < 8:
+                out[s, d] = rr * 8 + ff
+    return out
+
+
+def _slider_targets(dirs: np.ndarray) -> np.ndarray:
+    """(64, rays, 7) target square per ray/step, -1 off board."""
+    rays = dirs.shape[0]
+    out = np.full((_N_SQ, rays, 7), -1, dtype=np.int64)
+    for s in range(_N_SQ):
+        r, f = divmod(s, 8)
+        for d, (dr, df) in enumerate(dirs):
+            for k in range(1, 8):
+                rr, ff = r + dr * k, f + df * k
+                if 0 <= rr < 8 and 0 <= ff < 8:
+                    out[s, d, k - 1] = rr * 8 + ff
+    return out
+
+
+_KT = _king_targets()
+_RT = _slider_targets(_R_DIRS)
+_QT = _slider_targets(np.concatenate([_R_DIRS, _B_DIRS]))
+_ADJ = np.zeros((_N_SQ, _N_SQ), dtype=bool)
+for _s in range(_N_SQ):
+    for _t in _KT[_s]:
+        if _t >= 0:
+            _ADJ[_s, _t] = True
+
+
+def _between_on_line(a: np.ndarray, b: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """True where ``x`` lies strictly between ``a`` and ``b`` on a shared
+    rank, file or diagonal (all arrays of squares)."""
+    ar, af = a // 8, a % 8
+    br, bf = b // 8, b % 8
+    xr, xf = x // 8, x % 8
+    r_in = (np.minimum(ar, br) <= xr) & (xr <= np.maximum(ar, br))
+    f_in = (np.minimum(af, bf) < xf) & (xf < np.maximum(af, bf))
+    same_rank = (ar == br) & (xr == ar)
+    rank_between = same_rank & f_in
+    same_file = (af == bf) & (xf == af)
+    file_between = same_file & (np.minimum(ar, br) < xr) & (xr < np.maximum(ar, br))
+    same_diag = (ar - br == af - bf) & (xr - br == xf - bf)
+    same_anti = (ar - br == bf - af) & (xr - br == bf - xf)
+    diag_between = (same_diag | same_anti) & f_in & r_in
+    return rank_between | file_between | diag_between
+
+
+def _rook_sees(wr: np.ndarray, target: np.ndarray, blocker: np.ndarray) -> np.ndarray:
+    """Rook on ``wr`` attacks ``target`` with a single ``blocker`` square
+    (the only other piece on the line that matters)."""
+    same_line = ((wr // 8 == target // 8) | (wr % 8 == target % 8)) & (wr != target)
+    return same_line & ~_between_on_line(wr, target, blocker)
+
+
+def _queen_sees(wq: np.ndarray, target: np.ndarray, blocker: np.ndarray) -> np.ndarray:
+    """Queen attack: rook lines plus diagonals, same blocker rule."""
+    qr, qf = wq // 8, wq % 8
+    tr, tf = target // 8, target % 8
+    diagonal = (np.abs(qr - tr) == np.abs(qf - tf)) & (wq != target)
+    straight = ((qr == tr) | (qf == tf)) & (wq != target)
+    return (diagonal | straight) & ~_between_on_line(wq, target, blocker)
+
+
+class KRKGame(WDLGame):
+    """King + heavy piece vs king, solved for the side with the piece.
+
+    ``piece="rook"`` is KRK (mate in at most 16); ``piece="queen"`` is
+    KQK (mate in at most 10) — both classic external anchors.
+    """
+
+    #: index of the "piece captured" draw sentinel.
+    DRAW_SINK = 2 * _N_SQ**3
+
+    def __init__(self, piece: str = "rook"):
+        if piece not in ("rook", "queen"):
+            raise ValueError(f"unsupported piece {piece!r}")
+        self.piece = piece
+        self.name = "chess-krk" if piece == "rook" else "chess-kqk"
+        self._sees = _rook_sees if piece == "rook" else _queen_sees
+        self._rays = _RT if piece == "rook" else _QT
+        self._size = 2 * _N_SQ**3 + 1
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------ encoding
+
+    def encode(self, stm, wk, wr, bk) -> np.ndarray:
+        stm = np.asarray(stm, dtype=np.int64)
+        wk = np.asarray(wk, dtype=np.int64)
+        wr = np.asarray(wr, dtype=np.int64)
+        bk = np.asarray(bk, dtype=np.int64)
+        return ((stm * _N_SQ + wk) * _N_SQ + wr) * _N_SQ + bk
+
+    def decode(self, idx: np.ndarray):
+        idx = np.asarray(idx, dtype=np.int64)
+        bk = idx % _N_SQ
+        rest = idx // _N_SQ
+        wr = rest % _N_SQ
+        rest //= _N_SQ
+        wk = rest % _N_SQ
+        stm = rest // _N_SQ
+        return stm, wk, wr, bk
+
+    # ------------------------------------------------------------ legality
+
+    def legal_mask(self, idx: np.ndarray) -> np.ndarray:
+        """True for real chess positions (sentinel excluded)."""
+        idx = np.asarray(idx, dtype=np.int64)
+        ok = idx < self.DRAW_SINK
+        stm, wk, wr, bk = self.decode(np.where(ok, idx, 0))
+        distinct = (wk != wr) & (wk != bk) & (wr != bk)
+        kings_apart = ~_ADJ[wk, bk]
+        # White to move: black must not already be in check.
+        black_checked = self._sees(wr, bk, wk)
+        side_ok = (stm == BLACK) | ~black_checked
+        return ok & distinct & kings_apart & side_ok
+
+    def in_check(self, idx: np.ndarray) -> np.ndarray:
+        """Black king attacked by the heavy piece (any side to move)."""
+        _, wk, wr, bk = self.decode(np.asarray(idx, dtype=np.int64))
+        return self._sees(wr, bk, wk)
+
+    # ---------------------------------------------------------------- scan
+
+    def scan_chunk(self, start: int, stop: int) -> WDLScan:
+        idx = np.arange(start, stop, dtype=np.int64)
+        n = idx.shape[0]
+        legal_pos = self.legal_mask(idx)
+        stm, wk, wr, bk = self.decode(idx)
+        slots = 8 + self._rays.shape[1] * 7
+        legal = np.zeros((n, slots), dtype=bool)
+        succ = np.zeros((n, slots), dtype=np.int64)
+
+        white = legal_pos & (stm == WHITE)
+        black = legal_pos & (stm == BLACK)
+
+        # --- white king moves (slots 0..7)
+        for d in range(8):
+            t = _KT[wk, d]
+            ok = (
+                white
+                & (t >= 0)
+                & (t != wr)
+                & (t != bk)
+                & ~_ADJ[np.maximum(t, 0), bk]
+            )
+            legal[:, d] = ok
+            succ[ok, d] = self.encode(BLACK, t[ok], wr[ok], bk[ok])
+
+        # --- white slider moves (slots 8..), stopped by either king
+        for d in range(self._rays.shape[1]):
+            ray_blocked = ~white
+            for k in range(7):
+                s = 8 + d * 7 + k
+                t = self._rays[wr, d, k]
+                on_board = t >= 0
+                hits_piece = on_board & ((t == wk) | (t == bk))
+                ok = white & ~ray_blocked & on_board & ~hits_piece
+                legal[:, s] = ok
+                succ[ok, s] = self.encode(BLACK, wk[ok], t[ok], bk[ok])
+                ray_blocked = ray_blocked | ~on_board | hits_piece
+
+        # --- black king moves (slots 0..7 of black rows)
+        for d in range(8):
+            t = _KT[bk, d]
+            on = black & (t >= 0)
+            t_safe = np.maximum(t, 0)
+            near_wk = _ADJ[t_safe, wk]
+            onto_wk = t_safe == wk
+            captures_rook = t_safe == wr
+            # After the king moves, its old square no longer blocks the
+            # slider, and a capture removes it entirely.
+            attacked = self._sees(wr, t_safe, wk) & ~captures_rook
+            ok = on & ~near_wk & ~onto_wk & ~attacked
+            # Capturing a defended rook is illegal (already covered by
+            # near_wk? no — defended means wk adjacent to wr).
+            defended = _ADJ[wr, wk]
+            ok &= ~(captures_rook & defended)
+            legal[:, d] |= ok
+            cap = ok & captures_rook
+            plain = ok & ~captures_rook
+            succ[plain, d] = self.encode(WHITE, wk[plain], wr[plain], t[plain])
+            succ[cap, d] = self.DRAW_SINK
+
+        terminal = ~legal.any(axis=1)
+        checked = self.in_check(idx)
+        # Checkmate: black to move, in check, no moves -> mover loses.
+        # Stalemate or any illegal/sentinel position -> terminal draw.
+        is_mate = terminal & black & checked
+        terminal_draw = terminal & ~is_mate
+        return WDLScan(
+            start=start,
+            terminal=terminal,
+            terminal_win=np.zeros(n, dtype=bool),
+            legal=legal,
+            succ_index=succ,
+            terminal_draw=terminal_draw,
+        )
+
+    # --------------------------------------------------------- predecessors
+
+    _reverse = None
+
+    def predecessors(self, indices: np.ndarray):
+        """Reverse edges via a lazily built transposed move graph."""
+        if self._reverse is None:
+            from ..core.wdl import build_wdl_graph
+
+            self._reverse = build_wdl_graph(self, chunk=1 << 15).reverse
+        return self._reverse.neighbors_of(np.asarray(indices, dtype=np.int64))
+
+    # ------------------------------------------------------------- helpers
+
+    def square_name(self, s: int) -> str:
+        return "abcdefgh"[s % 8] + str(s // 8 + 1)
+
+    def describe(self, idx: int) -> str:
+        stm, wk, wr, bk = (int(x) for x in self.decode(np.int64(idx)))
+        side = "white" if stm == WHITE else "black"
+        letter = "R" if self.piece == "rook" else "Q"
+        return (
+            f"K{self.square_name(wk)} {letter}{self.square_name(wr)} "
+            f"k{self.square_name(bk)}, {side} to move"
+        )

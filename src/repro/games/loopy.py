@@ -1,0 +1,120 @@
+"""Explicit-graph games with cycles, for exercising draw detection.
+
+Retrograde analysis is only interesting when the move graph has cycles:
+positions on a cycle that neither side can profitably leave are *draws*
+and must survive the least-fixpoint win/loss propagation unresolved.
+:class:`LoopyGraphGame` wraps an arbitrary directed graph (with terminal
+positions marked won or lost for the mover) as a
+:class:`~repro.games.base.WDLGame`, so tests can construct adversarial
+topologies — self-contained cycles, cycles with escape hatches, long
+corridors — with hand-computable values.
+
+:func:`random_loopy_game` generates seeded random graphs used by the
+property-based tests (solver vs. the dense oracle).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import WDLGame, WDLScan
+
+__all__ = ["LoopyGraphGame", "random_loopy_game"]
+
+
+class LoopyGraphGame(WDLGame):
+    """A WDL game given by an explicit adjacency list.
+
+    Parameters
+    ----------
+    successors:
+        ``successors[i]`` is the list of positions reachable from ``i``.
+        Positions with an empty list are terminal.
+    terminal_win:
+        Optional bool array: terminal positions where the *mover* has won
+        (default: a terminal position is lost for the mover, as in
+        normal-play convention).
+    """
+
+    def __init__(self, successors, terminal_win=None, name: str = "loopy"):
+        self.name = name
+        self._succ = [np.asarray(s, dtype=np.int64) for s in successors]
+        n = len(self._succ)
+        for i, s in enumerate(self._succ):
+            if s.size and (s.min() < 0 or s.max() >= n):
+                raise ValueError(f"successor of {i} out of range")
+        if terminal_win is None:
+            terminal_win = np.zeros(n, dtype=bool)
+        self._terminal_win = np.asarray(terminal_win, dtype=bool)
+        if self._terminal_win.shape != (n,):
+            raise ValueError("terminal_win must have one entry per position")
+        self._max_deg = max((s.size for s in self._succ), default=0)
+        # Predecessor lists, built once (the graph is explicit anyway).
+        preds: list[list[int]] = [[] for _ in range(n)]
+        for i, s in enumerate(self._succ):
+            for j in s:
+                preds[int(j)].append(i)
+        self._pred = [np.asarray(p, dtype=np.int64) for p in preds]
+
+    @property
+    def size(self) -> int:
+        return len(self._succ)
+
+    def scan_chunk(self, start: int, stop: int) -> WDLScan:
+        n = stop - start
+        slots = max(self._max_deg, 1)
+        legal = np.zeros((n, slots), dtype=bool)
+        succ = np.zeros((n, slots), dtype=np.int64)
+        for k in range(n):
+            s = self._succ[start + k]
+            legal[k, : s.size] = True
+            succ[k, : s.size] = s
+        terminal = ~legal.any(axis=1)
+        return WDLScan(
+            start=start,
+            terminal=terminal,
+            terminal_win=self._terminal_win[start:stop].copy(),
+            legal=legal,
+            succ_index=succ,
+        )
+
+    def predecessors(self, indices: np.ndarray):
+        idx = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        rows, parents = [], []
+        for k, i in enumerate(idx):
+            p = self._pred[int(i)]
+            if p.size:
+                rows.append(np.full(p.size, k, dtype=np.int64))
+                parents.append(p)
+        if not rows:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        return np.concatenate(rows), np.concatenate(parents)
+
+
+def random_loopy_game(
+    n: int,
+    avg_degree: float = 2.0,
+    terminal_frac: float = 0.15,
+    win_frac: float = 0.5,
+    seed: int = 0,
+) -> LoopyGraphGame:
+    """Seeded random graph game with cycles and mixed terminal labels.
+
+    A ``terminal_frac`` fraction of positions get no moves; of those, a
+    ``win_frac`` fraction are mover-wins.  The remaining positions get a
+    Poisson-ish number of random successors, which yields plenty of cycles
+    at ``avg_degree >= 1``.
+    """
+    rng = np.random.default_rng(seed)
+    terminal = rng.random(n) < terminal_frac
+    if not terminal.any():
+        terminal[rng.integers(0, n)] = True
+    twin = terminal & (rng.random(n) < win_frac)
+    successors = []
+    for i in range(n):
+        if terminal[i]:
+            successors.append([])
+            continue
+        deg = 1 + rng.poisson(max(avg_degree - 1.0, 0.0))
+        successors.append(rng.integers(0, n, size=deg).tolist())
+    return LoopyGraphGame(successors, terminal_win=twin, name=f"loopy-{n}-{seed}")

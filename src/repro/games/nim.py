@@ -1,0 +1,111 @@
+"""Nim as a :class:`~repro.games.base.WDLGame` substrate.
+
+Normal-play nim with ``k`` heaps of at most ``cap`` stones.  A move removes
+one or more stones from a single heap; the player unable to move (all
+heaps empty) loses.  The Sprague–Grundy theorem gives a closed-form
+oracle — a position is a win for the mover iff the xor of the heap sizes
+is non-zero — which makes nim the primary correctness anchor for the
+win/loss/draw retrograde-analysis solver.
+
+Positions are indexed in mixed radix: ``index = sum_i h_i * (cap+1)**i``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import WDLGame, WDLScan
+
+__all__ = ["NimGame"]
+
+
+class NimGame(WDLGame):
+    """Normal-play nim with fixed heap count and heap capacity."""
+
+    def __init__(self, heaps: int = 3, cap: int = 7):
+        if heaps < 1 or cap < 1:
+            raise ValueError("heaps and cap must be >= 1")
+        self.heaps = int(heaps)
+        self.cap = int(cap)
+        self.name = f"nim-{heaps}x{cap}"
+        self._radix = self.cap + 1
+        self._size = self._radix**self.heaps
+        self._weights = self._radix ** np.arange(self.heaps, dtype=np.int64)
+
+    # ------------------------------------------------------------ indexing
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def encode(self, heaps: np.ndarray) -> np.ndarray:
+        """Heap vectors ``(N, heaps)`` -> indices ``(N,)``."""
+        heaps = np.asarray(heaps, dtype=np.int64)
+        squeeze = heaps.ndim == 1
+        if squeeze:
+            heaps = heaps[None, :]
+        if (heaps < 0).any() or (heaps > self.cap).any():
+            raise ValueError(f"heap sizes must lie in [0, {self.cap}]")
+        idx = heaps @ self._weights
+        return idx[0] if squeeze else idx
+
+    def decode(self, indices: np.ndarray) -> np.ndarray:
+        """Indices ``(N,)`` -> heap vectors ``(N, heaps)``."""
+        idx = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        out = np.empty((idx.shape[0], self.heaps), dtype=np.int64)
+        rem = idx.copy()
+        for i in range(self.heaps):
+            rem, out[:, i] = np.divmod(rem, self._radix)
+        return out
+
+    # ---------------------------------------------------------------- scan
+
+    def scan_chunk(self, start: int, stop: int) -> WDLScan:
+        idx = np.arange(start, stop, dtype=np.int64)
+        heaps = self.decode(idx)
+        n = idx.shape[0]
+        # Move slots: (heap i, take t) for t in 1..cap  -> heaps * cap slots.
+        slots = self.heaps * self.cap
+        legal = np.zeros((n, slots), dtype=bool)
+        succ = np.zeros((n, slots), dtype=np.int64)
+        for i in range(self.heaps):
+            for t in range(1, self.cap + 1):
+                s = i * self.cap + (t - 1)
+                ok = heaps[:, i] >= t
+                legal[:, s] = ok
+                succ[:, s] = idx - t * self._weights[i]
+        terminal = ~legal.any(axis=1)
+        return WDLScan(
+            start=start,
+            terminal=terminal,
+            terminal_win=np.zeros(n, dtype=bool),  # no move => mover loses
+            legal=legal,
+            succ_index=succ,
+        )
+
+    # --------------------------------------------------------- predecessors
+
+    def predecessors(self, indices: np.ndarray):
+        """Parents of each position: add 1..cap stones back to one heap."""
+        idx = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        heaps = self.decode(idx)
+        rows_out, parents_out = [], []
+        for i in range(self.heaps):
+            for t in range(1, self.cap + 1):
+                ok = heaps[:, i] + t <= self.cap
+                if ok.any():
+                    rows_out.append(np.flatnonzero(ok))
+                    parents_out.append(idx[ok] + t * self._weights[i])
+        if not rows_out:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        return np.concatenate(rows_out), np.concatenate(parents_out)
+
+    # --------------------------------------------------------------- oracle
+
+    def oracle_win(self, indices: np.ndarray) -> np.ndarray:
+        """Sprague–Grundy ground truth: mover wins iff xor of heaps != 0."""
+        heaps = self.decode(indices)
+        g = np.zeros(heaps.shape[0], dtype=np.int64)
+        for i in range(self.heaps):
+            g ^= heaps[:, i]
+        return g != 0

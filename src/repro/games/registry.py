@@ -1,0 +1,51 @@
+"""Name-based game registry for the CLI and scripts."""
+
+from __future__ import annotations
+
+from .awari import AwariRules, GrandSlam
+from .awari_db import AwariCaptureGame
+from .base import CaptureGame
+from .kalah import KalahCaptureGame
+
+__all__ = ["capture_game", "CAPTURE_GAMES"]
+
+CAPTURE_GAMES = ("awari", "awari-slam-allowed", "awari-no-feed", "kalah")
+
+
+def capture_game(name: str) -> CaptureGame:
+    """Instantiate a capture game (and rule variant) by name."""
+    if name == "awari":
+        return AwariCaptureGame()
+    if name == "awari-slam-allowed":
+        return AwariCaptureGame(AwariRules(grand_slam=GrandSlam.ALLOWED))
+    if name == "awari-no-feed":
+        return AwariCaptureGame(AwariRules(must_feed=False))
+    if name == "kalah":
+        return KalahCaptureGame()
+    raise ValueError(
+        f"unknown game {name!r}; choose from {', '.join(CAPTURE_GAMES)}"
+    )
+
+
+def capture_game_for(dbs) -> CaptureGame:
+    """Reconstruct the right game for a loaded
+    :class:`~repro.db.store.DatabaseSet` (name plus rule string)."""
+    name = dbs.game_name
+    if name in ("kalah", "kalah-nt"):
+        return KalahCaptureGame()
+    if name.startswith("awari"):
+        rules = AwariRules()
+        if dbs.rules:
+            fields = dict(
+                part.strip().split("=", 1)
+                for part in dbs.rules.split(",")
+                if "=" in part
+            )
+            rules = AwariRules(
+                grand_slam=GrandSlam(
+                    fields.get("grand_slam", rules.grand_slam.value)
+                ),
+                must_feed=fields.get("must_feed", "True") == "True",
+            )
+        return AwariCaptureGame(rules)
+    raise ValueError(f"cannot reconstruct a game for {name!r}")

@@ -1,0 +1,135 @@
+"""Seeded random capture games for property-based testing.
+
+A :class:`SyntheticCaptureGame` is a randomly generated stratified game:
+a handful of databases of random sizes, each position getting a random
+mix of internal moves (within its database, cycles welcome), capturing
+moves (into lower databases with the capture amount equal to the
+database-id difference) and terminal labels.  The structure is arbitrary
+— which is the point: the solvers must agree with the dense oracle and
+with each other on games with *no* helpful regularity at all.
+
+Database ids are consecutive integers ``0..levels-1``; ``value_bound``
+of database ``d`` is ``d`` (as if the id were a stone count).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import CaptureGame, ChunkScan
+
+__all__ = ["SyntheticCaptureGame"]
+
+
+class SyntheticCaptureGame(CaptureGame):
+    """A random stratified capture game (fully materialized, test-scale)."""
+
+    def __init__(
+        self,
+        levels: int = 4,
+        max_size: int = 60,
+        max_moves: int = 4,
+        terminal_frac: float = 0.15,
+        internal_frac: float = 0.6,
+        seed: int = 0,
+    ):
+        if levels < 1:
+            raise ValueError("need at least one level")
+        rng = np.random.default_rng(seed)
+        self.name = f"synthetic-{levels}x{max_size}-{seed}"
+        self.levels = levels
+        self._sizes = [int(rng.integers(1, max_size + 1)) for _ in range(levels)]
+        self._scans: dict[int, ChunkScan] = {}
+        self._preds: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for d in range(levels):
+            self._scans[d] = self._generate(d, rng, max_moves, terminal_frac,
+                                            internal_frac)
+            self._preds[d] = self._transpose(d)
+
+    # ---------------------------------------------------------- generation
+
+    def _generate(self, d, rng, max_moves, terminal_frac, internal_frac):
+        size = self._sizes[d]
+        slots = max_moves
+        legal = np.zeros((size, slots), dtype=bool)
+        capture = np.zeros((size, slots), dtype=np.int64)
+        succ = np.zeros((size, slots), dtype=np.int64)
+        terminal = rng.random(size) < terminal_frac
+        bound = d
+        terminal_value = rng.integers(-bound, bound + 1, size=size)
+        for p in range(size):
+            if terminal[p]:
+                continue
+            deg = int(rng.integers(1, slots + 1))
+            for s in range(deg):
+                legal[p, s] = True
+                if d > 0 and rng.random() > internal_frac:
+                    target = int(rng.integers(0, d))
+                    capture[p, s] = d - target
+                    succ[p, s] = int(rng.integers(0, self._sizes[target]))
+                else:
+                    capture[p, s] = 0
+                    succ[p, s] = int(rng.integers(0, size))
+        # Positions that ended up with no legal move become terminal.
+        fallthrough = ~terminal & ~legal.any(axis=1)
+        terminal |= fallthrough
+        return ChunkScan(
+            start=0,
+            terminal=terminal,
+            terminal_value=terminal_value.astype(np.int64),
+            legal=legal,
+            capture=capture,
+            succ_index=succ,
+        )
+
+    def _transpose(self, d):
+        scan = self._scans[d]
+        internal = scan.legal & (scan.capture == 0)
+        src, _ = np.nonzero(internal)
+        dst = scan.succ_index[internal]
+        return dst, src  # child -> parent pairs
+
+    # ------------------------------------------------------------ protocol
+
+    def db_sequence(self, target):
+        return list(range(int(target) + 1))
+
+    def db_size(self, db_id) -> int:
+        return self._sizes[db_id]
+
+    def value_bound(self, db_id) -> int:
+        return int(db_id)
+
+    def exit_db(self, db_id, capture: int):
+        target = db_id - capture
+        if not (0 <= target < db_id):
+            raise ValueError(f"invalid capture {capture} from level {db_id}")
+        return target
+
+    def scan_chunk(self, db_id, start: int, stop: int) -> ChunkScan:
+        scan = self._scans[db_id]
+        return ChunkScan(
+            start=start,
+            terminal=scan.terminal[start:stop].copy(),
+            terminal_value=scan.terminal_value[start:stop].copy(),
+            legal=scan.legal[start:stop].copy(),
+            capture=scan.capture[start:stop].copy(),
+            succ_index=scan.succ_index[start:stop].copy(),
+        )
+
+    def predecessors_internal(self, db_id, indices: np.ndarray):
+        children, parents = self._preds[db_id]
+        idx = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        # For each queried child, emit its parent edges (with multiplicity).
+        out_rows, out_parents = [], []
+        order = np.argsort(children, kind="stable")
+        sorted_children = children[order]
+        for k, child in enumerate(idx):
+            left = np.searchsorted(sorted_children, child, side="left")
+            right = np.searchsorted(sorted_children, child, side="right")
+            if right > left:
+                out_rows.append(np.full(right - left, k, dtype=np.int64))
+                out_parents.append(parents[order[left:right]])
+        if not out_rows:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        return np.concatenate(out_rows), np.concatenate(out_parents)

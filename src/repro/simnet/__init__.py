@@ -1,0 +1,24 @@
+"""Simulated distributed system: event engine, Ethernet, SPMD runtime."""
+
+from .comm import Comm, CoActor, run_programs
+from .costs import DEFAULT_COSTS, CostModel
+from .engine import SimulationError, Simulator
+from .ethernet import Ethernet, EthernetConfig
+from .rts import Actor, Context, Message, NodeStats, SPMDRuntime
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COSTS",
+    "Simulator",
+    "SimulationError",
+    "Ethernet",
+    "EthernetConfig",
+    "Actor",
+    "Context",
+    "Message",
+    "NodeStats",
+    "SPMDRuntime",
+    "Comm",
+    "CoActor",
+    "run_programs",
+]

@@ -1,0 +1,218 @@
+"""Blocking, mpi4py-flavoured communication on the simulated cluster.
+
+The raw :class:`~repro.simnet.rts.Actor` interface is callback-driven —
+fast, but awkward for straight-line SPMD code.  This module adds a
+coroutine layer: write your node program as a *generator* that yields
+communication operations, in the familiar blocking style of MPI:
+
+    def program(comm):
+        if comm.rank == 0:
+            yield comm.send(1, "work", payload=42, size_bytes=64)
+            reply = yield comm.recv(source=1)
+        else:
+            msg = yield comm.recv(source=0)
+            yield comm.compute(1e-3)
+            yield comm.send(0, "done", payload=msg.payload * 2)
+        total = yield from comm.allreduce(comm.rank, op=sum)
+
+    makespan, programs = run_programs([program] * 4)
+
+Primitives (``yield`` one): :meth:`Comm.send`, :meth:`Comm.recv`,
+:meth:`Comm.compute`.  Collectives (``yield from``): ``barrier``,
+``bcast``, ``gather``, ``allreduce``.  All timing flows through the same
+cost model and shared Ethernet as everything else in :mod:`repro.simnet`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from .costs import CostModel, DEFAULT_COSTS
+from .engine import SimulationError
+from .ethernet import EthernetConfig
+from .rts import Actor, Context, Message, SPMDRuntime
+
+__all__ = ["Comm", "CoActor", "run_programs"]
+
+
+@dataclass(frozen=True)
+class _Send:
+    dst: int
+    tag: str
+    payload: object
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class _Recv:
+    source: int | None
+    tag: str | None
+
+
+@dataclass(frozen=True)
+class _Compute:
+    seconds: float
+
+
+class Comm:
+    """Operation factory handed to node programs."""
+
+    def __init__(self, rank: int, size: int):
+        self.rank = rank
+        self.size = size
+
+    # ------------------------------------------------------------ primitives
+
+    def send(self, dst: int, tag: str = "msg", payload=None, size_bytes: int = 16):
+        """Asynchronous (buffered) send; completes immediately."""
+        return _Send(dst, tag, payload, size_bytes)
+
+    def recv(self, source: int | None = None, tag: str | None = None):
+        """Block until a matching message arrives; yields the Message."""
+        return _Recv(source, tag)
+
+    def compute(self, seconds: float):
+        """Charge local CPU time."""
+        return _Compute(seconds)
+
+    # ------------------------------------------------------------ collectives
+
+    def barrier(self, tag: str = "__barrier__"):
+        """Central-coordinator barrier (gather-then-release)."""
+        if self.rank == 0:
+            for _ in range(self.size - 1):
+                yield self.recv(tag=tag + ".in")
+            for dst in range(1, self.size):
+                yield self.send(dst, tag + ".out")
+        else:
+            yield self.send(0, tag + ".in")
+            yield self.recv(source=0, tag=tag + ".out")
+
+    def bcast(self, value=None, root: int = 0, size_bytes: int = 16,
+              tag: str = "__bcast__"):
+        """Broadcast ``value`` from ``root``; every rank returns it."""
+        if self.rank == root:
+            for dst in range(self.size):
+                if dst != root:
+                    yield self.send(dst, tag, payload=value, size_bytes=size_bytes)
+            return value
+        msg = yield self.recv(source=root, tag=tag)
+        return msg.payload
+
+    def gather(self, value, root: int = 0, size_bytes: int = 16,
+               tag: str = "__gather__"):
+        """Gather one value per rank at ``root`` (returns list there,
+        None elsewhere)."""
+        if self.rank == root:
+            out = [None] * self.size
+            out[root] = value
+            for _ in range(self.size - 1):
+                msg = yield self.recv(tag=tag)
+                out[msg.src] = msg.payload
+            return out
+        yield self.send(root, tag, payload=value, size_bytes=size_bytes)
+        return None
+
+    def allreduce(self, value, op=sum, size_bytes: int = 16,
+                  tag: str = "__allreduce__"):
+        """Reduce over all ranks then broadcast the result."""
+        gathered = yield from self.gather(value, root=0, size_bytes=size_bytes,
+                                          tag=tag + ".g")
+        result = op(gathered) if self.rank == 0 else None
+        result = yield from self.bcast(result, root=0, size_bytes=size_bytes,
+                                       tag=tag + ".b")
+        return result
+
+
+class CoActor(Actor):
+    """Drives one generator program on a simulated node."""
+
+    def __init__(self, program, rank: int, size: int):
+        self.comm = Comm(rank, size)
+        self._program = program
+        self._gen = None
+        self._inbox: deque = deque()
+        self._waiting: _Recv | None = None
+        self.done = False
+        self.result = None
+
+    # ----------------------------------------------------------------- hooks
+
+    def on_start(self, ctx: Context) -> None:
+        self._gen = self._program(self.comm)
+        self._advance(ctx, None)
+
+    def on_message(self, ctx: Context, msg: Message) -> None:
+        self._inbox.append(msg)
+        if self._waiting is not None:
+            matched = self._match(self._waiting)
+            if matched is not None:
+                self._waiting = None
+                self._advance(ctx, matched)
+
+    # ------------------------------------------------------------- internals
+
+    def _match(self, want: _Recv) -> Message | None:
+        for i, msg in enumerate(self._inbox):
+            if want.source is not None and msg.src != want.source:
+                continue
+            if want.tag is not None and msg.tag != want.tag:
+                continue
+            del self._inbox[i]
+            return msg
+        return None
+
+    def _advance(self, ctx: Context, value) -> None:
+        try:
+            op = self._gen.send(value)
+            while True:
+                if isinstance(op, _Compute):
+                    ctx.charge(op.seconds)
+                    op = self._gen.send(None)
+                elif isinstance(op, _Send):
+                    ctx.send(op.dst, op.tag, op.payload, op.size_bytes)
+                    op = self._gen.send(None)
+                elif isinstance(op, _Recv):
+                    msg = self._match(op)
+                    if msg is None:
+                        self._waiting = op
+                        return
+                    op = self._gen.send(msg)
+                else:
+                    raise SimulationError(
+                        f"program yielded {op!r}; yield Comm operations "
+                        "(and use 'yield from' for collectives)"
+                    )
+        except StopIteration as stop:
+            self.done = True
+            self.result = stop.value
+
+
+def run_programs(
+    programs,
+    costs: CostModel = DEFAULT_COSTS,
+    ethernet: EthernetConfig | None = None,
+    node_speeds=None,
+    max_events: int | None = None,
+):
+    """Run one program per node to completion.
+
+    Returns ``(makespan_seconds, results)`` where ``results[r]`` is the
+    value returned by rank r's program.  Raises if any program is still
+    blocked when the cluster goes quiet (deadlock).
+    """
+    actors = [
+        CoActor(program, rank, len(programs))
+        for rank, program in enumerate(programs)
+    ]
+    runtime = SPMDRuntime(
+        actors, costs=costs, ethernet_config=ethernet, node_speeds=node_speeds
+    )
+    makespan = runtime.run(max_events=max_events)
+    stuck = [a.comm.rank for a in actors if not a.done]
+    if stuck:
+        raise SimulationError(
+            f"deadlock: ranks {stuck} still waiting at quiescence"
+        )
+    return makespan, [a.result for a in actors]

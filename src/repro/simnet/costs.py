@@ -1,0 +1,76 @@
+"""CPU and messaging cost model for the simulated 1995 cluster.
+
+Every abstract operation the retrograde-analysis workers perform is
+charged against the owning processor's clock through these constants.
+The defaults model the hardware behind the paper: an Amoeba processor
+pool of MC68030-class nodes (~5 MIPS) on shared 10 Mbit/s Ethernet, with
+Amoeba's famously lean (~1 ms) user-space datagram path.  Per-operation
+instruction-count estimates come from the structure of the algorithm:
+
+========================  ========  =====================================
+constant                  default   derivation sketch (at ~5 MIPS)
+========================  ========  =====================================
+scan_position             8.0 ms    unrank + 6 x (sow, capture chain,
+                                    re-rank into 1-2 databases) ≈ 40k instr
+threshold_init_position   80 µs     reset status/counter + exit compare
+update_generate           2.4 ms    share of un-sowing one finalized
+                                    position, verified, per parent found
+                                    ≈ 12k instr
+update_apply              160 µs    owner/slot lookup + counter update
+value_assemble_position   40 µs     write final byte from labels
+msg_overhead_send         1.0 ms    Amoeba user-space RPC/datagram path
+msg_overhead_recv         1.0 ms    interrupt + protocol + dispatch
+marshal_per_byte          0.4 µs    copy into the combining buffer
+========================  ========  =====================================
+
+End-to-end anchoring against the paper's abstract: with these constants
+the cost model puts the 13-stone database at ~37 h sequential and
+~45-50 min on 64 processors (speedup ≈ 48) — see
+:mod:`repro.analysis.calibration` and EXPERIMENTS.md.  All *comparative*
+results — combining factors, crossovers, who wins — depend only on
+ratios, not on the absolute scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel", "DEFAULT_COSTS"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Seconds charged per abstract operation."""
+
+    scan_position: float = 8.0e-3
+    threshold_init_position: float = 80e-6
+    update_generate: float = 2.4e-3
+    #: Per-parent cost when predecessors come from a stored transposed
+    #: graph instead of un-moving (the "csr" ablation): a few loads.
+    update_generate_fast: float = 120e-6
+    update_apply: float = 160e-6
+    value_assemble_position: float = 40e-6
+    msg_overhead_send: float = 1.0e-3
+    msg_overhead_recv: float = 1.0e-3
+    marshal_per_byte: float = 0.4e-6
+
+    def scaled(self, cpu_factor: float = 1.0, msg_factor: float = 1.0) -> "CostModel":
+        """A derived model with CPU and/or messaging costs scaled.
+
+        Used for what-if ablations (faster CPUs, slower RPC paths) and for
+        checking that database *contents* are timing-independent.
+        """
+        return CostModel(
+            scan_position=self.scan_position * cpu_factor,
+            threshold_init_position=self.threshold_init_position * cpu_factor,
+            update_generate=self.update_generate * cpu_factor,
+            update_generate_fast=self.update_generate_fast * cpu_factor,
+            update_apply=self.update_apply * cpu_factor,
+            value_assemble_position=self.value_assemble_position * cpu_factor,
+            msg_overhead_send=self.msg_overhead_send * msg_factor,
+            msg_overhead_recv=self.msg_overhead_recv * msg_factor,
+            marshal_per_byte=self.marshal_per_byte * msg_factor,
+        )
+
+
+DEFAULT_COSTS = CostModel()

@@ -1,0 +1,135 @@
+"""Shared-medium Ethernet model (the paper's 10 Mbit/s segment).
+
+All stations share one cable: transmissions serialize, so aggregate
+throughput is capped at the segment bandwidth regardless of the number of
+processors — the effect that bends the paper's speedup curve at high P.
+
+Modelling choices (documented simplifications of CSMA/CD):
+
+* Arbitration is FIFO by request time instead of binary exponential
+  backoff; a ``contention_efficiency`` factor (default 0.9) derates the
+  usable bandwidth for PHY overheads under load.
+* When a frame finds the medium busy (i.e., actually contends), it pays
+  an additional **contention slot penalty** of ``e × slot_time``
+  (~140 µs) — the classic Metcalfe–Boggs result for CSMA/CD collision
+  resolution.  This is what makes minimum-size frames so expensive on a
+  loaded segment: an 84-byte frame needs ~67 µs of wire but ~140 µs of
+  contention, capping small-frame throughput near a third of nominal —
+  the physics behind the paper's "enormous" overhead for uncombined
+  updates.
+* Messages larger than the MTU are fragmented into back-to-back frames;
+  per-frame overhead covers preamble, MAC header, FCS and the inter-frame
+  gap.
+* Broadcast frames (``dst < 0``) are received by every station in one
+  transmission — exactly how the original system's broadcast-based
+  protocols used the medium.
+
+Delivery order between any pair of stations is FIFO by construction,
+which is the reliability contract the transport layer advertises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .engine import Simulator
+
+__all__ = ["EthernetConfig", "Ethernet"]
+
+
+@dataclass(frozen=True)
+class EthernetConfig:
+    """Physical parameters of the shared segment."""
+
+    bandwidth_bps: float = 10e6  # classic 10 Mbit/s Ethernet
+    frame_overhead_bytes: int = 38  # preamble 8 + header 14 + FCS 4 + IFG 12
+    mtu_bytes: int = 1500
+    min_payload_bytes: int = 46  # Ethernet minimum frame padding
+    propagation_delay_s: float = 25e-6
+    contention_efficiency: float = 0.9
+    #: Medium time burned resolving contention per *contended* frame:
+    #: e × 51.2 µs slots (Metcalfe–Boggs).  Charged only when the frame
+    #: found the medium busy; an idle segment sends collision-free.
+    contention_slot_penalty_s: float = 139e-6
+
+    def frame_time(self, payload: int) -> float:
+        """Seconds the medium is busy for one uncontended frame of
+        ``payload`` bytes."""
+        wire_bytes = max(payload, self.min_payload_bytes) + self.frame_overhead_bytes
+        return (wire_bytes * 8.0) / (self.bandwidth_bps * self.contention_efficiency)
+
+
+@dataclass
+class EthernetStats:
+    """Aggregate medium counters for one simulation run."""
+
+    frames: int = 0
+    contended_frames: int = 0
+    payload_bytes: int = 0
+    wire_bytes: int = 0
+    busy_seconds: float = 0.0
+    contention_seconds: float = 0.0
+    broadcasts: int = 0
+
+
+class Ethernet:
+    """The shared segment: serializes frames, delivers to station inboxes."""
+
+    def __init__(self, sim: Simulator, n_stations: int, config: EthernetConfig | None = None):
+        self.sim = sim
+        self.n_stations = n_stations
+        self.config = config or EthernetConfig()
+        self._free_at = 0.0
+        self.stats = EthernetStats()
+        self._deliver: Callable | None = None
+
+    def attach(self, deliver: Callable) -> None:
+        """Register the delivery callback: ``deliver(dst, message)``."""
+        self._deliver = deliver
+
+    def transmit(self, src: int, dst: int, size_bytes: int, message) -> None:
+        """Queue a message for transmission at the current simulated time.
+
+        ``dst < 0`` broadcasts.  The message is fragmented into MTU-sized
+        frames; the *last* frame's arrival completes delivery (earlier
+        fragments are held by the receiving NIC model).
+        """
+        if self._deliver is None:
+            raise RuntimeError("ethernet has no delivery callback attached")
+        cfg = self.config
+        remaining = max(int(size_bytes), 1)
+        arrival = self.sim.now
+        while remaining > 0:
+            payload = min(remaining, cfg.mtu_bytes)
+            remaining -= payload
+            frame_time = cfg.frame_time(payload)
+            contended = self._free_at > self.sim.now
+            if contended:
+                # The station found the medium busy: pay the CSMA/CD
+                # collision-resolution slots on top of the frame itself.
+                frame_time += cfg.contention_slot_penalty_s
+                self.stats.contended_frames += 1
+                self.stats.contention_seconds += cfg.contention_slot_penalty_s
+            start = max(self.sim.now, self._free_at)
+            self._free_at = start + frame_time
+            arrival = start + frame_time + cfg.propagation_delay_s
+            self.stats.frames += 1
+            self.stats.payload_bytes += payload
+            self.stats.wire_bytes += (
+                max(payload, cfg.min_payload_bytes) + cfg.frame_overhead_bytes
+            )
+            self.stats.busy_seconds += frame_time
+        if dst < 0:
+            self.stats.broadcasts += 1
+            for station in range(self.n_stations):
+                if station != src:
+                    self.sim.schedule_at(arrival, self._deliver, station, message)
+        else:
+            self.sim.schedule_at(arrival, self._deliver, dst, message)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` the medium carried frames."""
+        if elapsed <= 0:
+            return 0.0
+        return min(self.stats.busy_seconds / elapsed, 1.0)

@@ -1,0 +1,122 @@
+"""Tests for calibration, the analytic model and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.calibration import (
+    CLUSTER_1995,
+    PAPER_HEADLINE,
+    extrapolate_ops,
+    headline_table,
+    second_headline_table,
+    sequential_seconds,
+)
+from repro.analysis.model import ModelInput, predict
+from repro.analysis.report import Table, format_bytes, format_seconds, series
+from repro.core.sequential import SequentialSolver
+from repro.games.awari_db import AwariCaptureGame
+from repro.simnet.costs import DEFAULT_COSTS
+
+
+@pytest.fixture(scope="module")
+def awari_report():
+    _, report = SequentialSolver(AwariCaptureGame()).solve(6)
+    return report
+
+
+class TestCalibration:
+    def test_sequential_seconds_composition(self):
+        c = DEFAULT_COSTS
+        t = sequential_seconds(size=100, thresholds=2, notifications=50, costs=c)
+        expected = (
+            100 * c.scan_position
+            + 2 * 100 * (c.threshold_init_position + c.value_assemble_position)
+            + 50 * (c.update_generate + c.update_apply)
+        )
+        assert t == pytest.approx(expected)
+
+    def test_extrapolate_ops_linear_fit(self):
+        pred, rate = extrapolate_ops([10, 20], [20, 40], target_size=100,
+                                     target_bound=5)
+        assert rate == pytest.approx(2.0)
+        assert pred == pytest.approx(200.0)
+
+    def test_extrapolate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            extrapolate_ops([], [], 10, 1)
+
+    def test_headline_lands_near_paper(self, awari_report):
+        out = headline_table(awari_report.databases)
+        assert out["target_positions"] == 2_496_144
+        # The calibrated model must land within 2x of the 40-hour anchor.
+        assert 20 < out["sequential_hours_model"] < 80
+
+    def test_second_headline_consistency(self, awari_report):
+        out = second_headline_table(awari_report.databases)
+        assert out["stones"] == 19
+        assert out["memory_mbytes_model"] > 600
+        assert 2 < out["sequential_weeks_model"] < 30
+        assert 5 < out["parallel_hours_model"] < 60
+
+    def test_cluster_constants(self):
+        assert CLUSTER_1995.ethernet.bandwidth_bps == 10e6
+        assert PAPER_HEADLINE["speedup"] == 48.0
+
+
+class TestModel:
+    def _base(self, **kw):
+        defaults = dict(size=75_582, thresholds=8, notifications=784_256,
+                        n_procs=16)
+        defaults.update(kw)
+        return ModelInput(**defaults)
+
+    def test_sequential_limit(self):
+        pred = predict(self._base(n_procs=1))
+        assert pred.speedup == pytest.approx(1.0, rel=0.05)
+
+    def test_speedup_monotone_in_procs(self):
+        speeds = [predict(self._base(n_procs=p)).speedup for p in (2, 8, 32)]
+        assert speeds[0] < speeds[1] < speeds[2]
+
+    def test_combining_beats_naive(self):
+        on = predict(self._base(combining_capacity=256))
+        off = predict(self._base(combining_capacity=1))
+        assert on.t_parallel < off.t_parallel
+        assert off.combining_factor == 1.0
+
+    def test_wire_bound_regime(self):
+        """With absurdly many processors the wire term dominates."""
+        pred = predict(self._base(n_procs=4096, combining_capacity=1))
+        assert pred.t_parallel == pytest.approx(pred.t_wire)
+
+    def test_remote_fraction_override(self):
+        local_only = predict(self._base(remote_fraction=0.0))
+        assert local_only.packets == 0
+        assert local_only.t_wire == 0
+
+
+class TestReport:
+    def test_format_seconds_scales(self):
+        assert format_seconds(5e-7).endswith("µs")
+        assert format_seconds(5e-3).endswith("ms")
+        assert format_seconds(5).endswith("s")
+        assert format_seconds(300) == "5.0min"
+        assert format_seconds(7200) == "2.0h"
+
+    def test_format_bytes_scales(self):
+        assert format_bytes(10) == "10.0B"
+        assert format_bytes(2048) == "2.0KB"
+        assert format_bytes(3 * 1024**3) == "3.0GB"
+
+    def test_table_renders_and_validates(self):
+        t = Table("demo", ["a", "b"])
+        t.add(1, 2)
+        out = t.render()
+        assert "# demo" in out and "1" in out
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_series_renders_bars(self):
+        out = series("s", [1, 2], [1.0, 2.0])
+        assert out.count("#") > 0
+        assert "2.000" in out

@@ -1,0 +1,60 @@
+"""Scaling-analysis tests (pure model, no simulation)."""
+
+import pytest
+
+from repro.analysis.model import ModelInput
+from repro.analysis.scaling import isoefficiency, strong_scaling_limit
+
+
+def base(**kw):
+    defaults = dict(
+        size=75_582,
+        thresholds=8,
+        notifications=784_256,
+        n_procs=1,
+        waves=53.0,
+    )
+    defaults.update(kw)
+    return ModelInput(**defaults)
+
+
+class TestStrongScaling:
+    def test_curve_shape(self):
+        points, limit = strong_scaling_limit(base(), efficiency_floor=0.5)
+        assert points[0].procs == 1
+        assert points[0].efficiency == pytest.approx(1.0, abs=0.01)
+        effs = [p.efficiency for p in points]
+        assert all(b <= a + 1e-9 for a, b in zip(effs, effs[1:]))
+        assert 16 <= limit <= 512
+
+    def test_floor_moves_the_limit(self):
+        _, strict = strong_scaling_limit(base(), efficiency_floor=0.9)
+        _, loose = strong_scaling_limit(base(), efficiency_floor=0.3)
+        assert strict <= loose
+
+    def test_bigger_workload_scales_further(self):
+        small = base()
+        big = base(size=small.size * 30, notifications=small.notifications * 30)
+        _, small_limit = strong_scaling_limit(small)
+        _, big_limit = strong_scaling_limit(big)
+        assert big_limit >= small_limit
+
+
+class TestIsoefficiency:
+    def test_monotone_in_procs(self):
+        iso = isoefficiency(base(), target_efficiency=0.75)
+        sizes = [s for _, s in iso]
+        assert all(b >= a for a, b in zip(sizes, sizes[1:]))
+
+    def test_higher_target_needs_bigger_problems(self):
+        lax = dict(isoefficiency(base(), target_efficiency=0.5))
+        strict = dict(isoefficiency(base(), target_efficiency=0.9))
+        for p in (32, 64):
+            assert strict[p] >= lax[p]
+
+    def test_paper_scale_consistency(self):
+        """64 processors at 75% efficiency need a database in the 9+
+        stone range — consistent with the paper needing its large
+        database to showcase 64 machines."""
+        iso = dict(isoefficiency(base(), target_efficiency=0.75))
+        assert iso[64] > 75_582  # bigger than the 8-stone bench database

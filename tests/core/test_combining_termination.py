@@ -1,0 +1,196 @@
+"""Unit tests: message-combining buffers and Safra termination state."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.combining import UPDATE_BYTES, CombiningBuffers
+from repro.core.termination import BLACK, WHITE, SafraState, Token
+
+
+class TestCombiningBuffers:
+    def test_buffer_fills_at_capacity(self):
+        buf = CombiningBuffers(n_dest=4, capacity=3)
+        ready = buf.append(
+            np.array([1, 1, 1, 2]), np.arange(4), np.zeros(4, dtype=np.uint8)
+        )
+        assert len(ready) == 1
+        dest, packet = ready[0]
+        assert dest == 1
+        assert packet.n_updates == 3
+        assert buf.pending(2) == 1
+
+    def test_packet_sizes(self):
+        buf = CombiningBuffers(n_dest=2, capacity=2)
+        ready = buf.append(
+            np.array([1, 1]), np.array([10, 20]), np.zeros(2, dtype=np.uint8)
+        )
+        assert ready[0][1].size_bytes == 2 * UPDATE_BYTES
+
+    def test_order_preserved_per_destination(self):
+        buf = CombiningBuffers(n_dest=2, capacity=100)
+        buf.append(np.array([1, 1]), np.array([5, 7]), np.array([0, 1], dtype=np.uint8))
+        buf.append(np.array([1]), np.array([9]), np.array([0], dtype=np.uint8))
+        ready = buf.flush_all()
+        (dest, packet), = ready
+        assert packet.positions.tolist() == [5, 7, 9]
+        assert packet.kinds.tolist() == [0, 1, 0]
+
+    def test_oversize_batch_splits_into_multiple_packets(self):
+        buf = CombiningBuffers(n_dest=2, capacity=10)
+        ready = buf.append(
+            np.full(25, 1), np.arange(25), np.zeros(25, dtype=np.uint8)
+        )
+        assert [p.n_updates for _, p in ready] == [10, 10]
+        assert buf.pending(1) == 5
+
+    def test_flush_all_drains_everything(self):
+        buf = CombiningBuffers(n_dest=3, capacity=100)
+        buf.append(np.array([0, 1, 2]), np.arange(3), np.zeros(3, dtype=np.uint8))
+        ready = buf.flush_all()
+        assert len(ready) == 3
+        assert buf.total_pending == 0
+
+    def test_flush_fullest_picks_max(self):
+        buf = CombiningBuffers(n_dest=3, capacity=100)
+        buf.append(
+            np.array([0, 1, 1, 1, 2]), np.arange(5), np.zeros(5, dtype=np.uint8)
+        )
+        ready = buf.flush_fullest()
+        assert len(ready) == 1
+        assert ready[0][0] == 1
+        assert buf.total_pending == 2
+
+    def test_flush_fullest_empty(self):
+        buf = CombiningBuffers(n_dest=3, capacity=10)
+        assert buf.flush_fullest() == []
+
+    def test_capacity_one_is_naive_mode(self):
+        buf = CombiningBuffers(n_dest=2, capacity=1)
+        ready = buf.append(
+            np.array([1, 1, 1]), np.arange(3), np.zeros(3, dtype=np.uint8)
+        )
+        assert len(ready) == 3
+        assert all(p.n_updates == 1 for _, p in ready)
+
+    def test_stats_combining_factor(self):
+        buf = CombiningBuffers(n_dest=2, capacity=4)
+        buf.append(np.full(8, 1), np.arange(8), np.zeros(8, dtype=np.uint8))
+        assert buf.stats.combining_factor == pytest.approx(4.0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            CombiningBuffers(n_dest=0, capacity=1)
+        with pytest.raises(ValueError):
+            CombiningBuffers(n_dest=1, capacity=0)
+
+    def test_rejects_mismatched_arrays(self):
+        buf = CombiningBuffers(n_dest=2, capacity=4)
+        with pytest.raises(ValueError):
+            buf.append(np.array([1]), np.array([1, 2]), np.zeros(2, dtype=np.uint8))
+
+    @given(st.lists(st.integers(0, 7), min_size=0, max_size=200), st.integers(1, 50))
+    @settings(max_examples=60, deadline=None)
+    def test_no_update_lost_or_duplicated(self, dests, capacity):
+        """Conservation: every appended update appears in exactly one
+        packet, in per-destination FIFO order."""
+        buf = CombiningBuffers(n_dest=8, capacity=capacity)
+        dests = np.asarray(dests, dtype=np.int64)
+        positions = np.arange(dests.shape[0], dtype=np.int64)
+        out = buf.append(dests, positions, (positions % 2).astype(np.uint8))
+        out += buf.flush_all()
+        seen = {}
+        for dest, packet in out:
+            seen.setdefault(dest, []).extend(packet.positions.tolist())
+        for d in range(8):
+            expected = positions[dests == d].tolist()
+            assert seen.get(d, []) == expected
+
+
+class TestSafra:
+    def test_clean_ring_terminates(self):
+        """No traffic at all: one round proves termination."""
+        states = [SafraState(r, 4) for r in range(4)]
+        token = states[0].start_round()
+        for r in range(1, 4):
+            token = states[r].forward(token)
+        assert states[0].coordinator_check(token)
+
+    def test_in_flight_message_defers_termination(self):
+        states = [SafraState(r, 3) for r in range(3)]
+        states[1].on_app_send()  # message still in flight
+        token = states[0].start_round()
+        token = states[1].forward(token)
+        token = states[2].forward(token)
+        assert not states[0].coordinator_check(token)
+
+    def _round(self, states):
+        token = states[0].start_round()
+        for r in range(1, len(states)):
+            token = states[r].forward(token)
+        return states[0].coordinator_check(token)
+
+    def test_traffic_behind_the_token_never_terminates_early(self):
+        """The classic race: the token passes worker 1, then a message
+        flows 2 -> 1 behind its back.  Safra must refuse to terminate
+        until a full clean round has seen the quiet system."""
+        states = [SafraState(r, 3) for r in range(3)]
+        token = states[0].start_round()
+        token = states[1].forward(token)
+        states[2].on_app_send()
+        states[1].on_app_receive()
+        token = states[2].forward(token)
+        # Counters are skewed (1's receive happened after it forwarded).
+        assert not states[0].coordinator_check(token)
+        # Next round: counters now sum to zero, but 1 is black.
+        assert not self._round(states)
+        # Third round: all white, all quiet — terminate.
+        assert self._round(states)
+
+    def test_balanced_quiet_system_terminates(self):
+        states = [SafraState(r, 3) for r in range(3)]
+        states[0].on_app_send()
+        states[1].on_app_receive()
+        # At most two rounds are needed once the system is quiet.
+        first = self._round(states)
+        second = self._round(states)
+        assert first or second
+
+    def test_hold_and_release(self):
+        s = SafraState(1, 4)
+        t = Token()
+        s.hold(t)
+        with pytest.raises(RuntimeError):
+            s.hold(Token())
+        assert s.release() is t
+        assert s.release() is None
+
+    def test_only_coordinator_starts_and_checks(self):
+        s = SafraState(2, 4)
+        with pytest.raises(RuntimeError):
+            s.start_round()
+        with pytest.raises(RuntimeError):
+            s.coordinator_check(Token())
+        with pytest.raises(RuntimeError):
+            SafraState(0, 4).forward(Token())
+
+    def test_reset_clears_state(self):
+        s = SafraState(1, 4)
+        s.on_app_send()
+        s.on_app_receive()
+        s.hold(Token())
+        s.reset()
+        assert s.counter == 0
+        assert s.color == WHITE
+        assert s.held_token is None
+
+    def test_ring_order(self):
+        assert SafraState(3, 4).next_rank() == 0
+        assert SafraState(0, 4).next_rank() == 1
+
+    def test_receive_turns_black(self):
+        s = SafraState(1, 3)
+        assert s.color == WHITE
+        s.on_app_receive()
+        assert s.color == BLACK

@@ -1,0 +1,169 @@
+"""Direct unit tests for graph construction and the kernel on hand-built
+miniature problems (no game engine involved)."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import CSR, build_database_graph
+from repro.core.kernel import RAProblem, csr_provider, solve_kernel, threshold_init
+from repro.core.values import LOSS, NO_EXIT, UNKNOWN, WIN
+from repro.games.awari_db import AwariCaptureGame
+from repro.simnet.costs import CostModel, DEFAULT_COSTS
+
+
+def tiny_problem(edges, n, win0=(), loss0=(), loss_eligible=None):
+    """Build an RAProblem over an explicit internal edge list."""
+    src = np.array([e[0] for e in edges], dtype=np.int64)
+    dst = np.array([e[1] for e in edges], dtype=np.int64)
+    fwd = CSR.from_edges(n, src, dst)
+    rev = CSR.from_edges(n, dst, src)
+    status = np.zeros(n, dtype=np.uint8)
+    status[list(win0)] = WIN
+    status[list(loss0)] = LOSS
+    counts = np.bincount(src, minlength=n).astype(np.int32)
+    if loss_eligible is None:
+        loss_eligible = np.ones(n, dtype=bool)
+    return RAProblem(
+        size=n,
+        status=status,
+        counts=counts,
+        predecessors=csr_provider(rev),
+        loss_eligible=np.asarray(loss_eligible),
+    )
+
+
+class TestKernelMicro:
+    def test_chain_alternates(self):
+        # 2 -> 1 -> 0, position 0 starts LOSS.
+        problem = tiny_problem([(1, 0), (2, 1)], 3, loss0=[0])
+        res = solve_kernel(problem)
+        assert res.status.tolist() == [LOSS, WIN, LOSS]
+        assert res.depth.tolist() == [0, 1, 2]
+
+    def test_win_priority_over_counter(self):
+        # 2 has moves to both a LOSS (0) and a WIN (1): must be WIN.
+        problem = tiny_problem([(2, 0), (2, 1)], 3, win0=[1], loss0=[0])
+        res = solve_kernel(problem)
+        assert res.status[2] == WIN
+
+    def test_counter_requires_all_children(self):
+        # 2 -> {0, 1}; only 0 is WIN: 2 stays unknown (1 unresolved).
+        problem = tiny_problem([(2, 0), (2, 1)], 3, win0=[0])
+        res = solve_kernel(problem)
+        assert res.status[2] == UNKNOWN
+
+    def test_loss_eligibility_gates_losses(self):
+        # Same shape, both children WIN, but 2 has a good exit: not LOSS.
+        eligible = np.array([True, True, False])
+        problem = tiny_problem(
+            [(2, 0), (2, 1)], 3, win0=[0, 1], loss_eligible=eligible
+        )
+        res = solve_kernel(problem)
+        assert res.status[2] == UNKNOWN
+
+    def test_parallel_edges_counted_twice(self):
+        # 1 has TWO moves to 0 (parallel edges); 0 wins -> both must drain.
+        problem = tiny_problem([(1, 0), (1, 0)], 2, win0=[0])
+        res = solve_kernel(problem)
+        assert res.status[1] == LOSS
+
+    def test_cycle_stays_drawn(self):
+        problem = tiny_problem([(0, 1), (1, 0)], 2)
+        res = solve_kernel(problem)
+        assert (res.status == UNKNOWN).all()
+        assert res.rounds == 0
+
+    def test_notification_count(self):
+        problem = tiny_problem([(1, 0), (2, 1)], 3, loss0=[0])
+        res = solve_kernel(problem)
+        # 0 notifies 1; 1 notifies 2; 2 notifies nobody.
+        assert res.parent_notifications == 2
+
+    def test_round_sizes_recorded(self):
+        problem = tiny_problem([(1, 0), (2, 1)], 3, loss0=[0])
+        res = solve_kernel(problem, record_rounds=True)
+        assert res.round_sizes == [1, 1, 1]
+
+
+class TestThresholdInit:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        game = AwariCaptureGame()
+        from repro.core.sequential import SequentialSolver
+
+        values, _ = SequentialSolver(game).solve(3)
+        return build_database_graph(game, 4, {n: values[n] for n in range(4)})
+
+    def test_rejects_nonpositive_threshold(self, graph):
+        with pytest.raises(ValueError):
+            threshold_init(graph, 0)
+
+    def test_win_seeds_have_sufficient_exits(self, graph):
+        problem = threshold_init(graph, 2)
+        seeded = problem.status == WIN
+        assert (graph.best_exit[seeded] >= 2).all()
+
+    def test_loss_seeds_are_leaves_with_bad_exits(self, graph):
+        problem = threshold_init(graph, 2)
+        seeded = problem.status == LOSS
+        assert (graph.out_degree[seeded] == 0).all()
+        assert (graph.best_exit[seeded] <= -2).all()
+
+    def test_higher_threshold_seeds_fewer_wins(self, graph):
+        w1 = (threshold_init(graph, 1).status == WIN).sum()
+        w4 = (threshold_init(graph, 4).status == WIN).sum()
+        assert w4 < w1
+
+
+class TestGraphBuild:
+    def test_work_counters(self):
+        game = AwariCaptureGame()
+        from repro.core.sequential import SequentialSolver
+
+        values, _ = SequentialSolver(game).solve(2)
+        graph = build_database_graph(game, 3, {n: values[n] for n in range(3)})
+        assert graph.work.positions_scanned == game.db_size(3)
+        assert graph.work.moves_generated > 0
+        assert graph.work.edges_internal == graph.forward.n_edges
+        assert graph.memory_bytes() > 0
+
+    def test_no_exit_sentinel_only_on_positions_without_exits(self):
+        game = AwariCaptureGame()
+        from repro.core.sequential import SequentialSolver
+
+        values, _ = SequentialSolver(game).solve(3)
+        graph = build_database_graph(game, 4, {n: values[n] for n in range(4)})
+        scan = game.scan_chunk(4, 0, game.db_size(4))
+        has_capture = (scan.legal & (scan.capture > 0)).any(axis=1)
+        no_exit = graph.best_exit == np.int16(NO_EXIT)
+        assert not (no_exit & (has_capture | scan.terminal)).any()
+
+    def test_out_degree_matches_internal_moves(self):
+        game = AwariCaptureGame()
+        from repro.core.sequential import SequentialSolver
+
+        values, _ = SequentialSolver(game).solve(2)
+        graph = build_database_graph(game, 3, {n: values[n] for n in range(3)})
+        scan = game.scan_chunk(3, 0, game.db_size(3))
+        internal = (scan.legal & (scan.capture == 0)).sum(axis=1)
+        np.testing.assert_array_equal(graph.out_degree, internal)
+
+
+class TestCostModel:
+    def test_scaled_cpu_only(self):
+        scaled = DEFAULT_COSTS.scaled(cpu_factor=2.0)
+        assert scaled.scan_position == 2 * DEFAULT_COSTS.scan_position
+        assert scaled.msg_overhead_send == DEFAULT_COSTS.msg_overhead_send
+
+    def test_scaled_msg_only(self):
+        scaled = DEFAULT_COSTS.scaled(msg_factor=3.0)
+        assert scaled.msg_overhead_recv == 3 * DEFAULT_COSTS.msg_overhead_recv
+        assert scaled.update_generate == DEFAULT_COSTS.update_generate
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COSTS.scan_position = 1.0
+
+    def test_custom_model(self):
+        m = CostModel(scan_position=1.0)
+        assert m.scan_position == 1.0

@@ -1,0 +1,196 @@
+"""Kernel + WDL solver tests against closed-form and dense oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import CSR
+from repro.core.oracle import oracle_wdl
+from repro.core.values import LOSS, UNKNOWN, WIN
+from repro.core.wdl import build_wdl_graph, solve_wdl
+from repro.games.loopy import LoopyGraphGame, random_loopy_game
+from repro.games.nim import NimGame
+
+
+class TestCSR:
+    def test_from_edges_and_neighbors(self):
+        csr = CSR.from_edges(4, np.array([0, 0, 2, 3]), np.array([1, 2, 3, 0]))
+        row, nbr = csr.neighbors_of(np.array([0, 2]))
+        assert row.tolist() == [0, 0, 1]
+        assert sorted(nbr.tolist()[:2]) == [1, 2]
+        assert nbr.tolist()[2] == 3
+
+    def test_parallel_edges_kept(self):
+        csr = CSR.from_edges(2, np.array([0, 0]), np.array([1, 1]))
+        row, nbr = csr.neighbors_of(np.array([0]))
+        assert nbr.tolist() == [1, 1]
+
+    def test_transpose_roundtrip(self):
+        rng = np.random.default_rng(0)
+        src = rng.integers(0, 50, 200)
+        dst = rng.integers(0, 50, 200)
+        fwd = CSR.from_edges(50, src, dst)
+        rev = fwd.transpose(50)
+        back = rev.transpose(50)
+        assert (back.indptr == fwd.indptr).all()
+        # Edge multiset must match (order within a row may differ).
+        for i in range(50):
+            a = np.sort(back.indices[back.indptr[i] : back.indptr[i + 1]])
+            b = np.sort(fwd.indices[fwd.indptr[i] : fwd.indptr[i + 1]])
+            np.testing.assert_array_equal(a, b)
+
+    def test_empty_graph(self):
+        csr = CSR.from_edges(3, np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+        row, nbr = csr.neighbors_of(np.array([0, 1, 2]))
+        assert row.size == 0 and nbr.size == 0
+
+
+class TestNim:
+    @pytest.mark.parametrize("heaps,cap", [(1, 5), (2, 4), (3, 3), (2, 7)])
+    def test_matches_sprague_grundy(self, heaps, cap):
+        game = NimGame(heaps=heaps, cap=cap)
+        sol = solve_wdl(game)
+        idx = np.arange(game.size)
+        oracle = game.oracle_win(idx)
+        # Nim has no draws: every position is WIN or LOSS.
+        assert sol.draws == 0
+        np.testing.assert_array_equal(sol.status == WIN, oracle)
+
+    def test_terminal_is_loss_with_depth_zero(self):
+        game = NimGame(heaps=2, cap=3)
+        sol = solve_wdl(game)
+        zero = int(game.encode(np.array([0, 0])))
+        assert sol.status[zero] == LOSS
+        assert sol.depth[zero] == 0
+
+    def test_depth_is_optimal_play_length(self):
+        # Single heap of k: the mover takes everything, win in 1 ply.
+        game = NimGame(heaps=1, cap=6)
+        sol = solve_wdl(game)
+        for k in range(1, 7):
+            assert sol.status[k] == WIN
+            assert sol.depth[k] == 1
+
+    def test_encode_decode_roundtrip(self):
+        game = NimGame(heaps=3, cap=5)
+        idx = np.arange(game.size)
+        np.testing.assert_array_equal(game.encode(game.decode(idx)), idx)
+
+    def test_encode_rejects_out_of_range(self):
+        game = NimGame(heaps=2, cap=3)
+        with pytest.raises(ValueError):
+            game.encode(np.array([4, 0]))
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            NimGame(heaps=0)
+
+
+class TestLoopyHandmade:
+    def test_two_cycle_is_draw(self):
+        # 0 <-> 1, no terminals reachable: both drawn.
+        game = LoopyGraphGame([[1], [0], []])
+        sol = solve_wdl(game)
+        assert sol.status[0] == UNKNOWN
+        assert sol.status[1] == UNKNOWN
+        assert sol.status[2] == LOSS  # terminal, mover loses
+
+    def test_escape_from_cycle_to_losing_child(self):
+        # 0 <-> 1 plus 0 -> 2 (terminal, mover of 2 loses): 0 wins.
+        game = LoopyGraphGame([[1, 2], [0], []])
+        sol = solve_wdl(game)
+        assert sol.status[0] == WIN
+        # 1's only move goes to the winning 0: 1 is lost? No - 1 can keep
+        # cycling only via 0, and 0 wins ... all of 1's moves reach WIN
+        # positions, so 1 is LOSS.
+        assert sol.status[1] == LOSS
+
+    def test_cycle_as_refuge(self):
+        # 0 <-> 1; 0 -> 2 where 2 is terminal WIN for its mover (bad for 0).
+        game = LoopyGraphGame([[1, 2], [0], []], terminal_win=[False, False, True])
+        sol = solve_wdl(game)
+        # Moving to 2 hands the opponent a win; cycling forever draws.
+        assert sol.status[0] == UNKNOWN
+        assert sol.status[1] == UNKNOWN
+        assert sol.status[2] == WIN
+
+    def test_chain_depths(self):
+        # 3 -> 2 -> 1 -> 0 (terminal loss): alternating win/loss up the chain.
+        game = LoopyGraphGame([[], [0], [1], [2]])
+        sol = solve_wdl(game)
+        assert [int(s) for s in sol.status] == [LOSS, WIN, LOSS, WIN]
+        assert sol.depth.tolist() == [0, 1, 2, 3]
+
+    def test_self_loop_draw(self):
+        game = LoopyGraphGame([[0]])
+        sol = solve_wdl(game)
+        assert sol.status[0] == UNKNOWN
+
+    def test_bad_successor_rejected(self):
+        with pytest.raises(ValueError):
+            LoopyGraphGame([[5]])
+
+    def test_terminal_win_shape_checked(self):
+        with pytest.raises(ValueError):
+            LoopyGraphGame([[], []], terminal_win=[True])
+
+
+class TestLoopyVsOracle:
+    @given(st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_graphs_match_dense_oracle(self, seed):
+        game = random_loopy_game(n=60, avg_degree=2.5, seed=seed)
+        sol = solve_wdl(game)
+        oracle = oracle_wdl(game)
+        np.testing.assert_array_equal(sol.status, oracle)
+
+    @given(st.integers(0, 500), st.floats(1.0, 4.0))
+    @settings(max_examples=20, deadline=None)
+    def test_degree_sweep_matches(self, seed, deg):
+        game = random_loopy_game(n=40, avg_degree=deg, seed=seed)
+        np.testing.assert_array_equal(solve_wdl(game).status, oracle_wdl(game))
+
+
+class TestKernelInvariants:
+    def test_statuses_partition_positions(self):
+        game = random_loopy_game(n=200, seed=7)
+        sol = solve_wdl(game)
+        assert sol.wins + sol.losses + sol.draws == game.size
+
+    def test_win_has_loss_child_certificate(self):
+        """Every WIN position must have a move to a LOSS position (or be a
+        terminal win); every LOSS non-terminal position must have all moves
+        to WIN positions — the local Bellman certificate."""
+        game = random_loopy_game(n=300, seed=11)
+        sol = solve_wdl(game)
+        graph = build_wdl_graph(game)
+        scan = game.scan_chunk(0, game.size)
+        for p in range(game.size):
+            moves = scan.succ_index[p][scan.legal[p]]
+            if sol.status[p] == WIN and not graph.terminal[p]:
+                assert (sol.status[moves] == LOSS).any()
+            if sol.status[p] == LOSS and not graph.terminal[p]:
+                assert (sol.status[moves] == WIN).all()
+            if sol.status[p] == UNKNOWN:
+                assert not graph.terminal[p]
+                assert (sol.status[moves] == LOSS).sum() == 0
+                assert (sol.status[moves] == UNKNOWN).any()
+
+    def test_depth_certificate(self):
+        """A WIN at depth d has a LOSS child at depth < d; a LOSS at depth d
+        has all children WIN with max child depth == d - 1."""
+        game = random_loopy_game(n=250, seed=13)
+        sol = solve_wdl(game)
+        scan = game.scan_chunk(0, game.size)
+        graph = build_wdl_graph(game)
+        for p in range(game.size):
+            if graph.terminal[p]:
+                assert sol.depth[p] == 0
+                continue
+            moves = scan.succ_index[p][scan.legal[p]]
+            if sol.status[p] == WIN:
+                lost = moves[sol.status[moves] == LOSS]
+                assert (sol.depth[lost] < sol.depth[p]).any()
+            elif sol.status[p] == LOSS:
+                assert sol.depth[moves].max() == sol.depth[p] - 1

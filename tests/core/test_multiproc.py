@@ -1,0 +1,54 @@
+"""Multiprocessing backend tests (correctness only — this repository's CI
+environment has a single core, so wall-clock speedups are not asserted)."""
+
+import numpy as np
+import pytest
+
+from repro.core.multiproc import MultiprocessSolver
+from repro.core.sequential import SequentialSolver
+from repro.games.awari_db import AwariCaptureGame
+from repro.games.kalah import KalahCaptureGame
+from repro.games.synthetic import SyntheticCaptureGame
+
+
+class TestMultiprocessSolver:
+    def test_awari_matches_sequential(self):
+        game = AwariCaptureGame()
+        seq, _ = SequentialSolver(game).solve(6)
+        par = MultiprocessSolver(game, workers=3).solve(6)
+        for n in range(7):
+            np.testing.assert_array_equal(par[n], seq[n])
+
+    def test_kalah_matches_sequential(self):
+        game = KalahCaptureGame()
+        seq, _ = SequentialSolver(game).solve(5)
+        par = MultiprocessSolver(game, workers=2).solve(5)
+        for n in range(6):
+            np.testing.assert_array_equal(par[n], seq[n])
+
+    def test_synthetic_matches_sequential(self):
+        game = SyntheticCaptureGame(levels=4, max_size=40, seed=9)
+        seq, _ = SequentialSolver(game).solve(3)
+        par = MultiprocessSolver(game, workers=2).solve(3)
+        for d in range(4):
+            np.testing.assert_array_equal(par[d], seq[d])
+
+    def test_single_worker_falls_back_inline(self):
+        game = AwariCaptureGame()
+        seq, _ = SequentialSolver(game).solve(4)
+        par = MultiprocessSolver(game, workers=1).solve(4)
+        for n in range(5):
+            np.testing.assert_array_equal(par[n], seq[n])
+
+    def test_parallel_graph_build_equals_sequential_build(self):
+        from repro.core.graph import build_database_graph
+
+        game = AwariCaptureGame()
+        seq, _ = SequentialSolver(game).solve(5)
+        lower = {n: seq[n] for n in range(6)}
+        solver = MultiprocessSolver(game, workers=2)
+        mp_graph = solver._build_graph(6, lower, chunk=1 << 12)
+        ref = build_database_graph(game, 6, lower)
+        np.testing.assert_array_equal(mp_graph.best_exit, ref.best_exit)
+        np.testing.assert_array_equal(mp_graph.out_degree, ref.out_degree)
+        assert mp_graph.forward.n_edges == ref.forward.n_edges

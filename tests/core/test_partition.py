@@ -1,0 +1,98 @@
+"""Partition strategy tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import (
+    BlockPartition,
+    CyclicPartition,
+    HashPartition,
+    balance_report,
+    make_partition,
+)
+
+KINDS = ["block", "cyclic", "hash"]
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_factory_builds(self, kind):
+        p = make_partition(kind, 100, 7)
+        assert p.name == kind
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown partition"):
+            make_partition("striped", 10, 2)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            make_partition("block", -1, 2)
+        with pytest.raises(ValueError):
+            make_partition("block", 10, 0)
+
+
+class TestBijection:
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("size,parts", [(100, 7), (64, 8), (13, 5), (5, 8)])
+    def test_ownership_partitions_everything(self, kind, size, parts):
+        p = make_partition(kind, size, parts)
+        seen = np.zeros(size, dtype=int)
+        for r in range(parts):
+            li = p.local_indices(r)
+            seen[li] += 1
+            # owner_of agrees with local_indices.
+            assert (p.owner_of(li) == r).all()
+            # to_local maps onto 0..len-1 in order.
+            np.testing.assert_array_equal(
+                p.to_local(li), np.arange(li.shape[0])
+            )
+        np.testing.assert_array_equal(seen, np.ones(size, dtype=int))
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_roundtrip_global_local(self, kind):
+        p = make_partition(kind, 1000, 9)
+        idx = np.arange(1000)
+        owners = p.owner_of(idx)
+        slots = p.to_local(idx)
+        for r in range(9):
+            li = p.local_indices(r)
+            np.testing.assert_array_equal(li[slots[owners == r]], idx[owners == r])
+
+    @given(st.integers(1, 500), st.integers(1, 16))
+    @settings(max_examples=50, deadline=None)
+    def test_counts_sum_to_size(self, size, parts):
+        for kind in KINDS:
+            p = make_partition(kind, size, parts)
+            assert sum(p.local_count(r) for r in range(parts)) == size
+
+
+class TestBalance:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_near_even_split(self, kind):
+        p = make_partition(kind, 10_000, 16)
+        rep = balance_report(p)
+        assert rep["imbalance"] < 1.10
+
+    def test_block_is_contiguous(self):
+        p = BlockPartition(100, 3)
+        li = p.local_indices(1)
+        np.testing.assert_array_equal(li, np.arange(li[0], li[0] + li.shape[0]))
+
+    def test_cyclic_strides(self):
+        p = CyclicPartition(20, 4)
+        np.testing.assert_array_equal(p.local_indices(1), [1, 5, 9, 13, 17])
+
+    def test_hash_is_deterministic(self):
+        a = HashPartition(500, 7)
+        b = HashPartition(500, 7)
+        np.testing.assert_array_equal(a.owner_of(np.arange(500)), b.owner_of(np.arange(500)))
+
+    def test_hash_scatters_neighbours(self):
+        """Adjacent indices should mostly land on different owners — the
+        property that balances frontier hot spots."""
+        p = HashPartition(10_000, 8)
+        owners = p.owner_of(np.arange(10_000))
+        same = (owners[1:] == owners[:-1]).mean()
+        assert same < 0.25  # random would give 1/8

@@ -1,0 +1,104 @@
+"""Checkpointed pipeline tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PipelineConfig, PipelineRunner
+from repro.core.sequential import SequentialSolver
+from repro.games.awari_db import AwariCaptureGame
+from repro.games.kalah import KalahCaptureGame
+
+
+@pytest.fixture(scope="module")
+def reference():
+    values, _ = SequentialSolver(AwariCaptureGame()).solve(5)
+    return values
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", ["sequential", "bounds", "parallel"])
+    def test_backend_produces_reference_values(self, backend, reference):
+        game = AwariCaptureGame()
+        cfg = PipelineConfig(backend=backend)
+        values, status = PipelineRunner(game, cfg).run(5)
+        for n in range(6):
+            np.testing.assert_array_equal(values[n], reference[n])
+        assert status.solved == list(range(6))
+        assert status.resumed == []
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(backend="quantum")
+
+
+class TestCheckpointing:
+    def test_resume_skips_solved_databases(self, tmp_path, reference):
+        game = AwariCaptureGame()
+        cfg = PipelineConfig(checkpoint_dir=str(tmp_path / "ck"))
+        runner = PipelineRunner(game, cfg)
+        _, first = runner.run(3)
+        assert first.solved == [0, 1, 2, 3]
+        # Second run: everything comes from disk.
+        values, second = PipelineRunner(game, cfg).run(5)
+        assert second.resumed == [0, 1, 2, 3]
+        assert second.solved == [4, 5]
+        for n in range(6):
+            np.testing.assert_array_equal(values[n], reference[n])
+
+    def test_manifest_records_backend(self, tmp_path):
+        game = AwariCaptureGame()
+        cfg = PipelineConfig(backend="bounds", checkpoint_dir=str(tmp_path))
+        PipelineRunner(game, cfg).run(2)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["game"] == "awari"
+        assert manifest["databases"]["2"]["backend"] == "bounds"
+
+    def test_mixed_backend_resume(self, tmp_path, reference):
+        game = AwariCaptureGame()
+        PipelineRunner(
+            game, PipelineConfig(backend="bounds", checkpoint_dir=str(tmp_path))
+        ).run(3)
+        values, status = PipelineRunner(
+            game,
+            PipelineConfig(backend="sequential", checkpoint_dir=str(tmp_path)),
+        ).run(5)
+        assert status.resumed == [0, 1, 2, 3]
+        np.testing.assert_array_equal(values[5], reference[5])
+
+    def test_wrong_game_checkpoint_rejected(self, tmp_path):
+        PipelineRunner(
+            AwariCaptureGame(), PipelineConfig(checkpoint_dir=str(tmp_path))
+        ).run(1)
+        with pytest.raises(ValueError, match="not"):
+            PipelineRunner(
+                KalahCaptureGame(), PipelineConfig(checkpoint_dir=str(tmp_path))
+            ).run(1)
+
+    def test_corrupt_checkpoint_detected(self, tmp_path):
+        game = AwariCaptureGame()
+        cfg = PipelineConfig(checkpoint_dir=str(tmp_path))
+        PipelineRunner(game, cfg).run(2)
+        bad = np.full(game.db_size(2), 99, dtype=np.int16)
+        np.save(tmp_path / "db_2.npy", bad)
+        with pytest.raises(ValueError, match="corrupt"):
+            PipelineRunner(game, cfg).run(2)
+
+    def test_truncated_checkpoint_detected(self, tmp_path):
+        game = AwariCaptureGame()
+        cfg = PipelineConfig(checkpoint_dir=str(tmp_path))
+        PipelineRunner(game, cfg).run(2)
+        np.save(tmp_path / "db_2.npy", np.zeros(3, dtype=np.int16))
+        with pytest.raises(ValueError, match="entries"):
+            PipelineRunner(game, cfg).run(2)
+
+    def test_missing_file_resolves(self, tmp_path, reference):
+        """A manifest entry whose file vanished is re-solved, not fatal."""
+        game = AwariCaptureGame()
+        cfg = PipelineConfig(checkpoint_dir=str(tmp_path))
+        PipelineRunner(game, cfg).run(2)
+        (tmp_path / "db_1.npy").unlink()
+        values, status = PipelineRunner(game, cfg).run(2)
+        assert 1 in status.solved
+        np.testing.assert_array_equal(values[1], reference[1])

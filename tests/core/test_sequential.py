@@ -1,0 +1,134 @@
+"""Sequential capture-difference solver vs. the dense oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.oracle import oracle_capture_solve
+from repro.core.sequential import SequentialSolver
+from repro.games.awari import AwariRules, GrandSlam
+from repro.games.awari_db import AwariCaptureGame
+
+
+@pytest.fixture(scope="module")
+def game():
+    return AwariCaptureGame()
+
+
+@pytest.fixture(scope="module")
+def solved_to_5(game):
+    solver = SequentialSolver(game, check_invariants=True)
+    return solver.solve(5)
+
+
+class TestSmallDatabases:
+    def test_db0_single_draw(self, solved_to_5):
+        values, _ = solved_to_5
+        assert values[0].shape == (1,)
+        assert values[0][0] == 0
+
+    def test_db1_values(self, game, solved_to_5):
+        values, _ = solved_to_5
+        idx = game.engine.indexer(1)
+        boards = idx.all_boards()
+        v = values[1]
+        # One stone somewhere: |value| <= 1 and stones are conserved, so
+        # value is exactly +1 (mover ends with it), -1 (opponent does) or 0.
+        assert set(np.unique(v)).issubset({-1, 0, 1})
+        # A stone in an opponent pit with the mover unable to move: -1.
+        b = np.zeros(12, dtype=np.int16)
+        b[7] = 1
+        assert v[int(idx.rank(b))] == -1
+        # A stone in mover pit 0 cannot feed: terminal, mover keeps it.
+        b = np.zeros(12, dtype=np.int16)
+        b[0] = 1
+        assert v[int(idx.rank(b))] == 1
+
+    def test_values_within_bound(self, solved_to_5):
+        values, _ = solved_to_5
+        for n, v in values.items():
+            assert np.abs(v).max() <= n
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 4, 5])
+    def test_matches_dense_oracle(self, game, solved_to_5, n):
+        values, _ = solved_to_5
+        oracle = oracle_capture_solve(game, 5)
+        np.testing.assert_array_equal(values[n], oracle[n])
+
+    def test_report_counts(self, game, solved_to_5):
+        _, report = solved_to_5
+        assert len(report.databases) == 6
+        r5 = report.by_id()[5]
+        assert r5.size == game.db_size(5)
+        assert r5.thresholds == 5
+        assert r5.work.positions_scanned == r5.size
+        assert report.total_ops > 0
+
+
+class TestPredecessorModes:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_unmove_mode_identical(self, game, solved_to_5, n):
+        values, _ = solved_to_5
+        solver = SequentialSolver(game, predecessor_mode="unmove")
+        vals, _ = solver.solve(n)
+        np.testing.assert_array_equal(vals[n], values[n])
+
+    def test_unknown_mode_rejected(self, game):
+        with pytest.raises(ValueError):
+            SequentialSolver(game, predecessor_mode="bogus")
+
+
+class TestRuleVariants:
+    @pytest.mark.parametrize(
+        "rules",
+        [
+            AwariRules(grand_slam=GrandSlam.ALLOWED),
+            AwariRules(grand_slam=GrandSlam.FORBIDDEN),
+            AwariRules(must_feed=False),
+        ],
+        ids=["slam-allowed", "slam-forbidden", "no-feeding"],
+    )
+    def test_variant_matches_oracle(self, rules):
+        game = AwariCaptureGame(rules)
+        solver = SequentialSolver(game)
+        values, _ = solver.solve(4)
+        oracle = oracle_capture_solve(game, 4)
+        for n in range(5):
+            np.testing.assert_array_equal(values[n], oracle[n])
+
+    def test_variants_actually_differ(self):
+        """Sanity: the rule switch changes at least some database values."""
+        base, _ = SequentialSolver(AwariCaptureGame()).solve(4)
+        allowed, _ = SequentialSolver(
+            AwariCaptureGame(AwariRules(grand_slam=GrandSlam.ALLOWED))
+        ).solve(4)
+        assert any(
+            (base[n] != allowed[n]).any() for n in range(5)
+        ), "grand-slam rule had no effect on any 0..4 stone database"
+
+
+class TestBellmanConsistency:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_values_satisfy_bellman_equation(self, game, solved_to_5, n):
+        """value(p) == max over moves of (capture - value(successor));
+        terminal positions carry their terminal value.  The true value
+        function of a zero-cycle total-payoff game satisfies this exactly."""
+        values, _ = solved_to_5
+        scan = game.scan_chunk(n, 0, game.db_size(n))
+        v = values[n].astype(np.int64)
+        best = np.full(v.shape[0], -10**9, dtype=np.int64)
+        for s in range(scan.legal.shape[1]):
+            mv = scan.legal[:, s]
+            if not mv.any():
+                continue
+            cap = scan.capture[:, s]
+            succ = scan.succ_index[:, s]
+            move_val = np.full(v.shape[0], -10**9, dtype=np.int64)
+            internal = mv & (cap == 0)
+            move_val[internal] = -v[succ[internal]]
+            for amount in np.unique(cap[mv & (cap > 0)]):
+                sel = mv & (cap == amount)
+                move_val[sel] = amount - values[n - int(amount)][succ[sel]]
+            best = np.maximum(best, np.where(mv, move_val, -10**9))
+        term = scan.terminal
+        np.testing.assert_array_equal(v[term], scan.terminal_value[term])
+        np.testing.assert_array_equal(v[~term], best[~term])

@@ -1,0 +1,74 @@
+"""Verification-module tests (and, through them, more solver validation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sequential import SequentialSolver
+from repro.core.verify import check_bellman, replay_certificate
+from repro.db.store import DatabaseSet
+from repro.games.awari_db import AwariCaptureGame
+
+
+@pytest.fixture(scope="module")
+def game():
+    return AwariCaptureGame()
+
+
+@pytest.fixture(scope="module")
+def solved(game):
+    values, _ = SequentialSolver(game).solve(7)
+    return values
+
+
+class TestBellman:
+    @pytest.mark.parametrize("n", [1, 3, 5, 7])
+    def test_solved_databases_pass(self, game, solved, n):
+        report = check_bellman(game, n, solved)
+        assert report.ok
+        assert report.checked == game.db_size(n)
+
+    def test_corrupted_database_detected(self, game, solved):
+        corrupt = dict(solved)
+        bad = solved[5].copy()
+        bad[123] += 1
+        corrupt[5] = bad
+        report = check_bellman(game, 5, corrupt)
+        assert not report.ok
+        assert report.violations >= 1
+        # Position 123 itself violates (and possibly its parents).
+        assert report.first_violation is not None
+
+    def test_systematic_corruption_detected(self, game, solved):
+        corrupt = dict(solved)
+        corrupt[6] = -solved[6]  # sign flip
+        report = check_bellman(game, 6, corrupt)
+        assert report.violations > 100
+
+    def test_wrong_shape_rejected(self, game, solved):
+        broken = dict(solved)
+        broken[4] = solved[4][:-1]
+        with pytest.raises(ValueError):
+            check_bellman(game, 4, broken)
+
+
+class TestReplay:
+    def test_replay_matches_stored_values(self, game, solved):
+        dbs = DatabaseSet(game_name="awari", values=solved)
+        n = replay_certificate(game, dbs, n_stones=6, samples=80, seed=3)
+        assert n == 80
+
+    def test_replay_catches_corruption(self, game, solved):
+        values = dict(solved)
+        bad = solved[6].copy()
+        # Flip a decisive value: +k -> -k for the first winning position.
+        winners = np.flatnonzero(bad > 0)
+        bad[winners[0]] = -bad[winners[0]]
+        values[6] = bad
+        dbs = DatabaseSet(game_name="awari", values=values)
+        # Sampling the corrupted position must blow up.
+        idx = winners[0]
+        board = game.engine.indexer(6).unrank(np.array([idx]))[0]
+        from repro.db.query import optimal_line
+
+        realized, _ = optimal_line(game, dbs, board)
+        assert realized != int(bad[idx])

@@ -1,0 +1,102 @@
+"""Additional WDL solver coverage: chunking, draws, adapters, depths."""
+
+import numpy as np
+import pytest
+
+from repro.core.values import LOSS, UNKNOWN, WIN
+from repro.core.wdl import build_wdl_graph, solve_wdl
+from repro.games.base import WDLScan
+from repro.games.loopy import LoopyGraphGame, random_loopy_game
+from repro.games.nim import NimGame
+
+
+class TestChunking:
+    @pytest.mark.parametrize("chunk", [1, 7, 64, 1 << 15])
+    def test_chunk_size_is_invisible(self, chunk):
+        game = random_loopy_game(123, seed=21)
+        ref = solve_wdl(game)
+        out = solve_wdl(game, chunk=chunk)
+        np.testing.assert_array_equal(out.status, ref.status)
+        np.testing.assert_array_equal(out.depth, ref.depth)
+
+    def test_graph_counters(self):
+        game = NimGame(heaps=2, cap=3)
+        graph = build_wdl_graph(game, chunk=5)
+        assert graph.work.positions_scanned == game.size
+        assert graph.forward.n_edges == graph.reverse.n_edges
+        # Terminal = the single all-empty position.
+        assert graph.terminal.sum() == 1
+
+
+class TestTerminalDraws:
+    def test_terminal_draw_is_not_a_loss(self):
+        """A stalemate-style terminal (no moves, drawn) must stay UNKNOWN
+        and must not grant its predecessors a win."""
+
+        class StalemateGame(LoopyGraphGame):
+            """1 -> 0 where 0 is a terminal draw."""
+
+            def scan_chunk(self, start, stop):
+                scan = super().scan_chunk(start, stop)
+                draw = np.zeros(stop - start, dtype=bool)
+                for k in range(start, stop):
+                    if k == 0:
+                        draw[k - start] = True
+                return WDLScan(
+                    start=scan.start,
+                    terminal=scan.terminal,
+                    terminal_win=scan.terminal_win,
+                    legal=scan.legal,
+                    succ_index=scan.succ_index,
+                    terminal_draw=draw,
+                )
+
+        game = StalemateGame([[], [0]])
+        sol = solve_wdl(game)
+        assert sol.status[0] == UNKNOWN  # drawn terminal
+        assert sol.status[1] == UNKNOWN  # its only move reaches a draw
+
+    def test_mixed_terminals(self):
+        class MixedGame(LoopyGraphGame):
+            """2 -> {0: lost terminal, 1: drawn terminal}."""
+
+            def scan_chunk(self, start, stop):
+                scan = super().scan_chunk(start, stop)
+                draw = np.array(
+                    [k == 1 for k in range(start, stop)], dtype=bool
+                )
+                return WDLScan(
+                    start=scan.start,
+                    terminal=scan.terminal,
+                    terminal_win=scan.terminal_win,
+                    legal=scan.legal,
+                    succ_index=scan.succ_index,
+                    terminal_draw=draw,
+                )
+
+        game = MixedGame([[], [], [0, 1]])
+        sol = solve_wdl(game)
+        assert sol.status[0] == LOSS
+        assert sol.status[1] == UNKNOWN
+        assert sol.status[2] == WIN  # moving to the lost terminal wins
+
+
+class TestDepthSemantics:
+    def test_depths_monotone_along_forced_line(self):
+        game = NimGame(heaps=2, cap=5)
+        sol = solve_wdl(game)
+        scan = game.scan_chunk(0, game.size)
+        for p in range(game.size):
+            if sol.status[p] != WIN or scan.terminal[p]:
+                continue
+            succ = scan.succ_index[p][scan.legal[p]]
+            lost = succ[sol.status[succ] == LOSS]
+            assert lost.size > 0
+            assert sol.depth[lost].min() == sol.depth[p] - 1
+
+    def test_draws_have_negative_depth(self):
+        game = random_loopy_game(200, seed=3)
+        sol = solve_wdl(game)
+        draws = sol.status == UNKNOWN
+        assert (sol.depth[draws] == -1).all()
+        assert (sol.depth[~draws] >= 0).all()

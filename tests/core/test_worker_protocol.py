@@ -1,0 +1,146 @@
+"""Edge cases of the distributed worker protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel.driver import ParallelConfig, ParallelSolver
+from repro.core.parallel.worker import WorkerConfig
+from repro.core.sequential import SequentialSolver
+from repro.games.awari_db import AwariCaptureGame
+from repro.games.synthetic import SyntheticCaptureGame
+
+MAX_EVENTS = 3_000_000
+
+
+@pytest.fixture(scope="module")
+def game():
+    return AwariCaptureGame()
+
+
+@pytest.fixture(scope="module")
+def seq(game):
+    values, _ = SequentialSolver(game).solve(4)
+    return values
+
+
+class TestDegenerateShapes:
+    def test_more_processors_than_positions(self, game, seq):
+        """db 1 has 12 positions; run it on 20 workers (8 own nothing)."""
+        cfg = ParallelConfig(n_procs=20, predecessor_mode="unmove-cached")
+        values, stats = ParallelSolver(game, cfg).solve_database(
+            1, {0: seq[0]}, max_events=MAX_EVENTS
+        )
+        np.testing.assert_array_equal(values, seq[1])
+        assert stats.n_procs == 20
+
+    def test_single_position_database(self, game):
+        """db 0: one position, bound 0 — the degenerate fast path."""
+        cfg = ParallelConfig(n_procs=4, predecessor_mode="unmove-cached")
+        values, _ = ParallelSolver(game, cfg).solve_database(
+            0, {}, max_events=MAX_EVENTS
+        )
+        assert values.shape == (1,)
+        assert values[0] == 0
+
+    def test_tiny_work_batches(self, game, seq):
+        cfg = ParallelConfig(
+            n_procs=4, work_batch=1, predecessor_mode="unmove-cached"
+        )
+        values, _ = ParallelSolver(game, cfg).solve_database(
+            4, {n: seq[n] for n in range(4)}, max_events=MAX_EVENTS
+        )
+        np.testing.assert_array_equal(values, seq[4])
+
+    def test_tiny_scan_batches(self, game, seq):
+        cfg = ParallelConfig(
+            n_procs=3, scan_batch=1, predecessor_mode="unmove-cached"
+        )
+        values, _ = ParallelSolver(game, cfg).solve_database(
+            3, {n: seq[n] for n in range(3)}, max_events=MAX_EVENTS
+        )
+        np.testing.assert_array_equal(values, seq[3])
+
+
+class TestTimersAndTokens:
+    def test_zero_linger(self, game, seq):
+        cfg = ParallelConfig(
+            n_procs=4, flush_linger=0.0, predecessor_mode="unmove-cached"
+        )
+        values, _ = ParallelSolver(game, cfg).solve_database(
+            4, {n: seq[n] for n in range(4)}, max_events=MAX_EVENTS
+        )
+        np.testing.assert_array_equal(values, seq[4])
+
+    def test_huge_linger_still_terminates(self, game, seq):
+        cfg = ParallelConfig(
+            n_procs=4, flush_linger=10.0, predecessor_mode="unmove-cached"
+        )
+        values, stats = ParallelSolver(game, cfg).solve_database(
+            4, {n: seq[n] for n in range(4)}, max_events=MAX_EVENTS
+        )
+        np.testing.assert_array_equal(values, seq[4])
+        assert stats.makespan_seconds > 0
+
+    def test_aggressive_token_interval(self, game, seq):
+        """Probing for termination every millisecond costs tokens but
+        cannot corrupt anything."""
+        cfg = ParallelConfig(
+            n_procs=4, token_interval=1e-3, predecessor_mode="unmove-cached"
+        )
+        values, stats = ParallelSolver(game, cfg).solve_database(
+            4, {n: seq[n] for n in range(4)}, max_events=MAX_EVENTS
+        )
+        np.testing.assert_array_equal(values, seq[4])
+        lazy = ParallelConfig(
+            n_procs=4, token_interval=1.0, predecessor_mode="unmove-cached"
+        )
+        _, lazy_stats = ParallelSolver(game, lazy).solve_database(
+            4, {n: seq[n] for n in range(4)}, max_events=MAX_EVENTS
+        )
+        assert stats.token_rounds >= lazy_stats.token_rounds
+
+    def test_safra_never_terminates_early(self, game, seq):
+        """With a glacial network (seconds of latency) updates stay in
+        flight a long time; the run must still finish with exact values —
+        early termination would freeze positions as draws."""
+        from repro.simnet.ethernet import EthernetConfig
+
+        cfg = ParallelConfig(
+            n_procs=4,
+            predecessor_mode="unmove-cached",
+            token_interval=1e-3,  # probe constantly, tempting fate
+            ethernet=EthernetConfig(
+                bandwidth_bps=1e4, propagation_delay_s=0.5
+            ),
+        )
+        values, _ = ParallelSolver(game, cfg).solve_database(
+            3, {n: seq[n] for n in range(3)}, max_events=MAX_EVENTS
+        )
+        np.testing.assert_array_equal(values, seq[3])
+
+
+class TestWorkerConfigValidation:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerConfig(predecessor_mode="psychic")
+
+    def test_combining_capacity_validated_in_buffers(self, game, seq):
+        cfg = ParallelConfig(
+            n_procs=2, combining_capacity=0, predecessor_mode="unmove-cached"
+        )
+        with pytest.raises(ValueError):
+            ParallelSolver(game, cfg).solve_database(
+                2, {n: seq[n] for n in range(2)}
+            )
+
+
+class TestSyntheticEdge:
+    def test_databases_with_empty_levels(self):
+        """Synthetic games can have 1-position levels anywhere in the
+        chain; the pipeline must thread them through."""
+        game = SyntheticCaptureGame(levels=5, max_size=3, seed=11)
+        seq, _ = SequentialSolver(game).solve(4)
+        cfg = ParallelConfig(n_procs=3, predecessor_mode="unmove")
+        par, _ = ParallelSolver(game, cfg).solve(4, max_events=MAX_EVENTS)
+        for d in range(5):
+            np.testing.assert_array_equal(par[d], seq[d])

@@ -1,0 +1,100 @@
+"""Distance-to-outcome (DTM) tests for awari databases."""
+
+import numpy as np
+import pytest
+
+from repro.api import solve_awari
+from repro.core.sequential import SequentialSolver
+from repro.db.query import evaluate_moves, optimal_line
+from repro.db.store import DatabaseSet
+from repro.games.awari_db import AwariCaptureGame
+
+
+@pytest.fixture(scope="module")
+def deep_dbs():
+    dbs, _ = solve_awari(6, with_depth=True)
+    return dbs
+
+
+class TestDepthCollection:
+    def test_depths_present_for_every_db(self, deep_dbs):
+        assert deep_dbs.depths is not None
+        for n in range(7):
+            assert n in deep_dbs.depths or n == 0
+            if n in deep_dbs.depths:
+                assert deep_dbs.depths[n].shape == deep_dbs[n].shape
+
+    def test_draws_have_no_depth(self, deep_dbs):
+        for n in range(1, 7):
+            d = deep_dbs.depths[n]
+            v = deep_dbs[n]
+            assert (d[v == 0] == -1).all()
+            assert (d[v != 0] >= 0).all()
+
+    def test_depth_zero_means_immediate(self, deep_dbs):
+        """Depth-0 positions realize their value without any internal
+        propagation: terminal, or decided by exits alone."""
+        game = AwariCaptureGame()
+        n = 5
+        d = deep_dbs.depths[n]
+        v = deep_dbs[n]
+        zero = np.flatnonzero((d == 0) & (v > 0))[:50]
+        scan = game.scan_chunk(n, 0, game.db_size(n))
+        for p in zero:
+            caps = scan.capture[p][scan.legal[p]]
+            succ = scan.succ_index[p][scan.legal[p]]
+            exits = [
+                int(c - deep_dbs[n - int(c)][s])
+                for c, s in zip(caps, succ)
+                if c > 0
+            ]
+            assert scan.terminal[p] or (exits and max(exits) >= int(v[p]))
+
+    def test_depth_is_progress_measure(self, deep_dbs):
+        """Along non-capturing value-optimal moves the successor's depth
+        is strictly smaller — the property that makes optimal replay
+        terminate."""
+        game = AwariCaptureGame()
+        n = 6
+        v = deep_dbs[n]
+        d = deep_dbs.depths[n]
+        idx = game.engine.indexer(n)
+        rng = np.random.default_rng(1)
+        decided = np.flatnonzero((v != 0) & (d > 0))
+        for p in rng.choice(decided, size=min(80, decided.size), replace=False):
+            board = idx.unrank(np.array([p]))[0]
+            evals = evaluate_moves(game, deep_dbs, board)
+            best = max(e.value for e in evals)
+            assert best == int(v[p])
+            optimal = [e for e in evals if e.value == best]
+            noncap = [e for e in optimal if e.captures == 0]
+            if noncap and not any(e.captures > 0 for e in optimal):
+                assert min(e.successor_depth for e in noncap) < int(d[p])
+
+    def test_depth_guided_replay_terminates_exactly(self, deep_dbs):
+        game = AwariCaptureGame()
+        idx = game.engine.indexer(6)
+        v = deep_dbs[6]
+        rng = np.random.default_rng(2)
+        wins = np.flatnonzero(v != 0)
+        for p in rng.choice(wins, size=60, replace=False):
+            board = idx.unrank(np.array([int(p)]))[0]
+            realized, line = optimal_line(game, deep_dbs, board, max_plies=500)
+            assert realized == int(v[p])
+
+    def test_save_load_roundtrip_with_depths(self, deep_dbs, tmp_path):
+        path = tmp_path / "deep.npz"
+        deep_dbs.save(path)
+        loaded = DatabaseSet.load(path)
+        assert loaded.depths is not None
+        for n in deep_dbs.depths:
+            np.testing.assert_array_equal(loaded.depths[n], deep_dbs.depths[n])
+
+    def test_depth_of_accessor(self, deep_dbs):
+        assert deep_dbs.depth_of(5, 0) is not None
+        shallow = DatabaseSet(game_name="x", values={1: np.zeros(3, np.int16)})
+        assert shallow.depth_of(1, 0) is None
+
+    def test_with_depth_rejected_for_parallel(self):
+        with pytest.raises(ValueError, match="sequential"):
+            solve_awari(3, procs=2, with_depth=True)

@@ -1,0 +1,171 @@
+"""Packed-encoding and database-probing-search tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sequential import SequentialSolver
+from repro.db.packing import PackedDatabase, pack_values, unpack_values
+from repro.db.search import DatabaseProbingSearch
+from repro.games.awari_db import AwariCaptureGame
+
+
+class TestPacking:
+    def test_nibble_roundtrip(self):
+        v = np.array([-7, -1, 0, 3, 7, 2, -5], dtype=np.int16)
+        packed = pack_values(v)
+        assert packed.codec == "nibble"
+        np.testing.assert_array_equal(unpack_values(packed), v)
+
+    def test_int8_roundtrip(self):
+        v = np.array([-48, 0, 13, 48], dtype=np.int16)
+        packed = pack_values(v, bound=48)
+        assert packed.codec == "int8"
+        np.testing.assert_array_equal(unpack_values(packed), v)
+
+    def test_nibble_halves_int8(self):
+        v = np.zeros(1000, dtype=np.int16)
+        assert pack_values(v, bound=5).nbytes == 500
+        assert pack_values(v, bound=20).nbytes == 1000
+
+    def test_ratio(self):
+        v = np.zeros(100, dtype=np.int16)
+        assert pack_values(v, bound=3).ratio() == pytest.approx(4.0)
+
+    def test_odd_length_nibble(self):
+        v = np.array([1, 2, 3], dtype=np.int16)
+        np.testing.assert_array_equal(unpack_values(pack_values(v)), v)
+
+    def test_bound_violation_rejected(self):
+        with pytest.raises(ValueError):
+            pack_values(np.array([9], dtype=np.int16), bound=7)
+
+    def test_too_large_bound_rejected(self):
+        with pytest.raises(ValueError):
+            pack_values(np.array([200], dtype=np.int16), bound=200)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            pack_values(np.zeros((2, 2)))
+
+    def test_unknown_codec_rejected(self):
+        bad = PackedDatabase(codec="zip", count=0, payload=np.zeros(0, np.uint8))
+        with pytest.raises(ValueError):
+            unpack_values(bad)
+
+    @given(
+        st.lists(st.integers(-7, 7), max_size=100),
+        st.booleans(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_property(self, values, force_int8):
+        v = np.array(values, dtype=np.int16)
+        packed = pack_values(v, bound=48 if force_int8 else 7)
+        np.testing.assert_array_equal(unpack_values(packed), v)
+
+    def test_real_database_packs(self):
+        game = AwariCaptureGame()
+        values, _ = SequentialSolver(game).solve(5)
+        packed = pack_values(values[5], bound=5)
+        assert packed.codec == "nibble"
+        np.testing.assert_array_equal(unpack_values(packed), values[5])
+
+
+@pytest.fixture(scope="module")
+def awari7():
+    game = AwariCaptureGame()
+    values, _ = SequentialSolver(game).solve(7)
+    return game, values
+
+
+class TestProbingSearch:
+    def test_direct_probe_when_database_present(self, awari7):
+        game, values = awari7
+        search = DatabaseProbingSearch(game, values)
+        idx = game.engine.indexer(7)
+        rng = np.random.default_rng(0)
+        for i in rng.integers(0, idx.count, size=30):
+            board = idx.unrank(np.array([i]))[0]
+            res = search.solve(board)
+            assert res.exact
+            assert res.value == int(values[7][i])
+            assert res.stats.db_probes >= 1
+
+    def test_search_above_database_horizon(self, awari7):
+        """Solve 7-stone positions with only <=5-stone databases: forward
+        search must bridge the gap and land on the full-database truth.
+
+        Decisive positions (|value| >= 3) force captures quickly and
+        resolve within the node budget; balanced positions sit in huge
+        drawish cycle regions where depth-first search degenerates — the
+        honest limitation that motivates retrograde analysis, reported
+        through ``exact=False`` (checked separately below)."""
+        game, values = awari7
+        solver = SequentialSolver(game, collect_depth=True)
+        deep_values, _ = solver.solve(7)
+        depth = solver.depths[7]
+        partial = {n: values[n] for n in range(6)}
+        search = DatabaseProbingSearch(game, partial, max_depth=24, max_nodes=60_000)
+        idx = game.engine.indexer(7)
+        rng = np.random.default_rng(1)
+        shallow = np.flatnonzero(
+            (np.abs(values[7]) >= 1) & (depth >= 0) & (depth <= 6)
+        )
+        exact_checked = 0
+        for i in rng.choice(shallow, size=25, replace=False):
+            board = idx.unrank(np.array([int(i)]))[0]
+            res = search.solve(board)
+            if res.exact:
+                assert res.value == int(values[7][i]), f"position {i}"
+                exact_checked += 1
+        assert exact_checked >= 6
+
+    def test_inexact_results_are_flagged_not_wrong(self, awari7):
+        """Random (often drawish) positions: whatever the search labels
+        exact must equal the truth; the rest must be flagged."""
+        game, values = awari7
+        partial = {n: values[n] for n in range(6)}
+        search = DatabaseProbingSearch(game, partial, max_depth=30, max_nodes=15_000)
+        idx = game.engine.indexer(7)
+        rng = np.random.default_rng(3)
+        for i in rng.integers(0, idx.count, size=15):
+            board = idx.unrank(np.array([i]))[0]
+            res = search.solve(board)
+            if res.exact:
+                assert res.value == int(values[7][i])
+
+    def test_depth_limit_marks_inexact(self, awari7):
+        game, values = awari7
+        search = DatabaseProbingSearch(game, {0: values[0]}, max_depth=2)
+        board = game.engine.indexer(7).unrank(np.array([1234]))[0]
+        res = search.solve(board)
+        assert not res.exact
+        assert res.stats.depth_limit_hits > 0
+
+    def test_terminal_position(self, awari7):
+        game, values = awari7
+        search = DatabaseProbingSearch(game, {})
+        board = np.zeros(12, dtype=np.int16)
+        board[7] = 4  # mover cannot move
+        res = search.solve(board)
+        assert res.exact
+        assert res.value == -4
+        assert res.best_pit is None
+
+    def test_best_pit_is_optimal(self, awari7):
+        game, values = awari7
+        from repro.db.query import best_moves
+        from repro.db.store import DatabaseSet
+
+        dbs = DatabaseSet(game_name="awari", values=values)
+        partial = {n: values[n] for n in range(6)}
+        search = DatabaseProbingSearch(game, partial, max_depth=30, max_nodes=40_000)
+        idx = game.engine.indexer(7)
+        rng = np.random.default_rng(2)
+        for i in rng.integers(0, idx.count, size=10):
+            board = idx.unrank(np.array([i]))[0]
+            res = search.solve(board)
+            value, moves = best_moves(game, dbs, board)
+            if res.exact and moves:
+                assert res.best_pit in {m.pit for m in moves}

@@ -1,0 +1,120 @@
+"""Database storage, statistics and query tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import make_partition
+from repro.core.sequential import SequentialSolver
+from repro.db.query import best_moves, evaluate_moves, optimal_line
+from repro.db.stats import database_stats, set_stats
+from repro.db.store import DatabaseSet
+from repro.games.awari_db import AwariCaptureGame
+
+
+@pytest.fixture(scope="module")
+def game():
+    return AwariCaptureGame()
+
+
+@pytest.fixture(scope="module")
+def dbs(game):
+    values, _ = SequentialSolver(game).solve(6)
+    return DatabaseSet(game_name="awari", values=values, rules=game.rules.describe())
+
+
+class TestStore:
+    def test_roundtrip_save_load(self, dbs, tmp_path):
+        path = tmp_path / "awari.npz"
+        dbs.save(path)
+        loaded = DatabaseSet.load(path)
+        assert loaded.game_name == "awari"
+        assert loaded.rules == dbs.rules
+        assert loaded.ids() == dbs.ids()
+        for n in dbs.ids():
+            np.testing.assert_array_equal(loaded[n], dbs[n])
+
+    def test_missing_database_raises(self, dbs):
+        with pytest.raises(KeyError, match="database 99"):
+            dbs[99]
+
+    def test_contains(self, dbs):
+        assert 3 in dbs
+        assert 99 not in dbs
+
+    def test_total_positions(self, dbs, game):
+        assert dbs.total_positions == sum(game.db_size(n) for n in range(7))
+
+    def test_memory_accounting(self, dbs):
+        assert dbs.memory_bytes() == 2 * dbs.total_positions  # int16
+        assert dbs.memory_modeled_bytes() == dbs.total_positions
+
+    def test_shard_views(self, dbs):
+        part = make_partition("cyclic", dbs[5].shape[0], 4)
+        shards = dbs.shard(5, part)
+        assert sum(s.shape[0] for s in shards) == dbs[5].shape[0]
+        np.testing.assert_array_equal(shards[1], dbs[5][part.local_indices(1)])
+
+
+class TestStats:
+    def test_counts_partition(self, dbs):
+        for st in set_stats(dbs):
+            assert st.wins + st.draws + st.losses == st.positions
+            assert sum(st.histogram.values()) == st.positions
+
+    def test_histogram_values_bounded_and_parity_consistent(self, dbs):
+        """Values never exceed the stone count in magnitude.  (No ±
+        symmetry is expected: the side swap is not value-negating —
+        zugzwang is real, e.g. the 1-stone database splits 5 wins vs 7
+        losses.)"""
+        for n in range(1, 7):
+            st = database_stats(n, dbs[n])
+            assert max(abs(v) for v in st.histogram) <= n
+
+    def test_known_one_stone_split(self, dbs):
+        """Hand-checked: with one stone, the mover keeps it only when it
+        sits in own pits 0-4 (cannot feed => game ends, stone stays)."""
+        st = database_stats(1, dbs[1])
+        assert st.histogram == {1: 5, -1: 7}
+
+    def test_db0_stats(self, dbs):
+        st = database_stats(0, dbs[0])
+        assert st.positions == 1
+        assert st.draws == 1
+
+    def test_row_renders(self, dbs):
+        st = database_stats(4, dbs[4])
+        row = st.row()
+        assert "1,365" in row
+
+
+class TestQuery:
+    def test_evaluate_moves_capture(self, game, dbs):
+        # Mover captures 2 from pit 5 (extra stones avoid the grand slam).
+        board = np.array([0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 4], dtype=np.int16)
+        evals = evaluate_moves(game, dbs, board)
+        assert len(evals) == 1
+        assert evals[0].captures == 2
+
+    def test_best_moves_value_matches_database(self, game, dbs):
+        idx = game.engine.indexer(6)
+        rng = np.random.default_rng(0)
+        for i in rng.integers(0, idx.count, size=40):
+            board = idx.unrank(np.array([i]))[0]
+            value, moves = best_moves(game, dbs, board)
+            assert value == int(dbs[6][i])
+            if moves:
+                assert all(m.value == value for m in moves)
+
+    def test_terminal_board_query(self, game, dbs):
+        board = np.zeros(12, dtype=np.int16)
+        board[7] = 3  # mover cannot move
+        value, moves = best_moves(game, dbs, board)
+        assert moves == []
+        assert value == -3
+
+    def test_optimal_line_on_draw_scores_zero(self, game, dbs):
+        draws = np.flatnonzero(dbs[6] == 0)
+        idx = game.engine.indexer(6)
+        board = idx.unrank(draws[:1])[0]
+        realized, _ = optimal_line(game, dbs, board, max_plies=60)
+        assert realized == 0

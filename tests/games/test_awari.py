@@ -1,0 +1,295 @@
+"""Unit and property tests for the awari rules engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.games.awari import AwariGame, AwariRules, GrandSlam, _swap_sides
+
+
+def board(*pits):
+    assert len(pits) == 12
+    return np.array([pits], dtype=np.int16)
+
+
+@pytest.fixture
+def game():
+    return AwariGame()
+
+
+class TestSowing:
+    def test_simple_sow_no_wrap(self, game):
+        b = board(3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+        sown, last, stones = game.sow(b, np.array([0]))
+        assert stones[0] == 3
+        assert sown[0].tolist() == [0, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0]
+        assert last[0] == 3
+
+    def test_sow_wraps_around(self, game):
+        b = board(0, 0, 0, 0, 0, 8, 0, 0, 0, 0, 0, 0)
+        sown, last, _ = game.sow(b, np.array([5]))
+        assert sown[0].tolist() == [1, 1, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1]
+        assert last[0] == 1
+
+    def test_sow_skips_origin_on_full_lap(self, game):
+        # 11 stones: one full lap, origin stays empty, last in pit before it.
+        b = board(11, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+        sown, last, _ = game.sow(b, np.array([0]))
+        assert sown[0, 0] == 0
+        assert sown[0, 1:].tolist() == [1] * 11
+        assert last[0] == 11
+
+    def test_sow_twelve_stones_double_drop(self, game):
+        # 12 stones: lap + 1, the pit after the origin gets two stones.
+        b = board(12, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+        sown, last, _ = game.sow(b, np.array([0]))
+        assert sown[0, 0] == 0
+        assert sown[0, 1] == 2
+        assert sown[0, 2:].tolist() == [1] * 10
+        assert last[0] == 1
+
+    def test_sow_conserves_stones(self, game):
+        rng = np.random.default_rng(0)
+        b = game.random_boards(9, 64, rng)
+        for pit in range(6):
+            sown, _, stones = game.sow(b, np.full(64, pit))
+            np.testing.assert_array_equal(sown.sum(axis=1), b.sum(axis=1))
+
+
+class TestCaptures:
+    def test_single_pit_capture_two(self, game):
+        # Extra stones in pit 11 keep this from being a grand slam.
+        b = board(0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 4)
+        out = game.apply_move(b, np.array([5]))
+        assert out.legal[0]
+        assert out.captured[0] == 2
+        # Successor is swapped: old opponent pit 11 becomes mover pit 5.
+        assert out.boards[0].tolist() == [0, 0, 0, 0, 0, 4, 0, 0, 0, 0, 0, 0]
+
+    def test_grand_slam_rule_cancels_total_capture(self, game):
+        # Same shape without the spare stones: capturing would empty the
+        # opponent, so the default CAPTURE_NOTHING rule voids the capture.
+        b = board(0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 0)
+        out = game.apply_move(b, np.array([5]))
+        assert out.legal[0]
+        assert out.captured[0] == 0
+        assert out.boards[0].sum() == 2
+
+    def test_capture_chain(self, game):
+        # Sow 3 stones from pit 5 into pits 6, 7, 8 holding 1, 2, 1.
+        b = board(0, 0, 0, 0, 0, 3, 1, 2, 1, 0, 0, 5)
+        out = game.apply_move(b, np.array([5]))
+        # pits become 2, 3, 2 -> chain captures all three (last pit 8).
+        assert out.captured[0] == 7
+        # Remaining: opponent pit 11 has 5; swapped => mover pit 5.
+        assert out.boards[0].tolist() == [0, 0, 0, 0, 0, 5, 0, 0, 0, 0, 0, 0]
+
+    def test_chain_breaks_on_big_pit(self, game):
+        b = board(0, 0, 0, 0, 0, 3, 1, 5, 1, 0, 0, 0)
+        out = game.apply_move(b, np.array([5]))
+        # pits 6,7,8 -> 2,6,2: only pit 8 captured (chain broken at 7).
+        assert out.captured[0] == 2
+        assert out.boards[0].tolist() == [2, 6, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_chain_stops_at_own_side(self, game):
+        # Last stone in pit 6; chain cannot extend into mover's pits.
+        b = board(2, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 2)
+        out = game.apply_move(b, np.array([5]))
+        assert out.captured[0] == 2
+
+    def test_no_capture_on_own_side(self, game):
+        b = board(1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 3)
+        out = game.apply_move(b, np.array([0]))
+        # Last stone lands in own pit 1 (making 2): no capture.
+        assert out.captured[0] == 0
+
+    def test_no_capture_when_count_not_2_or_3(self, game):
+        b = board(0, 0, 0, 0, 0, 1, 3, 0, 0, 0, 0, 1)
+        out = game.apply_move(b, np.array([5]))
+        assert out.captured[0] == 0  # pit 6 becomes 4
+
+    def test_capture_reduces_total(self, game):
+        rng = np.random.default_rng(1)
+        b = game.random_boards(8, 128, rng)
+        for pit in range(6):
+            out = game.apply_move(b, np.full(128, pit))
+            ok = out.legal
+            np.testing.assert_array_equal(
+                out.boards[ok].sum(axis=1) + out.captured[ok],
+                b[ok].sum(axis=1),
+            )
+
+
+class TestGrandSlam:
+    def setup_method(self):
+        # Capturing from pit 5 would take all opponent stones (pits 6,7).
+        self.b = board(0, 0, 0, 0, 0, 2, 1, 2, 0, 0, 0, 0)
+
+    def test_capture_nothing_default(self):
+        game = AwariGame(AwariRules(grand_slam=GrandSlam.CAPTURE_NOTHING))
+        out = game.apply_move(self.b, np.array([5]))
+        assert out.legal[0]
+        assert out.captured[0] == 0
+        # Board keeps the sown stones.
+        assert out.boards[0].sum() == 5
+
+    def test_allowed(self):
+        game = AwariGame(AwariRules(grand_slam=GrandSlam.ALLOWED))
+        out = game.apply_move(self.b, np.array([5]))
+        assert out.legal[0]
+        assert out.captured[0] == 5
+
+    def test_forbidden(self):
+        game = AwariGame(AwariRules(grand_slam=GrandSlam.FORBIDDEN))
+        out = game.apply_move(self.b, np.array([5]))
+        assert not out.legal[0]
+
+    def test_partial_capture_is_not_slam(self):
+        # An extra opponent stone out of the chain: normal capture.
+        b = board(0, 0, 0, 0, 0, 2, 1, 2, 0, 0, 0, 9)
+        game = AwariGame(AwariRules(grand_slam=GrandSlam.CAPTURE_NOTHING))
+        out = game.apply_move(b, np.array([5]))
+        assert out.captured[0] == 5
+
+
+class TestFeedingRule:
+    def test_must_feed_when_opponent_starved(self):
+        game = AwariGame()
+        # Opponent empty; pit 0 (1 stone) cannot reach them, pit 5 can.
+        b = board(1, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0)
+        legal = game.legal_moves(b)
+        assert not legal[0, 0]
+        assert legal[0, 5]
+
+    def test_feeding_not_required_when_disabled(self):
+        game = AwariGame(AwariRules(must_feed=False))
+        b = board(1, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0)
+        legal = game.legal_moves(b)
+        assert legal[0, 0]
+
+    def test_cannot_feed_is_terminal(self):
+        game = AwariGame()
+        # One stone in pit 0: cannot reach the opponent; terminal, mover
+        # keeps his stone.
+        b = board(1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+        term, value = game.terminal_values(b)
+        assert term[0]
+        assert value[0] == 1
+
+    def test_empty_own_side_is_terminal(self):
+        game = AwariGame()
+        b = board(0, 0, 0, 0, 0, 0, 3, 0, 0, 2, 0, 0)
+        term, value = game.terminal_values(b)
+        assert term[0]
+        assert value[0] == -5
+
+    def test_nonterminal_position(self):
+        game = AwariGame()
+        b = board(1, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0)
+        term, _ = game.terminal_values(b)
+        assert not term[0]
+
+
+class TestUnmove:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_predecessors_match_forward_edges(self, n):
+        """Exhaustive cross-check: unmove == transpose of forward non-capture
+        moves over the entire n-stone space."""
+        game = AwariGame()
+        idx = game.indexer(n)
+        boards = idx.all_boards()
+        count = idx.count
+        # Forward edges.
+        fwd = set()
+        for pit in range(6):
+            out = game.apply_move(boards, np.full(count, pit))
+            ok = out.legal & (out.captured == 0)
+            src = np.flatnonzero(ok)
+            dst = idx.rank(out.boards[ok])
+            fwd.update(zip(src.tolist(), dst.tolist()))
+        # Backward edges via unmove.
+        child_row, pred_boards = game.noncapture_predecessors(boards, n)
+        pred_idx = idx.rank(pred_boards) if pred_boards.size else np.zeros(0)
+        bwd = set(zip(pred_idx.tolist(), child_row.tolist()))
+        assert fwd == bwd
+
+    def test_unmove_empty_batch(self):
+        game = AwariGame()
+        rows, preds = game.noncapture_predecessors(
+            np.zeros((0, 12), dtype=np.int16), 5
+        )
+        assert rows.size == 0
+        assert preds.shape == (0, 12)
+
+    @given(st.integers(min_value=2, max_value=7), st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_unmove_forward_roundtrip_random(self, n, salt):
+        """Every reported predecessor reproduces the child when replayed."""
+        game = AwariGame()
+        idx = game.indexer(n)
+        rng = np.random.default_rng(salt)
+        boards = idx.unrank(rng.integers(0, idx.count, size=8))
+        child_row, pred_boards = game.noncapture_predecessors(boards, n)
+        if child_row.size == 0:
+            return
+        # Find, for each predecessor, a move reproducing the child.
+        reproduced = np.zeros(child_row.size, dtype=bool)
+        for pit in range(6):
+            out = game.apply_move(pred_boards, np.full(child_row.size, pit))
+            match = (
+                out.legal
+                & (out.captured == 0)
+                & (out.boards == boards[child_row]).all(axis=1)
+            )
+            reproduced |= match
+        assert reproduced.all()
+
+
+class TestBatchProperties:
+    @given(st.integers(min_value=1, max_value=9), st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_stone_conservation(self, n, salt):
+        game = AwariGame()
+        rng = np.random.default_rng(salt)
+        b = game.random_boards(n, 32, rng)
+        for pit in range(6):
+            out = game.apply_move(b, np.full(32, pit))
+            ok = out.legal
+            total = out.boards[ok].sum(axis=1) + out.captured[ok]
+            np.testing.assert_array_equal(total, np.full(ok.sum(), n))
+
+    @given(st.integers(min_value=1, max_value=9), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_successors_nonnegative(self, n, salt):
+        game = AwariGame()
+        rng = np.random.default_rng(salt)
+        b = game.random_boards(n, 32, rng)
+        for pit in range(6):
+            out = game.apply_move(b, np.full(32, pit))
+            assert (out.boards[out.legal] >= 0).all()
+
+    def test_swap_sides_involution(self):
+        rng = np.random.default_rng(3)
+        b = rng.integers(0, 5, size=(10, 12)).astype(np.int16)
+        np.testing.assert_array_equal(_swap_sides(_swap_sides(b)), b)
+
+    def test_apply_move_rejects_bad_pit(self, game):
+        b = board(1, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            game.apply_move(b, np.array([6]))
+
+    def test_apply_move_rejects_bad_shape(self, game):
+        with pytest.raises(ValueError):
+            game.apply_move(np.zeros((2, 5)), np.array([0, 0]))
+
+    def test_empty_pit_is_illegal(self, game):
+        b = board(0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0)
+        out = game.apply_move(b, np.array([0]))
+        assert not out.legal[0]
+
+
+class TestRendering:
+    def test_board_to_string(self, game):
+        s = game.board_to_string(np.arange(12))
+        assert "11" in s and "move" in s

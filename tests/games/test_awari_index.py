@@ -1,0 +1,153 @@
+"""Unit and property tests for the combinatorial awari indexer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.games.awari_index import AwariIndexer, binomial_table
+
+
+class TestBinomialTable:
+    def test_small_values(self):
+        t = binomial_table(10, 5)
+        assert t[0, 0] == 1
+        assert t[5, 2] == 10
+        assert t[10, 5] == 252
+
+    def test_zero_above_diagonal(self):
+        t = binomial_table(6, 6)
+        assert t[2, 5] == 0
+        assert t[0, 1] == 0
+
+    def test_row_sums(self):
+        t = binomial_table(12, 12)
+        for n in range(13):
+            assert t[n, : n + 1].sum() == 2**n
+
+
+class TestCountFormula:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(0, 1), (1, 12), (2, 78), (3, 364), (8, 75582), (10, 352716)],
+    )
+    def test_known_counts(self, n, expected):
+        assert AwariIndexer(n).count == expected
+
+    def test_thirteen_stone_count(self):
+        # The database of the paper's headline run: C(24, 11).
+        assert AwariIndexer(13).count == 2496144
+
+    def test_two_pits(self):
+        assert AwariIndexer(5, n_pits=2).count == 6
+
+    def test_one_pit(self):
+        idx = AwariIndexer(7, n_pits=1)
+        assert idx.count == 1
+        assert idx.unrank(np.array([0])).tolist() == [[7]]
+        assert int(idx.rank(np.array([7]))) == 0
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 4, 5, 6])
+    def test_full_roundtrip(self, n):
+        idx = AwariIndexer(n)
+        ranks = np.arange(idx.count, dtype=np.int64)
+        boards = idx.unrank(ranks)
+        assert boards.shape == (idx.count, 12)
+        assert (boards.sum(axis=1) == n).all()
+        assert (boards >= 0).all()
+        back = idx.rank(boards)
+        np.testing.assert_array_equal(back, ranks)
+
+    def test_boards_are_unique(self):
+        idx = AwariIndexer(4)
+        boards = idx.all_boards()
+        assert len({tuple(b) for b in boards.tolist()}) == idx.count
+
+    def test_single_board_api(self):
+        idx = AwariIndexer(3)
+        b = idx.unrank(5)
+        assert b.shape == (12,)
+        assert int(idx.rank(b)) == 5
+
+    def test_chunked_iteration_covers_space(self):
+        idx = AwariIndexer(4)
+        seen = []
+        for start, boards in idx.iter_chunks(chunk=100):
+            assert boards.shape[0] <= 100
+            seen.append(idx.rank(boards))
+        all_ranks = np.concatenate(seen)
+        np.testing.assert_array_equal(all_ranks, np.arange(idx.count))
+
+
+class TestValidation:
+    def test_negative_stones_rejected(self):
+        with pytest.raises(ValueError):
+            AwariIndexer(-1)
+
+    def test_unrank_out_of_range(self):
+        idx = AwariIndexer(2)
+        with pytest.raises(ValueError):
+            idx.unrank(np.array([idx.count]))
+        with pytest.raises(ValueError):
+            idx.unrank(np.array([-1]))
+
+    def test_validate_rejects_wrong_sum(self):
+        idx = AwariIndexer(3)
+        with pytest.raises(ValueError):
+            idx.validate(np.array([[1] * 12]))
+
+    def test_validate_rejects_negative(self):
+        idx = AwariIndexer(3)
+        b = np.zeros((1, 12), dtype=np.int64)
+        b[0, 0] = 4
+        b[0, 1] = -1
+        with pytest.raises(ValueError):
+            idx.validate(b)
+
+    def test_rank_bad_shape(self):
+        idx = AwariIndexer(3)
+        with pytest.raises(ValueError):
+            idx.rank(np.zeros((2, 5)))
+
+
+@st.composite
+def boards_strategy(draw, max_stones=13):
+    n = draw(st.integers(min_value=0, max_value=max_stones))
+    cuts = draw(
+        st.lists(st.integers(min_value=0, max_value=n), min_size=11, max_size=11)
+    )
+    cuts = sorted(cuts)
+    pits = [cuts[0]] + [cuts[i] - cuts[i - 1] for i in range(1, 11)] + [n - cuts[10]]
+    return n, pits
+
+
+class TestHypothesis:
+    @given(boards_strategy())
+    @settings(max_examples=200, deadline=None)
+    def test_rank_unrank_roundtrip(self, case):
+        n, pits = case
+        idx = AwariIndexer(n)
+        board = np.array([pits], dtype=np.int64)
+        r = idx.rank(board)
+        assert 0 <= int(r[0]) < idx.count
+        back = idx.unrank(r)
+        np.testing.assert_array_equal(back[0], board[0])
+
+    @given(st.integers(min_value=0, max_value=10), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_unrank_rank_roundtrip(self, n, data):
+        idx = AwariIndexer(n)
+        r = data.draw(st.integers(min_value=0, max_value=idx.count - 1))
+        board = idx.unrank(np.array([r]))
+        assert int(board.sum()) == n
+        assert int(idx.rank(board)[0]) == r
+
+    @given(st.integers(min_value=0, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_rank_is_monotone_in_index(self, n):
+        # unrank must be the inverse permutation of rank over the full space.
+        idx = AwariIndexer(n)
+        ranks = idx.rank(idx.all_boards())
+        np.testing.assert_array_equal(ranks, np.arange(idx.count))

@@ -1,0 +1,118 @@
+"""Deeper rule-level property tests for the awari engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.games.awari import AwariGame, AwariRules, GrandSlam
+
+
+def random_batch(game, n, count, seed):
+    rng = np.random.default_rng(seed)
+    return game.random_boards(n, count, rng)
+
+
+class TestFeedingProperty:
+    @given(st.integers(2, 9), st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_all_legal_moves_feed_a_starved_opponent(self, n, salt):
+        game = AwariGame()
+        boards = random_batch(game, n, 64, salt)
+        boards[:, 6:] = 0  # starve the opponent
+        boards[:, 0] += n - boards.sum(axis=1).astype(np.int16)
+        for pit in range(6):
+            out = game.apply_move(boards, np.full(64, pit))
+            ok = out.legal
+            if ok.any():
+                # Successor is swapped: the fed stones are in the new
+                # mover's half (columns 0-5).
+                assert (out.boards[ok][:, :6].sum(axis=1) > 0).all()
+
+    @given(st.integers(2, 9), st.integers(0, 5000))
+    @settings(max_examples=30, deadline=None)
+    def test_without_feeding_rule_more_moves_are_legal(self, n, salt):
+        strict = AwariGame(AwariRules(must_feed=True))
+        loose = AwariGame(AwariRules(must_feed=False))
+        boards = random_batch(strict, n, 64, salt)
+        strict_legal = strict.legal_moves(boards)
+        loose_legal = loose.legal_moves(boards)
+        assert (loose_legal | ~strict_legal).all() or (
+            strict_legal <= loose_legal
+        ).all()
+
+
+class TestCaptureChainProperties:
+    @given(st.integers(2, 10), st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_captures_only_remove_from_opponent_side(self, n, salt):
+        """After a capturing move, the mover's own pits (pre-swap) hold
+        exactly the sown configuration — captures touch pits 6-11 only."""
+        game = AwariGame()
+        boards = random_batch(game, n, 64, salt)
+        for pit in range(6):
+            sown, _, stones = game.sow(boards, np.full(64, pit))
+            out = game.apply_move(boards, np.full(64, pit))
+            ok = out.legal & (out.captured > 0)
+            if not ok.any():
+                continue
+            # Successor swapped back: new opponent half = old mover half.
+            np.testing.assert_array_equal(
+                out.boards[ok][:, 6:], sown[ok][:, :6]
+            )
+
+    @given(st.integers(2, 10), st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_captured_pits_held_two_or_three(self, n, salt):
+        """Whatever was captured came from pits holding exactly 2 or 3
+        after sowing: captured total is consistent with chain lengths."""
+        game = AwariGame(AwariRules(grand_slam=GrandSlam.ALLOWED))
+        boards = random_batch(game, n, 64, salt)
+        for pit in range(6):
+            sown, _, _ = game.sow(boards, np.full(64, pit))
+            out = game.apply_move(boards, np.full(64, pit))
+            ok = out.legal & (out.captured > 0)
+            for row in np.flatnonzero(ok):
+                emptied = (sown[row, 6:] > 0) & (out.boards[row, :6] == 0)
+                taken = sown[row, 6:][emptied]
+                assert set(np.unique(taken)).issubset({2, 3})
+                assert taken.sum() == out.captured[row]
+
+    @given(st.integers(2, 10), st.integers(0, 5000))
+    @settings(max_examples=30, deadline=None)
+    def test_forbidden_slam_never_leaves_opponent_empty_by_capture(
+        self, n, salt
+    ):
+        game = AwariGame(AwariRules(grand_slam=GrandSlam.FORBIDDEN))
+        boards = random_batch(game, n, 64, salt)
+        had_stones = boards[:, 6:].sum(axis=1) > 0
+        for pit in range(6):
+            out = game.apply_move(boards, np.full(64, pit))
+            ok = out.legal & (out.captured > 0) & had_stones
+            # Post-capture opponent stones (pre-swap) = successor mover half.
+            assert (out.boards[ok][:, :6].sum(axis=1) > 0).all()
+
+
+class TestMoveCounts:
+    @given(st.integers(1, 10), st.integers(0, 5000))
+    @settings(max_examples=30, deadline=None)
+    def test_legal_moves_subset_of_nonempty_pits(self, n, salt):
+        game = AwariGame()
+        boards = random_batch(game, n, 64, salt)
+        legal = game.legal_moves(boards)
+        assert (legal <= (boards[:, :6] > 0)).all()
+
+    def test_full_initial_awari_board_has_six_moves(self):
+        game = AwariGame()
+        board = np.full((1, 12), 4, dtype=np.int16)  # the real game start
+        legal = game.legal_moves(board)
+        assert legal.sum() == 6
+
+    @given(st.integers(1, 10), st.integers(0, 5000))
+    @settings(max_examples=30, deadline=None)
+    def test_terminal_iff_no_legal_moves(self, n, salt):
+        game = AwariGame()
+        boards = random_batch(game, n, 64, salt)
+        term, _ = game.terminal_values(boards)
+        legal = game.legal_moves(boards)
+        np.testing.assert_array_equal(term, ~legal.any(axis=1))

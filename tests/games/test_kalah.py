@@ -1,0 +1,195 @@
+"""Kalah-nt rules and database tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.oracle import oracle_capture_solve
+from repro.core.sequential import SequentialSolver
+from repro.core.verify import check_bellman
+from repro.games.kalah import KalahCaptureGame, KalahGame
+
+
+def board(*pits):
+    assert len(pits) == 12
+    return np.array([pits], dtype=np.int16)
+
+
+@pytest.fixture
+def game():
+    return KalahGame()
+
+
+class TestSowing:
+    def test_short_sow_stays_in_own_row(self, game):
+        b = board(3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+        sown, last_pos, stones = game.sow(b, np.array([0]))
+        assert stones[0] == 3
+        assert sown[0, :12].tolist() == [0, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0]
+        assert sown[0, 12] == 0  # store untouched
+
+    def test_sow_through_store(self, game):
+        # 3 stones from pit 4: pit 5, store, opponent pit 6.
+        b = board(0, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0)
+        sown, _, _ = game.sow(b, np.array([4]))
+        assert sown[0, 5] == 1
+        assert sown[0, 12] == 1
+        assert sown[0, 6] == 1
+
+    def test_full_lap_reenters_origin(self, game):
+        # 13 stones from pit 0: one full lap (12 pits + store), origin gets
+        # the 13th stone back.
+        b = board(13, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+        sown, _, _ = game.sow(b, np.array([0]))
+        assert sown[0, 12] == 1
+        assert sown[0, 0] == 1  # unlike awari, the origin is resown
+        assert sown[0, 1:12].tolist() == [1] * 11
+
+    def test_opponent_store_skipped(self, game):
+        # Long sow: opponent's store never receives (there is no slot for
+        # it; conservation proves nothing leaked).
+        b = board(0, 0, 0, 0, 0, 20, 0, 0, 0, 0, 0, 0)
+        sown, _, _ = game.sow(b, np.array([5]))
+        assert sown[0].sum() == 20
+
+
+class TestMoves:
+    def test_store_stones_are_captured(self, game):
+        b = board(0, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0)
+        out = game.apply_move(b, np.array([4]))
+        assert out.legal[0]
+        assert out.captured[0] == 1
+        assert out.boards[0].sum() == 2
+
+    def test_positional_capture(self, game):
+        # Last stone lands in empty own pit 2; opposite pit (9) holds 4.
+        b = board(2, 0, 0, 0, 0, 0, 0, 0, 0, 4, 0, 0)
+        out = game.apply_move(b, np.array([0]))
+        # pits 1, 2 get one stone; pit 2 was empty -> capture 1 + 4.
+        assert out.captured[0] == 5
+        # Remaining: pit 1 has 1 stone; swapped to opponent half.
+        assert out.boards[0].tolist() == [0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0]
+
+    def test_no_positional_capture_when_opposite_empty(self, game):
+        b = board(2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+        out = game.apply_move(b, np.array([0]))
+        assert out.captured[0] == 0
+
+    def test_no_capture_when_landing_pit_occupied(self, game):
+        b = board(2, 0, 5, 0, 0, 0, 0, 0, 0, 4, 0, 0)
+        out = game.apply_move(b, np.array([0]))
+        assert out.captured[0] == 0
+
+    def test_capture_on_opponent_side_never_positional(self, game):
+        # Last stone lands in an empty opponent pit: no positional capture.
+        b = board(0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0)
+        out = game.apply_move(b, np.array([5]))
+        assert out.captured[0] == 1  # just the store stone
+
+    def test_empty_pit_illegal(self, game):
+        b = board(0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0)
+        out = game.apply_move(b, np.array([0]))
+        assert not out.legal[0]
+
+    def test_stone_conservation(self, game):
+        rng = np.random.default_rng(0)
+        cap_game = KalahCaptureGame()
+        idx = cap_game.engine.indexer(9)
+        boards = idx.unrank(rng.integers(0, idx.count, size=64))
+        for pit in range(6):
+            out = game.apply_move(boards, np.full(64, pit))
+            ok = out.legal
+            np.testing.assert_array_equal(
+                out.boards[ok].sum(axis=1) + out.captured[ok],
+                boards[ok].sum(axis=1),
+            )
+
+    def test_terminal_when_mover_empty(self, game):
+        b = board(0, 0, 0, 0, 0, 0, 1, 2, 0, 0, 0, 0)
+        term, value = game.terminal_values(b)
+        assert term[0]
+        assert value[0] == -3
+
+
+class TestUnmove:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_matches_forward_edges(self, n):
+        cap_game = KalahCaptureGame()
+        game = cap_game.engine
+        idx = game.indexer(n)
+        boards = idx.all_boards()
+        fwd = set()
+        for pit in range(6):
+            out = game.apply_move(boards, np.full(idx.count, pit))
+            ok = out.legal & (out.captured == 0)
+            src = np.flatnonzero(ok)
+            dst = idx.rank(out.boards[ok])
+            fwd.update(zip(src.tolist(), dst.tolist()))
+        child_row, pred_boards = game.noncapture_predecessors(boards, n)
+        pred_idx = idx.rank(pred_boards) if pred_boards.size else np.zeros(0)
+        bwd = set(zip(pred_idx.tolist(), child_row.tolist()))
+        assert fwd == bwd
+
+    @given(st.integers(2, 6), st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_unmove_forward_roundtrip(self, n, salt):
+        cap_game = KalahCaptureGame()
+        game = cap_game.engine
+        idx = game.indexer(n)
+        rng = np.random.default_rng(salt)
+        boards = idx.unrank(rng.integers(0, idx.count, size=8))
+        child_row, pred_boards = game.noncapture_predecessors(boards, n)
+        if child_row.size == 0:
+            return
+        reproduced = np.zeros(child_row.size, dtype=bool)
+        for pit in range(6):
+            out = game.apply_move(pred_boards, np.full(child_row.size, pit))
+            reproduced |= (
+                out.legal
+                & (out.captured == 0)
+                & (out.boards == boards[child_row]).all(axis=1)
+            )
+        assert reproduced.all()
+
+
+class TestKalahDatabases:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 4])
+    def test_solver_matches_oracle(self, n):
+        game = KalahCaptureGame()
+        values, _ = SequentialSolver(game).solve(4)
+        oracle = oracle_capture_solve(game, 4)
+        np.testing.assert_array_equal(values[n], oracle[n])
+
+    def test_bellman_holds(self):
+        game = KalahCaptureGame()
+        values, _ = SequentialSolver(game).solve(5)
+        for n in range(6):
+            assert check_bellman(game, n, values).ok
+
+    def test_parallel_matches_sequential(self):
+        from repro.core.parallel.driver import ParallelConfig, ParallelSolver
+
+        game = KalahCaptureGame()
+        seq, _ = SequentialSolver(game).solve(5)
+        cfg = ParallelConfig(n_procs=4, predecessor_mode="unmove")
+        par, _ = ParallelSolver(game, cfg).solve(5, max_events=5_000_000)
+        for n in range(6):
+            np.testing.assert_array_equal(par[n], seq[n])
+
+    def test_kalah_is_more_exit_heavy_than_awari(self):
+        """Structural contrast used in the generality bench: kalah sows
+        into the store, so a much larger fraction of moves are exits."""
+        from repro.core.graph import build_database_graph
+        from repro.games.awari_db import AwariCaptureGame
+
+        n = 5
+        kal = KalahCaptureGame()
+        awa = AwariCaptureGame()
+        kv, _ = SequentialSolver(kal).solve(n)
+        av, _ = SequentialSolver(awa).solve(n)
+        kg = build_database_graph(kal, n, {k: kv[k] for k in range(n)})
+        ag = build_database_graph(awa, n, {k: av[k] for k in range(n)})
+        k_ratio = kg.forward.n_edges / kg.work.moves_generated
+        a_ratio = ag.forward.n_edges / ag.work.moves_generated
+        assert k_ratio < a_ratio

@@ -1,0 +1,41 @@
+"""Game registry tests."""
+
+import pytest
+
+from repro.db.store import DatabaseSet
+from repro.games.awari import GrandSlam
+from repro.games.registry import CAPTURE_GAMES, capture_game, capture_game_for
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", CAPTURE_GAMES)
+    def test_all_names_resolve(self, name):
+        game = capture_game(name)
+        assert game.db_size(0) == 1
+
+    def test_variants_differ(self):
+        base = capture_game("awari")
+        allowed = capture_game("awari-slam-allowed")
+        assert base.rules.grand_slam is GrandSlam.CAPTURE_NOTHING
+        assert allowed.rules.grand_slam is GrandSlam.ALLOWED
+        nofeed = capture_game("awari-no-feed")
+        assert not nofeed.rules.must_feed
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown game"):
+            capture_game("chess")
+
+    def test_reconstruct_from_dbset(self):
+        for name in CAPTURE_GAMES:
+            game = capture_game(name)
+            rules = game.rules.describe() if hasattr(game, "rules") else ""
+            dbs = DatabaseSet(game_name=game.name, values={}, rules=rules)
+            rebuilt = capture_game_for(dbs)
+            assert type(rebuilt) is type(game)
+            if hasattr(game, "rules"):
+                assert rebuilt.rules == game.rules
+
+    def test_reconstruct_unknown_rejected(self):
+        dbs = DatabaseSet(game_name="checkers", values={})
+        with pytest.raises(ValueError, match="cannot reconstruct"):
+            capture_game_for(dbs)

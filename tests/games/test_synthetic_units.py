@@ -1,0 +1,69 @@
+"""Direct structural tests for the synthetic game generator."""
+
+import numpy as np
+import pytest
+
+from repro.games.synthetic import SyntheticCaptureGame
+
+
+class TestGeneration:
+    def test_level_zero_values_all_zero(self):
+        from repro.core.sequential import SequentialSolver
+
+        game = SyntheticCaptureGame(levels=2, max_size=30, seed=4)
+        values, _ = SequentialSolver(game).solve(1)
+        assert (values[0] == 0).all()
+
+    def test_captures_point_to_lower_levels(self):
+        game = SyntheticCaptureGame(levels=5, max_size=40, seed=8)
+        for d in range(5):
+            scan = game.scan_chunk(d, 0, game.db_size(d))
+            caps = scan.capture[scan.legal & (scan.capture > 0)]
+            if caps.size:
+                assert caps.min() >= 1
+                assert caps.max() <= d
+
+    def test_succ_indices_in_range(self):
+        game = SyntheticCaptureGame(levels=4, max_size=25, seed=2)
+        for d in range(4):
+            scan = game.scan_chunk(d, 0, game.db_size(d))
+            for s in range(scan.legal.shape[1]):
+                mv = scan.legal[:, s]
+                if not mv.any():
+                    continue
+                caps = scan.capture[mv, s]
+                succ = scan.succ_index[mv, s]
+                for c, q in zip(caps, succ):
+                    target = d - int(c)
+                    assert 0 <= q < game.db_size(target)
+
+    def test_terminal_values_within_bound(self):
+        game = SyntheticCaptureGame(levels=4, max_size=25, seed=13)
+        for d in range(4):
+            scan = game.scan_chunk(d, 0, game.db_size(d))
+            tv = scan.terminal_value[scan.terminal]
+            if tv.size:
+                assert np.abs(tv).max() <= d
+
+    def test_chunked_scan_slices_the_whole(self):
+        game = SyntheticCaptureGame(levels=3, max_size=35, seed=6)
+        whole = game.scan_chunk(2, 0, game.db_size(2))
+        part = game.scan_chunk(2, 5, 12)
+        np.testing.assert_array_equal(part.legal, whole.legal[5:12])
+        np.testing.assert_array_equal(part.succ_index, whole.succ_index[5:12])
+
+    def test_predecessor_multiplicity(self):
+        """Parallel internal edges must appear with multiplicity in the
+        predecessor lists (the counters rely on it)."""
+        game = SyntheticCaptureGame(levels=3, max_size=30, seed=5)
+        for d in range(3):
+            size = game.db_size(d)
+            scan = game.scan_chunk(d, 0, size)
+            internal = scan.legal & (scan.capture == 0)
+            rows, parents = game.predecessors_internal(d, np.arange(size))
+            assert rows.shape[0] == int(internal.sum())
+
+    def test_invalid_exit_rejected(self):
+        game = SyntheticCaptureGame(levels=3, seed=0)
+        with pytest.raises(ValueError):
+            game.exit_db(1, 2)

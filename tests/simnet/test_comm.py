@@ -1,0 +1,143 @@
+"""Blocking (mpi4py-style) communication layer tests."""
+
+import pytest
+
+from repro.simnet.comm import run_programs
+from repro.simnet.engine import SimulationError
+
+
+class TestPointToPoint:
+    def test_ping_pong(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield comm.send(1, "ping", payload=7)
+                msg = yield comm.recv(source=1)
+                return msg.payload
+            msg = yield comm.recv(source=0)
+            yield comm.send(0, "pong", payload=msg.payload + 1)
+            return msg.payload
+
+        makespan, results = run_programs([program, program])
+        assert results == [8, 7]
+        assert makespan > 0
+
+    def test_recv_matches_by_tag(self):
+        def sender(comm):
+            yield comm.send(1, "b", payload="second")
+            yield comm.send(1, "a", payload="first")
+
+        def receiver(comm):
+            a = yield comm.recv(tag="a")
+            b = yield comm.recv(tag="b")
+            return (a.payload, b.payload)
+
+        _, results = run_programs([sender, receiver])
+        assert results[1] == ("first", "second")
+
+    def test_recv_matches_by_source(self):
+        def worker(comm):
+            if comm.rank == 0:
+                two = yield comm.recv(source=2)
+                one = yield comm.recv(source=1)
+                return (one.payload, two.payload)
+            yield comm.send(0, "x", payload=comm.rank)
+
+        _, results = run_programs([worker, worker, worker])
+        assert results[0] == (1, 2)
+
+    def test_compute_advances_clock(self):
+        def program(comm):
+            yield comm.compute(2.5)
+
+        makespan, _ = run_programs([program])
+        assert makespan == pytest.approx(2.5)
+
+    def test_deadlock_detected(self):
+        def program(comm):
+            yield comm.recv()  # nobody ever sends
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            run_programs([program])
+
+    def test_bad_yield_rejected(self):
+        def program(comm):
+            yield "not an operation"
+
+        with pytest.raises(SimulationError, match="yielded"):
+            run_programs([program])
+
+
+class TestCollectives:
+    def test_barrier_synchronizes(self):
+        arrival = {}
+
+        def program(comm):
+            yield comm.compute(0.1 * comm.rank)  # staggered arrival
+            yield from comm.barrier()
+            arrival[comm.rank] = True
+            return comm.rank
+
+        _, results = run_programs([program] * 4)
+        assert results == [0, 1, 2, 3]
+        assert len(arrival) == 4
+
+    def test_bcast(self):
+        def program(comm):
+            value = 42 if comm.rank == 2 else None
+            out = yield from comm.bcast(value, root=2)
+            return out
+
+        _, results = run_programs([program] * 5)
+        assert results == [42] * 5
+
+    def test_gather(self):
+        def program(comm):
+            out = yield from comm.gather(comm.rank * 10)
+            return out
+
+        _, results = run_programs([program] * 4)
+        assert results[0] == [0, 10, 20, 30]
+        assert results[1] is None
+
+    def test_allreduce_sum(self):
+        def program(comm):
+            total = yield from comm.allreduce(comm.rank + 1)
+            return total
+
+        _, results = run_programs([program] * 6)
+        assert results == [21] * 6
+
+    def test_allreduce_custom_op(self):
+        def program(comm):
+            out = yield from comm.allreduce(comm.rank, op=max)
+            return out
+
+        _, results = run_programs([program] * 5)
+        assert results == [4] * 5
+
+    def test_collectives_compose(self):
+        """A small SPMD program mixing phases, like real MPI code."""
+
+        def program(comm):
+            local = (comm.rank + 1) ** 2
+            yield comm.compute(1e-3 * local)
+            total = yield from comm.allreduce(local)
+            yield from comm.barrier()
+            share = yield from comm.bcast(
+                total / comm.size if comm.rank == 0 else None
+            )
+            return share
+
+        _, results = run_programs([program] * 4)
+        assert results == [30 / 4] * 4
+
+    def test_determinism(self):
+        def program(comm):
+            acc = 0
+            for round_no in range(3):
+                acc = yield from comm.allreduce(acc + comm.rank)
+            return acc
+
+        a = run_programs([program] * 5)
+        b = run_programs([program] * 5)
+        assert a == b

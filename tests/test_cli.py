@@ -1,0 +1,97 @@
+"""CLI and high-level API tests."""
+
+import numpy as np
+import pytest
+
+from repro.api import solve_awari
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def archive(tmp_path_factory):
+    path = tmp_path_factory.mktemp("dbs") / "awari4.npz"
+    assert main(["solve", "--stones", "4", "--out", str(path)]) == 0
+    return path
+
+
+class TestCLI:
+    def test_solve_sequential(self, archive, capsys):
+        out = capsys.readouterr().out
+        assert archive.exists()
+
+    def test_solve_parallel(self, capsys):
+        assert main(["solve", "--stones", "3", "--procs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated processors" in out
+        assert "combining factor" in out
+
+    def test_stats(self, archive, capsys):
+        assert main(["stats", str(archive)]) == 0
+        out = capsys.readouterr().out
+        assert "1,365" in out  # C(15, 11)
+
+    def test_verify_clean(self, archive, capsys):
+        assert main(["verify", str(archive), "--samples", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "bellman ok" in out
+        assert "all matched" in out
+
+    def test_verify_detects_corruption(self, archive, tmp_path, capsys):
+        from repro.db.store import DatabaseSet
+
+        dbs = DatabaseSet.load(archive)
+        dbs.values[4] = -dbs.values[4]
+        bad = tmp_path / "bad.npz"
+        dbs.save(bad)
+        assert main(["verify", str(bad), "--samples", "1"]) == 1
+        assert "VIOLATIONS" in capsys.readouterr().out
+
+    def test_query(self, archive, capsys):
+        assert main(["query", str(archive), "--board",
+                     "0,0,0,0,0,1,1,0,0,0,0,2"]) == 0
+        out = capsys.readouterr().out
+        assert "value for the mover" in out
+
+    def test_query_bad_board(self, archive, capsys):
+        assert main(["query", str(archive), "--board", "1,2,3"]) == 2
+
+    def test_query_missing_database(self, archive, capsys):
+        board = ",".join(["4"] * 12)  # 48 stones, not in the archive
+        assert main(["query", str(archive), "--board", board]) == 2
+
+
+class TestAPI:
+    def test_solve_awari_sequential(self):
+        dbs, report = solve_awari(3)
+        assert dbs.total_positions == 1 + 12 + 78 + 364
+        assert report.wall_seconds > 0
+
+    def test_solve_awari_parallel_matches(self):
+        seq, _ = solve_awari(4)
+        par, stats = solve_awari(4, procs=3)
+        for n in range(5):
+            np.testing.assert_array_equal(seq[n], par[n])
+        assert stats[-1].n_procs == 3
+
+    def test_negative_stones_rejected(self):
+        with pytest.raises(ValueError):
+            solve_awari(-1)
+
+    def test_custom_rules(self):
+        from repro.games.awari import AwariRules, GrandSlam
+
+        dbs, _ = solve_awari(3, rules=AwariRules(grand_slam=GrandSlam.ALLOWED))
+        assert "allowed" in dbs.rules
+
+
+class TestModelCommand:
+    def test_model_headline(self, capsys):
+        assert main(["model", "--stones", "13", "--procs", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "sequential" in out and "speedup" in out
+
+    def test_model_naive_is_wire_bound(self, capsys):
+        assert main(["model", "--stones", "13", "--procs", "64",
+                     "--combine", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "combining factor : 1.0" in out

@@ -1,0 +1,78 @@
+"""Meta-tests: documentation coverage and example freshness."""
+
+import ast
+import inspect
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+SRC = Path(repro.__file__).parent
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def public_modules():
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC)
+        if any(part.startswith("_") for part in rel.parts):
+            continue
+        yield path
+
+
+class TestDocstrings:
+    def test_every_module_has_a_docstring(self):
+        missing = []
+        for path in public_modules():
+            tree = ast.parse(path.read_text())
+            if ast.get_docstring(tree) is None:
+                missing.append(str(path))
+        assert not missing, f"modules without docstrings: {missing}"
+
+    def test_every_public_class_and_function_documented(self):
+        missing = []
+        for path in public_modules():
+            tree = ast.parse(path.read_text())
+            for node in tree.body:
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    if node.name.startswith("_"):
+                        continue
+                    if ast.get_docstring(node) is None:
+                        missing.append(f"{path.name}:{node.name}")
+        assert not missing, f"undocumented public items: {missing}"
+
+    def test_package_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+
+class TestExamples:
+    def test_every_example_has_module_docstring_and_main(self):
+        for path in sorted(EXAMPLES.glob("*.py")):
+            tree = ast.parse(path.read_text())
+            assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+            names = {
+                n.name
+                for n in tree.body
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            assert "main" in names, f"{path.name} lacks main()"
+
+    @pytest.mark.parametrize(
+        "example", ["other_games.py", "protocol_trace.py", "mpi_style.py"]
+    )
+    def test_fast_examples_run_clean(self, example):
+        """The quick examples must execute end to end (the heavyweight
+        sweeps are exercised by the benchmark suite instead)."""
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / example)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert proc.stdout.strip()

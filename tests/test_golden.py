@@ -1,0 +1,80 @@
+"""Golden regression tests.
+
+The oracle shares the rules code with the solver, so a silent *rules*
+change would slip past the oracle-agreement tests.  These snapshots pin
+the semantics of today's (oracle-, Bellman- and replay-certified)
+databases byte for byte.  If a deliberate rules change makes one fail,
+re-derive the golden values and document the change.
+"""
+
+import numpy as np
+
+from repro.core.sequential import SequentialSolver
+from repro.games.awari_db import AwariCaptureGame
+from repro.games.kalah import KalahCaptureGame
+
+AWARI_2 = [
+    -2, -2, -2, -2, -2, -2, 0, 0, 2, 2, 2, 2, -2, -2, -2, -2, -2, -2, 0,
+    0, 2, 2, 2, -2, -2, -2, -2, -2, -2, 0, 0, 2, 2, -2, -2, -2, -2, -2,
+    -2, 0, 0, 2, -2, -2, -2, -2, -2, -2, 0, 0, -2, -2, -2, -2, -2, -2, 0,
+    -2, -2, -2, -2, 0, 0, -2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2,
+]
+
+AWARI_3_HEAD = [
+    -3, -3, -3, -3, -3, -3, 3, 3, 3, 3, 3, -1, -3, -3, -3, -3, -3, 0, 3,
+    3, 3, 3, 3, -3, -3, -3, -3, 0, 0, 3, 3, 3, 3, -3, -3, -3, -3, 0, 0, 3,
+]
+
+KALAH_2 = [
+    -2, -2, -2, -2, -2, -2, 0, 0, 0, 0, 0, 0, -2, -2, -2, -2, -2, 0, 0, 0,
+    0, 0, 2, -2, -2, -2, -2, 0, 0, 0, 0, 2, -2, -2, -2, -2, 0, 0, 0, 2,
+    -2, 2, -2, -2, 0, 0, 2, -2, 2, -2, -2, 0, 2, -2, 2, -2, 2, 0, 2, 2, 2,
+    2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2,
+]
+
+KALAH_3_HEAD = [
+    -3, -3, -3, -3, -3, -3, 1, 1, 1, 1, 1, 1, -3, -3, -3, -3, -3, -1, -1,
+    -1, -1, -1, 1, -3, -3, -3, -3, -1, -1, -1, -1, 1, -3, -3, -3, -3, -1,
+    -1, -1, 1,
+]
+
+
+class TestAwariGolden:
+    def test_two_stone_database(self):
+        values, _ = SequentialSolver(AwariCaptureGame()).solve(2)
+        np.testing.assert_array_equal(values[2], np.array(AWARI_2, np.int16))
+
+    def test_three_stone_head_and_counts(self):
+        values, _ = SequentialSolver(AwariCaptureGame()).solve(3)
+        np.testing.assert_array_equal(
+            values[3][:40], np.array(AWARI_3_HEAD, np.int16)
+        )
+        v = values[3]
+        assert ((v > 0).sum(), (v == 0).sum(), (v < 0).sum()) == (121, 64, 179)
+
+    def test_one_stone_split(self):
+        values, _ = SequentialSolver(AwariCaptureGame()).solve(1)
+        assert ((values[1] > 0).sum(), (values[1] < 0).sum()) == (5, 7)
+
+
+class TestKalahGolden:
+    def test_two_stone_database(self):
+        values, _ = SequentialSolver(KalahCaptureGame()).solve(2)
+        np.testing.assert_array_equal(values[2], np.array(KALAH_2, np.int16))
+
+    def test_three_stone_head_and_counts(self):
+        values, _ = SequentialSolver(KalahCaptureGame()).solve(3)
+        np.testing.assert_array_equal(
+            values[3][:40], np.array(KALAH_3_HEAD, np.int16)
+        )
+        v = values[3]
+        assert ((v > 0).sum(), (v == 0).sum(), (v < 0).sum()) == (209, 0, 155)
+
+    def test_kalah_has_no_three_stone_draws_awari_does(self):
+        """A structural fingerprint separating the two rule sets: the
+        kalah store makes one-stone captures possible, eliminating
+        3-stone draws entirely, while awari keeps 64 of them."""
+        a, _ = SequentialSolver(AwariCaptureGame()).solve(3)
+        k, _ = SequentialSolver(KalahCaptureGame()).solve(3)
+        assert (a[3] == 0).sum() == 64
+        assert (k[3] == 0).sum() == 0
