@@ -31,6 +31,7 @@ from .games import (
     LoopyGraphGame,
     NimGame,
 )
+from .obs import MetricsRegistry, RunManifest
 from .simnet import DEFAULT_COSTS, CostModel, EthernetConfig
 
 __version__ = "1.0.0"
@@ -55,5 +56,7 @@ __all__ = [
     "CostModel",
     "DEFAULT_COSTS",
     "EthernetConfig",
+    "MetricsRegistry",
+    "RunManifest",
     "__version__",
 ]

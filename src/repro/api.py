@@ -24,6 +24,7 @@ def solve_awari(
     rules: AwariRules | None = None,
     config: ParallelConfig | None = None,
     with_depth: bool = False,
+    metrics=None,
 ):
     """Compute all awari endgame databases up to ``stones``.
 
@@ -33,12 +34,14 @@ def solve_awari(
     values are identical either way, only the measurements differ.
     ``config`` overrides everything else when given.  ``with_depth``
     additionally stores distance-to-outcome arrays (sequential path only).
+    ``metrics`` is an optional :class:`~repro.obs.MetricsRegistry` the
+    chosen solver reports into (see docs/OBSERVABILITY.md).
     """
     if stones < 0:
         raise ValueError("stones must be >= 0")
     game = AwariCaptureGame(rules)
     if config is None and procs <= 1:
-        solver = SequentialSolver(game, collect_depth=with_depth)
+        solver = SequentialSolver(game, collect_depth=with_depth, metrics=metrics)
         values, report = solver.solve(stones)
         depths = solver.depths if with_depth else None
         return _dbset(game, values, depths), report
@@ -46,7 +49,7 @@ def solve_awari(
         raise ValueError("with_depth requires the sequential solver (procs=1)")
     if config is None:
         config = ParallelConfig(n_procs=procs, predecessor_mode="unmove-cached")
-    values, stats = ParallelSolver(game, config).solve(stones)
+    values, stats = ParallelSolver(game, config, metrics=metrics).solve(stones)
     return _dbset(game, values), stats
 
 

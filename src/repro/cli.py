@@ -12,6 +12,8 @@ verify
     Run the Bellman and replay certificates on an archive.
 query
     Evaluate a position: exact value and the optimal move(s).
+metrics
+    Render the run manifest written by ``solve --metrics-out``.
 """
 
 from __future__ import annotations
@@ -50,6 +52,12 @@ def _build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--mode", default="unmove-cached",
                        choices=["unmove", "unmove-cached", "csr"])
     solve.add_argument("--out", default=None, help="save archive here (.npz)")
+    solve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="RUN_JSON",
+        help="write a run manifest (config + metrics registry) here",
+    )
 
     stats = sub.add_parser("stats", help="database statistics (Table 1)")
     stats.add_argument("archive")
@@ -72,6 +80,11 @@ def _build_parser() -> argparse.ArgumentParser:
     model.add_argument("--stones", type=int, default=13)
     model.add_argument("--procs", type=int, default=64)
     model.add_argument("--combine", type=int, default=256)
+
+    metrics = sub.add_parser(
+        "metrics", help="render a run manifest (see solve --metrics-out)"
+    )
+    metrics.add_argument("manifest", help="run manifest JSON path")
     return parser
 
 
@@ -79,8 +92,10 @@ def _cmd_solve(args) -> int:
     from .core.parallel.driver import ParallelSolver
     from .core.sequential import SequentialSolver
     from .games.registry import capture_game
+    from .obs import MetricsRegistry, NULL_METRICS
 
     game = capture_game(args.game)
+    metrics = MetricsRegistry() if args.metrics_out else NULL_METRICS
     if args.procs > 1:
         config = ParallelConfig(
             n_procs=args.procs,
@@ -88,7 +103,8 @@ def _cmd_solve(args) -> int:
             partition=args.partition,
             predecessor_mode=args.mode,
         )
-        values, stats = ParallelSolver(game, config).solve(args.stones)
+        solver = ParallelSolver(game, config, metrics=metrics)
+        values, stats = solver.solve(args.stones)
         total = stats[-1]
         print(
             f"solved {args.game} up to {args.stones} stones on {args.procs} "
@@ -102,7 +118,7 @@ def _cmd_solve(args) -> int:
         rules = game.rules.describe() if hasattr(game, "rules") else ""
         dbs = DatabaseSet(game_name=game.name, values=values, rules=rules)
     else:
-        solver = SequentialSolver(game)
+        solver = SequentialSolver(game, metrics=metrics)
         values, report = solver.solve(args.stones)
         rules = game.rules.describe() if hasattr(game, "rules") else ""
         dbs = DatabaseSet(game_name=game.name, values=values, rules=rules)
@@ -114,6 +130,25 @@ def _cmd_solve(args) -> int:
     if args.out:
         dbs.save(args.out)
         print(f"saved to {args.out} ({format_bytes(dbs.memory_bytes())})")
+    if args.metrics_out:
+        from .obs import RunManifest
+
+        manifest = RunManifest.from_registry(
+            metrics,
+            game=game.name,
+            command="solve",
+            rules=dbs.rules,
+            config={
+                "stones": args.stones,
+                "game": args.game,
+                "procs": args.procs,
+                "combine": args.combine,
+                "partition": args.partition,
+                "mode": args.mode,
+            },
+        )
+        manifest.save(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 
@@ -222,6 +257,84 @@ def _cmd_model(args) -> int:
     return 0
 
 
+def _cmd_metrics(args) -> int:
+    from .obs import RunManifest
+
+    try:
+        man = RunManifest.load(args.manifest)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read manifest: {exc}", file=sys.stderr)
+        return 2
+    header = f"run manifest — {man.game}"
+    if man.command:
+        header += f" ({man.command})"
+    print(header)
+    if man.rules:
+        print(f"  rules: {man.rules}")
+    for key in sorted(man.config):
+        print(f"  {key} = {man.config[key]}")
+    if man.seed is not None:
+        print(f"  seed = {man.seed}")
+    print()
+
+    counters = man.metrics.get("counters", {})
+    gauges = man.metrics.get("gauges", {})
+    if "parallel.updates_sent" in counters:
+        # Table-3-style communication summary for parallel runs.
+        updates = counters.get("parallel.updates_sent", 0)
+        packets = counters.get("parallel.packets_sent", 0)
+        factor = gauges.get(
+            "parallel.combining_factor", updates / packets if packets else 0.0
+        )
+        table = Table(
+            "communication summary (Table 3)",
+            ["updates", "packets", "factor", "bytes", "frames", "ctrl-msgs"],
+        )
+        table.add(
+            f"{int(updates):,}",
+            f"{int(packets):,}",
+            f"{factor:.1f}",
+            format_bytes(counters.get("parallel.bytes_sent", 0)),
+            f"{int(counters.get('simnet.ethernet.frames', 0)):,}",
+            f"{int(counters.get('parallel.control_messages', 0)):,}",
+        )
+        table.show()
+
+    if counters:
+        table = Table("counters", ["name", "value"], widths=[44, 16])
+        for name, value in counters.items():
+            table.add(name, f"{value:,}" if isinstance(value, int) else value)
+        table.show()
+    if gauges:
+        table = Table("gauges", ["name", "value"], widths=[44, 16])
+        for name, value in gauges.items():
+            table.add(name, f"{value:.3f}")
+        table.show()
+    hists = man.metrics.get("histograms", {})
+    if hists:
+        table = Table(
+            "histograms", ["name", "count", "mean", "max"], widths=[44, 8, 14, 14]
+        )
+        for name, h in hists.items():
+            table.add(name, h["count"], f"{h['mean']:.4g}", f"{h['max']:.4g}")
+        table.show()
+    if man.timers:
+        table = Table(
+            "timers (wall clock)",
+            ["name", "count", "total", "mean"],
+            widths=[44, 8, 12, 12],
+        )
+        for name, h in man.timers.items():
+            table.add(
+                name,
+                h["count"],
+                format_seconds(h["total"]),
+                format_seconds(h["mean"]),
+            )
+        table.show()
+    return 0
+
+
 def main(argv=None) -> int:
     """Parse arguments and dispatch to the subcommand handlers."""
     args = _build_parser().parse_args(argv)
@@ -231,6 +344,7 @@ def main(argv=None) -> int:
         "verify": _cmd_verify,
         "query": _cmd_query,
         "model": _cmd_model,
+        "metrics": _cmd_metrics,
     }[args.command]
     return handler(args)
 

@@ -13,11 +13,13 @@ Falls back to in-process solving where ``fork`` is unavailable.
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
 from ..games.base import CaptureGame
+from ..obs import NULL_METRICS
 from .graph import build_database_graph
 from .kernel import solve_kernel, threshold_init
 from .values import LOSS, NO_EXIT, WIN, assemble_values
@@ -30,16 +32,22 @@ _SCAN = None  # (game, db_id, lower_values)
 
 
 def _solve_one_threshold(t: int):
+    t0 = time.perf_counter()
     result = solve_kernel(threshold_init(_GRAPH, t))
-    return t, result.status
+    return t, result.status, time.perf_counter() - t0
 
 
 def _scan_range(bounds):
-    """Forked worker: scan one chunk of the database into graph parts."""
+    """Forked worker: scan one chunk of the database into graph parts.
+
+    The trailing element of the return tuple is the chunk's wall time in
+    the child process, aggregated by the parent into the metrics registry.
+    """
     import numpy as _np
 
     game, db_id, lower_values = _SCAN
     start, stop = bounds
+    t0 = time.perf_counter()
     scan = game.scan_chunk(db_id, start, stop)
     rows = np.arange(start, stop, dtype=np.int64)
     best_exit = np.full(stop - start, -(2**15), dtype=np.int16)
@@ -60,15 +68,25 @@ def _scan_range(bounds):
     r, c = _np.nonzero(int_mask)
     out_degree = _np.zeros(stop - start, dtype=_np.int32)
     _np.add.at(out_degree, r, 1)
-    return start, best_exit, out_degree, rows[r], scan.succ_index[r, c]
+    elapsed = time.perf_counter() - t0
+    return start, best_exit, out_degree, rows[r], scan.succ_index[r, c], elapsed
 
 
 class MultiprocessSolver:
     """Threshold-parallel database construction on real cores."""
 
-    def __init__(self, game: CaptureGame, workers: int | None = None):
+    def __init__(
+        self,
+        game: CaptureGame,
+        workers: int | None = None,
+        metrics=None,
+    ):
         self.game = game
         self.workers = workers or mp.cpu_count()
+        #: Registry under the ``multiproc.`` prefix.  Per-process wall
+        #: times land in the (non-deterministic) timers family; the
+        #: counters stay deterministic.
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         try:
             self._context = mp.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
@@ -76,17 +94,28 @@ class MultiprocessSolver:
 
     def solve_database(self, db_id, lower_values) -> np.ndarray:
         global _GRAPH
+        m = self.metrics
+        t_db = time.perf_counter()
         graph = self._build_graph(db_id, lower_values)
+        m.inc("multiproc.databases")
+        m.inc("multiproc.positions_scanned", graph.size)
         bound = self.game.value_bound(db_id)
         if bound == 0:
             values = graph.best_exit.astype(np.int16)
             values[values == np.int16(NO_EXIT)] = 0
+            m.observe_seconds(
+                "multiproc.solve_database", time.perf_counter() - t_db
+            )
             return values
         thresholds = list(range(1, bound + 1))
         statuses: dict = {}
         if self._context is None or self.workers <= 1 or bound == 1:
             for t in thresholds:
+                t0 = time.perf_counter()
                 statuses[t] = solve_kernel(threshold_init(graph, t)).status
+                m.observe_seconds(
+                    "multiproc.threshold_seconds", time.perf_counter() - t0
+                )
         else:
             _GRAPH = graph
             try:
@@ -94,13 +123,20 @@ class MultiprocessSolver:
                     max_workers=min(self.workers, bound),
                     mp_context=self._context,
                 ) as pool:
-                    for t, status in pool.map(_solve_one_threshold, thresholds):
+                    for t, status, child_s in pool.map(
+                        _solve_one_threshold, thresholds
+                    ):
                         statuses[t] = status
+                        # Child-process wall time, aggregated pool-wide.
+                        m.observe_seconds("multiproc.threshold_seconds", child_s)
             finally:
                 _GRAPH = None
+        m.inc("multiproc.thresholds", len(thresholds))
         win_sets = [statuses[t] == WIN for t in thresholds]
         loss_sets = [statuses[t] == LOSS for t in thresholds]
-        return assemble_values(win_sets, loss_sets)
+        values = assemble_values(win_sets, loss_sets)
+        m.observe_seconds("multiproc.solve_database", time.perf_counter() - t_db)
+        return values
 
     def solve(self, target) -> dict:
         values: dict = {}
@@ -132,12 +168,18 @@ class MultiprocessSolver:
             with ProcessPoolExecutor(
                 max_workers=self.workers, mp_context=self._context
             ) as pool:
-                for start, be, deg, src, dst in pool.map(_scan_range, bounds):
+                for start, be, deg, src, dst, child_s in pool.map(
+                    _scan_range, bounds
+                ):
                     stop = start + be.shape[0]
                     best_exit[start:stop] = be
                     out_degree[start:stop] = deg
                     srcs.append(src)
                     dsts.append(dst)
+                    self.metrics.inc("multiproc.scan_chunks")
+                    self.metrics.observe_seconds(
+                        "multiproc.scan_seconds", child_s
+                    )
         finally:
             _SCAN = None
         src = np.concatenate(srcs) if srcs else np.zeros(0, dtype=np.int64)

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ...games.base import CaptureGame
+from ...obs import NULL_METRICS
 from ...simnet.costs import CostModel, DEFAULT_COSTS
 from ...simnet.ethernet import EthernetConfig
 from ...simnet.rts import SPMDRuntime
@@ -88,14 +89,26 @@ class DatabaseRunStats:
 class ParallelSolver:
     """Distributed RA over a simulated Ethernet cluster."""
 
-    def __init__(self, game: CaptureGame, config: ParallelConfig | None = None):
+    def __init__(
+        self,
+        game: CaptureGame,
+        config: ParallelConfig | None = None,
+        metrics=None,
+    ):
         self.game = game
         self.config = config or ParallelConfig()
+        #: Metrics registry (``parallel.`` prefix; the simulated runtime
+        #: reports through the same registry under ``simnet.``).
+        self.metrics = metrics if metrics is not None else NULL_METRICS
 
     def solve_database(
         self, db_id, lower_values: dict, max_events: int | None = None
     ) -> tuple[np.ndarray, DatabaseRunStats]:
         """Run one simulated parallel database construction."""
+        with self.metrics.phase("parallel.host_wall_seconds"):
+            return self._solve_database(db_id, lower_values, max_events)
+
+    def _solve_database(self, db_id, lower_values, max_events):
         cfg = self.config
         graph = build_database_graph(self.game, db_id, lower_values)
         partition = make_partition(cfg.partition, graph.size, cfg.n_procs)
@@ -128,6 +141,7 @@ class ParallelSolver:
             costs=cfg.costs,
             ethernet_config=cfg.ethernet,
             node_speeds=list(cfg.node_speeds) if cfg.node_speeds else None,
+            metrics=self.metrics,
         )
         makespan = runtime.run(max_events=max_events)
 
@@ -171,7 +185,7 @@ class ParallelSolver:
         combining = [w.buffers.stats for w in workers]
         combined_updates = sum(c.updates for c in combining)
         combined_packets = sum(c.packets for c in combining)
-        return DatabaseRunStats(
+        stats = DatabaseRunStats(
             db_id=db_id,
             n_procs=runtime.n_nodes,
             size=size,
@@ -193,3 +207,33 @@ class ParallelSolver:
             ],
             events=runtime.sim.events_processed,
         )
+        m = self.metrics
+        if m.enabled:
+            m.inc("parallel.databases")
+            m.inc("parallel.packets_sent", stats.packets_sent)
+            m.inc("parallel.updates_sent", stats.updates_sent)
+            m.inc("parallel.updates_local", stats.updates_local)
+            m.inc("parallel.bytes_sent", stats.bytes_sent)
+            m.inc("parallel.control_messages", stats.control_messages)
+            m.inc("parallel.token_rounds", stats.token_rounds)
+            m.inc("parallel.events", stats.events)
+            # Combining counters mirror the workers' CombiningStats exactly
+            # (asserted in tests): the registry is the one surface the
+            # benchmarks and the paper-table tooling need to read.
+            m.inc("parallel.combining.updates", combined_updates)
+            m.inc("parallel.combining.packets", combined_packets)
+            m.inc(
+                "parallel.combining.forced_flushes",
+                sum(c.forced_flushes for c in combining),
+            )
+            m.inc(
+                "parallel.combining.capacity_flushes",
+                sum(c.capacity_flushes for c in combining),
+            )
+            m.set_gauge("parallel.n_procs", stats.n_procs)
+            m.set_gauge("parallel.combining_factor", stats.combining_factor)
+            m.observe("parallel.makespan_seconds", stats.makespan_seconds)
+            m.observe("parallel.cpu_seconds_total", stats.cpu_seconds_total)
+            m.observe("parallel.load_imbalance", stats.load_imbalance)
+            m.observe("parallel.db_positions", stats.size)
+        return stats

@@ -22,6 +22,7 @@ from pathlib import Path
 import numpy as np
 
 from ..games.base import CaptureGame
+from ..obs import MetricsRegistry, NULL_METRICS
 from .bounds import BoundsSolver
 from .parallel.driver import ParallelConfig, ParallelSolver
 from .sequential import SequentialSolver
@@ -57,9 +58,17 @@ class PipelineStatus:
 class PipelineRunner:
     """Build every database up to a target, checkpointing as it goes."""
 
-    def __init__(self, game: CaptureGame, config: PipelineConfig | None = None):
+    def __init__(
+        self,
+        game: CaptureGame,
+        config: PipelineConfig | None = None,
+        metrics=None,
+    ):
         self.game = game
         self.config = config or PipelineConfig()
+        #: Run-level registry; every database build's metrics are folded
+        #: in, whatever backend produced them.
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self._dir = (
             Path(self.config.checkpoint_dir)
             if self.config.checkpoint_dir
@@ -104,10 +113,20 @@ class PipelineRunner:
             if loaded is not None:
                 values[db_id] = loaded
                 status.resumed.append(db_id)
+                self.metrics.inc("pipeline.databases_resumed")
                 continue
-            values[db_id] = self._solve_one(db_id, values)
+            t_db = time.perf_counter()
+            values[db_id], build_metrics = self._solve_one(db_id, values)
             status.solved.append(db_id)
-            self._checkpoint(db_id, values[db_id], manifest)
+            self.metrics.inc("pipeline.databases_solved")
+            record = {
+                "backend": self.config.backend,
+                "positions": int(values[db_id].shape[0]),
+                "wall_seconds": time.perf_counter() - t_db,
+                "metrics": build_metrics,
+            }
+            self.metrics.merge(build_metrics)
+            self._checkpoint(db_id, values[db_id], manifest, record)
         status.wall_seconds = time.perf_counter() - t0
         return values, status
 
@@ -134,10 +153,18 @@ class PipelineRunner:
         return array
 
     def _solve_one(self, db_id, values):
+        """Build one database; returns ``(values, metrics snapshot)``.
+
+        Each build gets a fresh registry so its snapshot is exactly this
+        database's work; the runner folds it into the run-level registry
+        and the checkpoint manifest keeps it as the build record.
+        """
         backend = self.config.backend
+        build = MetricsRegistry()
         if backend == "sequential":
-            out, _ = SequentialSolver(self.game).solve_database(db_id, values)
-            return out
+            solver = SequentialSolver(self.game, metrics=build)
+            out, _ = solver.solve_database(db_id, values)
+            return out, build.snapshot()
         if backend == "bounds":
             # BoundsSolver exposes whole-pipeline solve only; reuse its
             # internals for one database.
@@ -145,23 +172,25 @@ class PipelineRunner:
             from .bounds import solve_bounds
             from .values import NO_EXIT
 
-            graph = build_database_graph(self.game, db_id, values)
-            bound = self.game.value_bound(db_id)
-            if bound == 0:
-                vals = graph.best_exit.astype(np.int16)
-                vals[vals == np.int16(NO_EXIT)] = 0
-                return vals
-            return solve_bounds(graph, bound).values
-        solver = ParallelSolver(self.game, self.config.parallel)
+            with build.phase("bounds.solve_database"):
+                graph = build_database_graph(self.game, db_id, values)
+                bound = self.game.value_bound(db_id)
+                build.inc("bounds.databases")
+                build.inc("bounds.positions_scanned", graph.size)
+                if bound == 0:
+                    vals = graph.best_exit.astype(np.int16)
+                    vals[vals == np.int16(NO_EXIT)] = 0
+                    return vals, build.snapshot()
+                result = solve_bounds(graph, bound)
+                build.inc("bounds.sweeps", result.sweeps)
+            return result.values, build.snapshot()
+        solver = ParallelSolver(self.game, self.config.parallel, metrics=build)
         out, _ = solver.solve_database(db_id, values)
-        return out
+        return out, build.snapshot()
 
-    def _checkpoint(self, db_id, array, manifest) -> None:
+    def _checkpoint(self, db_id, array, manifest, record: dict) -> None:
         if self._dir is None:
             return
         np.save(self._db_path(db_id), array)
-        manifest["databases"][str(db_id)] = {
-            "backend": self.config.backend,
-            "positions": int(array.shape[0]),
-        }
+        manifest["databases"][str(db_id)] = record
         self._save_manifest(manifest)

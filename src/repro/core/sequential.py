@@ -17,6 +17,7 @@ from typing import Mapping
 import numpy as np
 
 from ..games.base import CaptureGame
+from ..obs import NULL_METRICS
 from .graph import DatabaseGraph, WorkCounters, build_database_graph
 from .kernel import RAProblem, solve_kernel, threshold_init, unmove_provider
 from .values import LOSS, WIN, assemble_values, check_nested_thresholds
@@ -80,6 +81,10 @@ class SequentialSolver:
         identical databases (asserted in tests).
     chunk:
         Scan batch size.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` (or a scoped view);
+        the solver reports under the ``sequential.`` prefix.  Defaults to
+        the zero-cost null registry.
     """
 
     def __init__(
@@ -89,6 +94,7 @@ class SequentialSolver:
         chunk: int = 1 << 15,
         check_invariants: bool = False,
         collect_depth: bool = False,
+        metrics=None,
     ):
         if predecessor_mode not in ("csr", "unmove"):
             raise ValueError(f"unknown predecessor_mode {predecessor_mode!r}")
@@ -96,6 +102,7 @@ class SequentialSolver:
         self.predecessor_mode = predecessor_mode
         self.chunk = chunk
         self.check_invariants = check_invariants
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         #: When set, :meth:`solve` also returns per-database distance
         #: arrays: plies of optimal play needed to realize the value
         #: within its database (draws: -1).  A strict progress measure for
@@ -125,6 +132,7 @@ class SequentialSolver:
             values = graph.best_exit.astype(np.int16)
             values[values == np.iinfo(np.int16).min] = 0
             report.wall_seconds = time.perf_counter() - t0
+            self._record(report)
             return values, report
 
         win_sets, loss_sets = [], []
@@ -153,7 +161,25 @@ class SequentialSolver:
                 db_depth[exact] = d[exact]
             self.depths[db_id] = db_depth
         report.wall_seconds = time.perf_counter() - t0
+        self._record(report)
         return values, report
+
+    def _record(self, report: DatabaseReport) -> None:
+        """Feed one database's measurements into the metrics registry."""
+        m = self.metrics
+        if not m.enabled:
+            return
+        m.inc("sequential.databases")
+        m.inc("sequential.positions_scanned", report.work.positions_scanned)
+        m.inc("sequential.moves_generated", report.work.moves_generated)
+        m.inc("sequential.edges_internal", report.work.edges_internal)
+        m.inc("sequential.exit_lookups", report.work.exit_lookups)
+        m.inc("sequential.thresholds", report.thresholds)
+        m.inc("sequential.propagation_rounds", report.propagation_rounds)
+        m.inc("sequential.parent_notifications", report.parent_notifications)
+        m.observe("sequential.db_positions", report.size)
+        m.observe("sequential.graph_memory_bytes", report.graph_memory_bytes)
+        m.observe_seconds("sequential.solve_database", report.wall_seconds)
 
     # ---------------------------------------------------------------- all
 

@@ -1,0 +1,23 @@
+"""repro.obs — unified metrics and profiling layer.
+
+Every subsystem (solvers, pipeline, simulated network) reports into one
+:class:`MetricsRegistry`; a :class:`RunManifest` snapshots a run's
+configuration and metrics to JSON.  See docs/OBSERVABILITY.md.
+"""
+
+from .manifest import SCHEMA, RunManifest
+from .registry import (
+    NULL_METRICS,
+    HistogramSummary,
+    MetricsRegistry,
+    NullMetrics,
+)
+
+__all__ = [
+    "SCHEMA",
+    "RunManifest",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "HistogramSummary",
+]

@@ -1,0 +1,101 @@
+"""Per-run manifests: everything needed to interpret (and diff) a run.
+
+A :class:`RunManifest` snapshots the run's identity — game, rule string,
+solver configuration, seed — together with the final
+:class:`~repro.obs.registry.MetricsRegistry` contents, and serializes to
+a single JSON document.  The deterministic families (counters, gauges,
+histograms) of two runs with identical configuration are bit-identical;
+wall-clock timers live in their own section so a diff tool can skip them.
+
+This is the file ``repro solve --metrics-out run.json`` writes and
+``repro metrics run.json`` renders; benchmarks publish the same schema so
+regression tooling has one format to parse (see docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["SCHEMA", "RunManifest"]
+
+#: Manifest schema identifier; bump on incompatible layout changes.
+SCHEMA = "repro/run-manifest/v1"
+
+
+@dataclass
+class RunManifest:
+    """One run's identity plus its metrics snapshot."""
+
+    game: str
+    command: str = ""
+    rules: str = ""
+    config: dict = field(default_factory=dict)
+    seed: int | None = None
+    metrics: dict = field(default_factory=dict)
+    timers: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_registry(
+        cls,
+        registry,
+        game: str,
+        command: str = "",
+        rules: str = "",
+        config: dict | None = None,
+        seed: int | None = None,
+    ) -> "RunManifest":
+        """Snapshot ``registry`` (a :class:`MetricsRegistry` or the null
+        registry) into a manifest."""
+        full = registry.snapshot(timers=True)
+        timers = full.pop("timers", {})
+        return cls(
+            game=game,
+            command=command,
+            rules=rules,
+            config=dict(config or {}),
+            seed=seed,
+            metrics=full,
+            timers=timers,
+        )
+
+    # ----------------------------------------------------------------- io
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "game": self.game,
+            "command": self.command,
+            "rules": self.rules,
+            "config": self.config,
+            "seed": self.seed,
+            "metrics": self.metrics,
+            "timers": self.timers,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def save(self, path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path) -> "RunManifest":
+        data = json.loads(Path(path).read_text())
+        schema = data.get("schema")
+        if schema != SCHEMA:
+            raise ValueError(
+                f"{path}: unknown manifest schema {schema!r} (expected {SCHEMA})"
+            )
+        return cls(
+            game=data.get("game", ""),
+            command=data.get("command", ""),
+            rules=data.get("rules", ""),
+            config=data.get("config", {}),
+            seed=data.get("seed"),
+            metrics=data.get("metrics", {}),
+            timers=data.get("timers", {}),
+        )

@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from ..obs import NULL_METRICS
 from .costs import CostModel, DEFAULT_COSTS
 from .engine import Simulator
 from .ethernet import Ethernet, EthernetConfig
@@ -152,6 +153,7 @@ class SPMDRuntime:
         costs: CostModel = DEFAULT_COSTS,
         ethernet_config: EthernetConfig | None = None,
         node_speeds=None,
+        metrics=None,
     ):
         """``node_speeds[r]`` is a per-node slowdown factor (1.0 = the
         reference machine, 2.0 = half speed) applied to every CPU charge —
@@ -173,6 +175,10 @@ class SPMDRuntime:
         self.ethernet.attach(self._deliver)
         self._nodes = [_Node(r, a) for r, a in enumerate(actors)]
         self.node_stats = [NodeStats() for _ in actors]
+        #: Metrics registry fed by the runtime and the Ethernet model
+        #: (``simnet.`` prefix).  All quantities are simulated, hence
+        #: deterministic; the null default makes instrumentation free.
+        self.metrics = metrics if metrics is not None else NULL_METRICS
 
     # -------------------------------------------------------------- driving
 
@@ -181,7 +187,35 @@ class SPMDRuntime:
         for node in self._nodes:
             self._execute(node, kind="start", msg=None)
         self.sim.run(max_events=max_events)
+        if self.metrics.enabled:
+            self._record_metrics()
         return self.makespan
+
+    def _record_metrics(self) -> None:
+        """Aggregate runtime and Ethernet measurements into the registry
+        (per-tag send counts are bumped as messages leave the nodes)."""
+        m = self.metrics
+        m.inc("simnet.runs")
+        m.inc("simnet.steps", sum(s.steps for s in self.node_stats))
+        m.inc("simnet.msgs_sent", sum(s.msgs_sent for s in self.node_stats))
+        m.inc(
+            "simnet.msgs_received",
+            sum(s.msgs_received for s in self.node_stats),
+        )
+        m.inc("simnet.bytes_sent", sum(s.bytes_sent for s in self.node_stats))
+        m.observe("simnet.makespan_seconds", self.makespan)
+        m.observe(
+            "simnet.cpu_seconds_total",
+            sum(s.cpu_seconds for s in self.node_stats),
+        )
+        eth = self.ethernet.stats
+        m.inc("simnet.ethernet.frames", eth.frames)
+        m.inc("simnet.ethernet.contended_frames", eth.contended_frames)
+        m.inc("simnet.ethernet.payload_bytes", eth.payload_bytes)
+        m.inc("simnet.ethernet.wire_bytes", eth.wire_bytes)
+        m.inc("simnet.ethernet.broadcasts", eth.broadcasts)
+        m.observe("simnet.ethernet.busy_seconds", eth.busy_seconds)
+        m.observe("simnet.ethernet.contention_seconds", eth.contention_seconds)
 
     @property
     def makespan(self) -> float:
@@ -254,6 +288,10 @@ class SPMDRuntime:
         for out in ctx._outbox:
             stats.msgs_sent += 1
             stats.bytes_sent += out.size_bytes
+            if self.metrics.enabled:
+                # Per-tag traffic breakdown (what Tracer.render_tags shows,
+                # now on the shared registry).
+                self.metrics.inc("simnet.sent." + out.tag)
             self.sim.schedule_at(
                 node.busy_until, self.ethernet.transmit, out.src, out.dst,
                 out.size_bytes, out,

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import NULL_METRICS
 from .rts import Message, SPMDRuntime
 
 __all__ = ["TraceEvent", "Tracer"]
@@ -51,6 +52,10 @@ class Tracer:
     events: list = field(default_factory=list)
     dropped: int = 0
     tag_counts: dict = field(default_factory=dict)
+    #: Optional :class:`~repro.obs.MetricsRegistry`; when given, trace
+    #: events are mirrored there (``trace.`` prefix) so message-level
+    #: diagnostics land on the same surface as every other measurement.
+    metrics: object = NULL_METRICS
     _flow: np.ndarray | None = None
     _runtime: SPMDRuntime | None = None
 
@@ -79,6 +84,8 @@ class Tracer:
 
     def _record(self, kind: str, src: int, dst: int, message: Message) -> None:
         now = self._runtime.sim.now
+        if self.metrics.enabled:
+            self.metrics.inc(f"trace.{kind}.{message.tag}")
         if kind == "send":
             self.tag_counts[message.tag] = self.tag_counts.get(message.tag, 0) + 1
             if dst >= 0:

@@ -102,3 +102,80 @@ class TestCheckpointing:
         values, status = PipelineRunner(game, cfg).run(2)
         assert 1 in status.solved
         np.testing.assert_array_equal(values[1], reference[1])
+
+    def test_oversized_checkpoint_detected(self, tmp_path):
+        """Size mismatch in the *larger* direction is rejected too."""
+        game = AwariCaptureGame()
+        cfg = PipelineConfig(checkpoint_dir=str(tmp_path))
+        PipelineRunner(game, cfg).run(2)
+        np.save(
+            tmp_path / "db_2.npy",
+            np.zeros(game.db_size(2) + 7, dtype=np.int16),
+        )
+        with pytest.raises(ValueError, match="entries"):
+            PipelineRunner(game, cfg).run(2)
+
+
+class TestBuildRecords:
+    """Per-database build records (backend, wall time, metrics snapshot)
+    written into the checkpoint manifest by the observability layer."""
+
+    def test_manifest_records_metrics(self, tmp_path):
+        game = AwariCaptureGame()
+        cfg = PipelineConfig(checkpoint_dir=str(tmp_path))
+        PipelineRunner(game, cfg).run(2)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        for key in ("0", "1", "2"):
+            record = manifest["databases"][key]
+            assert record["backend"] == "sequential"
+            assert record["positions"] == game.db_size(int(key))
+            assert record["wall_seconds"] >= 0
+            counters = record["metrics"]["counters"]
+            assert counters["sequential.databases"] == 1
+            assert counters["sequential.positions_scanned"] == game.db_size(
+                int(key)
+            )
+
+    def test_metrics_records_survive_resume(self, tmp_path):
+        """Resuming after a partial build keeps the old build records
+        verbatim and appends new ones alongside them."""
+        game = AwariCaptureGame()
+        cfg = PipelineConfig(checkpoint_dir=str(tmp_path))
+        PipelineRunner(game, cfg).run(2)
+        before = json.loads((tmp_path / "manifest.json").read_text())
+        _, status = PipelineRunner(game, cfg).run(4)
+        assert status.resumed == [0, 1, 2]
+        assert status.solved == [3, 4]
+        after = json.loads((tmp_path / "manifest.json").read_text())
+        for key in ("0", "1", "2"):
+            assert after["databases"][key] == before["databases"][key]
+        assert "metrics" in after["databases"]["4"]
+
+    def test_parallel_backend_records_combining(self, tmp_path):
+        from repro.core.parallel.driver import ParallelConfig
+
+        game = AwariCaptureGame()
+        cfg = PipelineConfig(
+            backend="parallel",
+            checkpoint_dir=str(tmp_path),
+            parallel=ParallelConfig(n_procs=2, predecessor_mode="unmove-cached"),
+        )
+        PipelineRunner(game, cfg).run(2)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        counters = manifest["databases"]["2"]["metrics"]["counters"]
+        assert "parallel.combining.packets" in counters
+        assert "simnet.ethernet.frames" in counters
+
+    def test_run_level_registry_accumulates(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        game = AwariCaptureGame()
+        metrics = MetricsRegistry()
+        cfg = PipelineConfig(checkpoint_dir=str(tmp_path))
+        PipelineRunner(game, cfg, metrics=metrics).run(1)
+        assert metrics.counters["pipeline.databases_solved"] == 2
+        assert metrics.counters["sequential.databases"] == 2
+        # A resume only touches the resume counter.
+        metrics2 = MetricsRegistry()
+        PipelineRunner(game, cfg, metrics=metrics2).run(1)
+        assert metrics2.counters == {"pipeline.databases_resumed": 2}

@@ -1,0 +1,78 @@
+"""DatabaseSet round-trip regression tests: depths arrays, exotic
+database ids (negative ints, strings — ``_parse_id``), and the error
+contract on missing databases."""
+
+import numpy as np
+import pytest
+
+from repro.db.store import DatabaseSet
+
+
+def _arr(*vals):
+    return np.array(vals, dtype=np.int16)
+
+
+class TestDepthsRoundtrip:
+    def test_depths_survive_save_load(self, tmp_path):
+        dbs = DatabaseSet(
+            game_name="awari",
+            values={0: _arr(0), 1: _arr(1, -1, 0)},
+            rules="must_feed=True",
+            depths={1: np.array([2, 3, -1], dtype=np.int32)},
+        )
+        dbs.save(tmp_path / "d.npz")
+        loaded = DatabaseSet.load(tmp_path / "d.npz")
+        assert loaded.depths is not None
+        np.testing.assert_array_equal(loaded.depths[1], dbs.depths[1])
+        assert loaded.depth_of(1, 0) == 2
+        assert loaded.depth_of(1, 2) == -1
+
+    def test_depth_of_missing_is_none(self, tmp_path):
+        dbs = DatabaseSet(game_name="awari", values={0: _arr(0)})
+        assert dbs.depth_of(0, 0) is None
+        dbs.save(tmp_path / "nodepth.npz")
+        loaded = DatabaseSet.load(tmp_path / "nodepth.npz")
+        # Empty depths dict collapses back to None on load.
+        assert loaded.depths is None
+        assert loaded.depth_of(0, 0) is None
+
+
+class TestIdParsing:
+    def test_negative_ids_roundtrip_as_ints(self, tmp_path):
+        dbs = DatabaseSet(
+            game_name="synthetic", values={-2: _arr(1), -1: _arr(0), 3: _arr(-1)}
+        )
+        dbs.save(tmp_path / "neg.npz")
+        loaded = DatabaseSet.load(tmp_path / "neg.npz")
+        assert loaded.ids() == [-2, -1, 3]
+        assert all(isinstance(i, int) for i in loaded.ids())
+        np.testing.assert_array_equal(loaded[-2], _arr(1))
+
+    def test_string_ids_roundtrip_as_strings(self, tmp_path):
+        dbs = DatabaseSet(
+            game_name="krk", values={"kqk": _arr(5), "krk": _arr(7, 0)}
+        )
+        dbs.save(tmp_path / "str.npz")
+        loaded = DatabaseSet.load(tmp_path / "str.npz")
+        assert loaded.ids() == ["kqk", "krk"]
+        assert all(isinstance(i, str) for i in loaded.ids())
+        np.testing.assert_array_equal(loaded["krk"], _arr(7, 0))
+
+    def test_parse_id_cases(self):
+        assert DatabaseSet._parse_id("7") == 7
+        assert DatabaseSet._parse_id("-7") == -7
+        assert DatabaseSet._parse_id("kqk") == "kqk"
+        assert DatabaseSet._parse_id("7a") == "7a"
+
+
+class TestMissingDatabase:
+    def test_keyerror_names_missing_and_available(self):
+        dbs = DatabaseSet(game_name="awari", values={0: _arr(0), 1: _arr(1)})
+        with pytest.raises(KeyError, match=r"database 99 not present"):
+            dbs[99]
+        with pytest.raises(KeyError, match=r"have \[0, 1\]"):
+            dbs[99]
+
+    def test_contains_does_not_raise(self):
+        dbs = DatabaseSet(game_name="awari", values={0: _arr(0)})
+        assert 0 in dbs and 99 not in dbs

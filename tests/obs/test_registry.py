@@ -1,0 +1,145 @@
+"""Unit tests for the metrics registry and run manifest."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_METRICS,
+    HistogramSummary,
+    MetricsRegistry,
+    NullMetrics,
+    RunManifest,
+)
+from repro.obs.manifest import SCHEMA
+
+
+class TestRegistry:
+    def test_counters_accumulate(self):
+        m = MetricsRegistry()
+        m.inc("a")
+        m.inc("a", 4)
+        m.inc("b", 2)
+        assert m.counters == {"a": 5, "b": 2}
+
+    def test_gauges_overwrite(self):
+        m = MetricsRegistry()
+        m.set_gauge("x", 1)
+        m.set_gauge("x", 2.5)
+        assert m.gauges == {"x": 2.5}
+
+    def test_histograms_summarize(self):
+        m = MetricsRegistry()
+        for v in (3, 1, 2):
+            m.observe("sizes", v)
+        h = m.histograms["sizes"]
+        assert (h.count, h.total, h.min, h.max) == (3, 6.0, 1.0, 3.0)
+        assert h.mean == 2.0
+
+    def test_phase_times_into_timers(self):
+        ticks = iter([10.0, 10.5])
+        m = MetricsRegistry(clock=lambda: next(ticks))
+        with m.phase("build"):
+            pass
+        assert m.timers["build"].total == pytest.approx(0.5)
+        # Timers stay out of the deterministic snapshot by default.
+        assert "timers" not in m.snapshot()
+        assert m.snapshot(timers=True)["timers"]["build"]["count"] == 1
+
+    def test_scoped_prefixes_every_family(self):
+        m = MetricsRegistry()
+        s = m.scoped("simnet")
+        s.inc("frames")
+        s.set_gauge("util", 0.5)
+        s.observe("busy", 1.0)
+        s.scoped("eth").inc("deep")
+        assert m.counters == {"simnet.frames": 1, "simnet.eth.deep": 1}
+        assert m.gauges == {"simnet.util": 0.5}
+        assert "simnet.busy" in m.histograms
+
+    def test_snapshot_sorted_and_plain(self):
+        m = MetricsRegistry()
+        m.inc("z")
+        m.inc("a")
+        snap = m.snapshot()
+        assert list(snap["counters"]) == ["a", "z"]
+        json.dumps(snap)  # JSON-serializable
+
+    def test_merge_folds_snapshot(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("n", 1)
+        b.inc("n", 2)
+        b.set_gauge("g", 7)
+        b.observe("h", 4)
+        b.observe("h", 6)
+        a.merge(b.snapshot())
+        assert a.counters["n"] == 3
+        assert a.gauges["g"] == 7.0
+        assert a.histograms["h"].count == 2
+        assert a.histograms["h"].min == 4.0
+
+    def test_empty_histogram_serializes_finite(self):
+        h = HistogramSummary()
+        d = h.to_dict()
+        assert d["min"] == 0.0 and d["max"] == 0.0 and d["mean"] == 0.0
+
+
+class TestNullMetrics:
+    def test_all_instruments_are_noops(self):
+        n = NullMetrics()
+        n.inc("x")
+        n.set_gauge("x", 1)
+        n.observe("x", 1)
+        n.observe_seconds("x", 1)
+        with n.phase("x"):
+            pass
+        n.merge({"counters": {"x": 1}})
+        assert n.scoped("y") is n
+        assert not n.enabled
+        assert n.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_shared_singleton_disabled(self):
+        assert NULL_METRICS.enabled is False
+
+
+class TestRunManifest:
+    def _registry(self):
+        m = MetricsRegistry()
+        m.inc("parallel.packets_sent", 10)
+        m.set_gauge("parallel.combining_factor", 6.5)
+        m.observe("parallel.makespan_seconds", 2.0)
+        m.observe_seconds("wall", 0.1)
+        return m
+
+    def test_roundtrip(self, tmp_path):
+        man = RunManifest.from_registry(
+            self._registry(),
+            game="awari",
+            command="solve",
+            rules="must_feed=True",
+            config={"stones": 4, "procs": 4},
+            seed=0,
+        )
+        path = man.save(tmp_path / "run.json")
+        back = RunManifest.load(path)
+        assert back.game == "awari"
+        assert back.config == {"stones": 4, "procs": 4}
+        assert back.metrics == man.metrics
+        assert back.timers["wall"]["count"] == 1
+
+    def test_schema_is_stamped(self, tmp_path):
+        man = RunManifest.from_registry(self._registry(), game="awari")
+        path = man.save(tmp_path / "run.json")
+        assert json.loads(path.read_text())["schema"] == SCHEMA
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope/v9"}))
+        with pytest.raises(ValueError, match="schema"):
+            RunManifest.load(path)
+
+    def test_timers_separated_from_metrics(self):
+        man = RunManifest.from_registry(self._registry(), game="awari")
+        assert "timers" not in man.metrics
+        assert "wall" in man.timers
+        assert "parallel.packets_sent" in man.metrics["counters"]

@@ -84,6 +84,72 @@ class TestAPI:
         assert "allowed" in dbs.rules
 
 
+class TestMetricsCLI:
+    @pytest.fixture(scope="class")
+    def run_json(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("metrics") / "run.json"
+        assert main([
+            "solve", "--stones", "3", "--procs", "4",
+            "--metrics-out", str(path),
+        ]) == 0
+        return path
+
+    def test_manifest_schema(self, run_json):
+        import json
+
+        data = json.loads(run_json.read_text())
+        assert data["schema"] == "repro/run-manifest/v1"
+        assert data["game"] == "awari"
+        assert data["command"] == "solve"
+        assert data["config"]["stones"] == 3
+        assert data["config"]["procs"] == 4
+        for family in ("counters", "gauges", "histograms"):
+            assert family in data["metrics"]
+        assert data["metrics"]["counters"]["parallel.databases"] == 4
+        assert "parallel.combining.packets" in data["metrics"]["counters"]
+        assert "simnet.sent.UPDATE" in data["metrics"]["counters"]
+
+    def test_deterministic_across_runs(self, run_json, tmp_path):
+        import json
+
+        again = tmp_path / "again.json"
+        assert main([
+            "solve", "--stones", "3", "--procs", "4",
+            "--metrics-out", str(again),
+        ]) == 0
+        a = json.loads(run_json.read_text())
+        b = json.loads(again.read_text())
+        assert a["metrics"] == b["metrics"]
+
+    def test_sequential_metrics_out(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "seq.json"
+        assert main(["solve", "--stones", "2", "--metrics-out", str(path)]) == 0
+        counters = json.loads(path.read_text())["metrics"]["counters"]
+        assert counters["sequential.databases"] == 3
+        assert "metrics written" in capsys.readouterr().out
+
+    def test_render_command(self, run_json, capsys):
+        assert main(["metrics", str(run_json)]) == 0
+        out = capsys.readouterr().out
+        assert "run manifest — awari (solve)" in out
+        assert "communication summary (Table 3)" in out
+        assert "counters" in out
+        assert "parallel.combining.packets" in out
+        assert "timers (wall clock)" in out
+
+    def test_render_missing_file(self, tmp_path, capsys):
+        assert main(["metrics", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read manifest" in capsys.readouterr().err
+
+    def test_render_bad_schema(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "other/v1"}')
+        assert main(["metrics", str(bad)]) == 2
+        assert "schema" in capsys.readouterr().err
+
+
 class TestModelCommand:
     def test_model_headline(self, capsys):
         assert main(["model", "--stones", "13", "--procs", "64"]) == 0
