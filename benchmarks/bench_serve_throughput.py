@@ -1,0 +1,164 @@
+"""Serving throughput — probes/second and cache hit-rate vs cache budget.
+
+The load generator replays a skewed probe workload (a Zipf-like mix over
+all databases, hot positions probed repeatedly — the shape of a midgame
+searcher hammering the endgame databases) against a paged store at a
+sweep of cache budgets, from "a few blocks" to "everything fits".  A
+TCP round measures the same workload end to end through the wire
+protocol.  Results are published both as a rendered table and as
+``results/serve_throughput.json`` for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+from conftest import SWEEP_STONES, publish
+
+from repro.analysis.report import Table, format_bytes
+from repro.db.store import DatabaseSet
+from repro.serve.client import ProbeClient
+from repro.serve.pagedstore import write_paged
+from repro.serve.server import ProbeServer
+from repro.serve.service import ProbeService
+
+BLOCK_POSITIONS = 512
+N_PROBES = 60_000
+BATCH = 256
+TCP_PROBES = 8_192  # a multiple of BATCH
+
+#: Cache budgets swept, in blocks (512 positions * 2 bytes = 1 KiB each).
+BUDGET_BLOCKS = [2, 8, 32, 128, 512]
+
+
+def _workload(dbs: DatabaseSet, n: int, seed: int = 17) -> list:
+    """A skewed (db, index) stream: hot databases, hot positions."""
+    rng = np.random.default_rng(seed)
+    ids = dbs.ids()
+    sizes = np.array([dbs[i].shape[0] for i in ids], dtype=np.float64)
+    weights = sizes / sizes.sum()  # big databases draw most traffic
+    db_draw = rng.choice(len(ids), size=n, p=weights)
+    # Zipf-ish position skew: squaring a uniform concentrates near 0.
+    u = rng.random(n) ** 2
+    return [
+        (ids[d], int(u[k] * dbs[ids[d]].shape[0]))
+        for k, d in enumerate(db_draw)
+    ]
+
+
+def _drive(service: ProbeService, workload: list):
+    """(elapsed seconds, all probed values) for one batched sweep."""
+    got = []
+    t0 = time.perf_counter()
+    for start in range(0, len(workload), BATCH):
+        got.append(service.probe_many(workload[start : start + BATCH]))
+    return time.perf_counter() - t0, np.concatenate(got)
+
+
+def test_serve_throughput(bench, results_dir, tmp_path, benchmark):
+    values, _ = bench.sequential(SWEEP_STONES)
+    dbs = DatabaseSet(
+        game_name=bench.game.name,
+        values=values,
+        rules=bench.game.rules.describe(),
+    )
+    path = tmp_path / "bench.pgdb"
+    summary = write_paged(dbs, path, block_positions=BLOCK_POSITIONS)
+    workload = _workload(dbs, N_PROBES)
+    expected = np.array(
+        [int(dbs[d][i]) for d, i in workload], dtype=np.int16
+    )
+
+    block_bytes = BLOCK_POSITIONS * 2
+    rows = []
+    for blocks in BUDGET_BLOCKS:
+        budget = blocks * block_bytes
+        service = ProbeService.from_paged(path, cache_bytes=budget)
+        if blocks == BUDGET_BLOCKS[0]:
+            seconds, got = benchmark.pedantic(
+                _drive, args=(service, workload), rounds=1, iterations=1
+            )
+        else:
+            seconds, got = _drive(service, workload)
+        np.testing.assert_array_equal(got, expected)
+        stats = service.stats()
+        rows.append(
+            {
+                "budget_bytes": budget,
+                "budget_blocks": blocks,
+                "throughput_pps": N_PROBES / seconds,
+                "hit_rate": stats["hit_rate"],
+                "evictions": stats["evictions"],
+                "peak_resident_bytes": stats["peak_resident_bytes"],
+            }
+        )
+        service.close()
+
+    # One TCP end-to-end round at the largest budget.
+    service = ProbeService.from_paged(
+        path, cache_bytes=BUDGET_BLOCKS[-1] * block_bytes
+    )
+    with ProbeServer(service) as server:
+        with ProbeClient(server.host, server.port) as client:
+            t0 = time.perf_counter()
+            got = []
+            for start in range(0, TCP_PROBES, BATCH):
+                got.append(
+                    client.probe_many(workload[start : start + BATCH])
+                )
+            tcp_seconds = time.perf_counter() - t0
+            mismatches = int(
+                (np.concatenate(got) != expected[:TCP_PROBES]).sum()
+            )
+    service.close()
+    assert mismatches == 0
+
+    table = Table(
+        f"serving throughput — {SWEEP_STONES}-stone awari set "
+        f"({summary['positions']:,} positions, "
+        f"{format_bytes(summary['data_bytes'])} paged, "
+        f"{format_bytes(block_bytes)} blocks)",
+        ["budget", "hit%", "evictions", "probes/s", "peak-resident"],
+    )
+    for row in rows:
+        table.add(
+            format_bytes(row["budget_bytes"]),
+            f"{100 * row['hit_rate']:.1f}",
+            f"{row['evictions']:,}",
+            f"{row['throughput_pps']:,.0f}",
+            format_bytes(row["peak_resident_bytes"]),
+        )
+    lines = [table.render(), ""]
+    lines.append(
+        f"# TCP end-to-end: {TCP_PROBES:,} probes in batches of {BATCH} -> "
+        f"{TCP_PROBES / tcp_seconds:,.0f} probes/s, 0 mismatches"
+    )
+    publish(results_dir, "serve_throughput", "\n".join(lines))
+
+    result = {
+        "schema": "repro/serve-throughput/v1",
+        "stones": SWEEP_STONES,
+        "positions": summary["positions"],
+        "block_positions": BLOCK_POSITIONS,
+        "paged_bytes": summary["file_bytes"],
+        "n_probes": N_PROBES,
+        "batch": BATCH,
+        "sweep": rows,
+        "tcp": {
+            "n_probes": TCP_PROBES,
+            "throughput_pps": TCP_PROBES / tcp_seconds,
+            "mismatches": mismatches,
+        },
+    }
+    (results_dir / "serve_throughput.json").write_text(
+        json.dumps(result, indent=2) + "\n"
+    )
+
+    # Hit rate must rise monotonically with budget and the peak resident
+    # bytes must respect budget + one block at every point of the sweep.
+    hit_rates = [row["hit_rate"] for row in rows]
+    assert all(b >= a - 1e-9 for a, b in zip(hit_rates, hit_rates[1:]))
+    for row in rows:
+        assert row["peak_resident_bytes"] <= row["budget_bytes"] + block_bytes

@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""End-to-end serving smoke test, used by the CI ``serve-smoke`` job.
+
+Drives the full CLI surface the way an operator would, with the server
+in a real subprocess:
+
+1. ``repro solve``  — build a small awari database archive
+2. ``repro page``   — convert it to the paged serving format
+3. ``repro serve``  — start a TCP probe server (subprocess, ready-file)
+4. probe it: 1,000 mixed single/batched probes through
+   :class:`~repro.serve.client.ProbeClient` plus ``repro probe`` CLI
+   invocations, every value checked against the in-memory ground truth
+5. SIGINT the server and require a clean, zero-status shutdown
+
+Exits non-zero on any mismatch or protocol failure.
+
+Run:  PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+STONES = 5
+N_PROBES = 1_000
+BATCH = 64
+
+
+def wait_for(path: Path, timeout: float = 30.0) -> str:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if path.exists() and path.read_text().strip():
+            return path.read_text().strip()
+        time.sleep(0.05)
+    raise TimeoutError(f"server did not become ready within {timeout}s")
+
+
+def cli(*args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=120,
+    )
+    if result.returncode != 0:
+        raise RuntimeError(
+            f"repro {' '.join(args)} failed ({result.returncode}):\n"
+            f"{result.stdout}{result.stderr}"
+        )
+    return result.stdout
+
+
+def main() -> int:
+    from repro.db.store import DatabaseSet
+    from repro.serve.client import ProbeClient
+
+    tmp = Path(tempfile.mkdtemp(prefix="serve-smoke-"))
+    archive, paged, ready = tmp / "db.npz", tmp / "db.pgdb", tmp / "ready"
+
+    print(f"== solve: {STONES}-stone awari ->", archive)
+    cli("solve", "--stones", str(STONES), "--out", str(archive))
+    print("== page:", cli("page", str(archive), str(paged),
+                          "--block-positions", "256").strip())
+
+    dbs = DatabaseSet.load(archive)
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", str(paged),
+         "--cache-kb", "4", "--ready-file", str(ready)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        host, port = wait_for(ready).split()
+        print(f"== server ready on {host}:{port} (cache 4 KiB)")
+
+        rng = np.random.default_rng(2026)
+        ids = dbs.ids()
+        pairs = [
+            (int(d), int(rng.integers(0, dbs[int(d)].shape[0])))
+            for d in rng.choice(ids, size=N_PROBES)
+        ]
+        expected = np.array(
+            [int(dbs[d][i]) for d, i in pairs], dtype=np.int16
+        )
+
+        mismatches = 0
+        with ProbeClient(host, int(port)) as client:
+            assert client.ping(), "ping failed"
+            got = [client.probe(*pairs[k]) for k in range(N_PROBES // 2)]
+            for start in range(N_PROBES // 2, N_PROBES, BATCH):
+                got.extend(client.probe_many(pairs[start:start + BATCH]))
+            mismatches = int((np.asarray(got, dtype=np.int16)
+                              != expected).sum())
+            stats = client.stats()
+        print(f"== probed {N_PROBES} positions "
+              f"(half single, half batched): {mismatches} mismatches, "
+              f"cache hit rate {100 * stats['hit_rate']:.0f}%")
+        if mismatches:
+            return 1
+
+        d, i = pairs[0]
+        out = cli("probe", "--port", port, "--db", str(d),
+                  "--index", str(i))
+        want = f"value {int(expected[0]):+d}"
+        print("== repro probe CLI:", out.strip())
+        if want not in out:
+            print(f"CLI probe mismatch: wanted {want!r}", file=sys.stderr)
+            return 1
+        board = ",".join(["0"] * 7 + ["1", "1", "1", "1", "1"])
+        out = cli("probe", "--port", port, "--board", board, "--stats")
+        if "value for the mover" not in out or "hit_rate" not in out:
+            print("CLI best-move/stats output malformed", file=sys.stderr)
+            return 1
+
+        print("== SIGINT -> graceful shutdown")
+        server.send_signal(signal.SIGINT)
+        output, _ = server.communicate(timeout=30)
+        if server.returncode != 0 or "server stopped" not in output:
+            print(f"unclean shutdown (rc={server.returncode}):\n{output}",
+                  file=sys.stderr)
+            return 1
+        print("== smoke OK")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

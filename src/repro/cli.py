@@ -14,6 +14,12 @@ query
     Evaluate a position: exact value and the optimal move(s).
 metrics
     Render the run manifest written by ``solve --metrics-out``.
+page
+    Convert an ``.npz`` archive to the paged serving format.
+serve
+    Serve a database (paged or ``.npz``) over TCP.
+probe
+    Query a running probe server (value, best move, stats).
 """
 
 from __future__ import annotations
@@ -85,6 +91,45 @@ def _build_parser() -> argparse.ArgumentParser:
         "metrics", help="render a run manifest (see solve --metrics-out)"
     )
     metrics.add_argument("manifest", help="run manifest JSON path")
+
+    page = sub.add_parser(
+        "page", help="convert an .npz archive to the paged serving format"
+    )
+    page.add_argument("archive", help="input DatabaseSet archive (.npz)")
+    page.add_argument("out", help="output paged store path")
+    page.add_argument(
+        "--block-positions", type=int, default=None,
+        help="positions per compressed block (default 4096)",
+    )
+    page.add_argument("--level", type=int, default=6,
+                      help="zlib compression level (1-9)")
+
+    serve = sub.add_parser(
+        "serve", help="serve a database over TCP (paged store or .npz)"
+    )
+    serve.add_argument("store", help="paged store path, or .npz to serve "
+                                     "from memory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = ephemeral, printed on startup)")
+    serve.add_argument("--cache-kb", type=int, default=65536,
+                       help="block cache budget in KiB (paged stores)")
+    serve.add_argument(
+        "--ready-file", default=None, metavar="PATH",
+        help="write 'host port' here once listening (for scripts/CI)",
+    )
+
+    probe = sub.add_parser("probe", help="query a running probe server")
+    probe.add_argument("--host", default="127.0.0.1")
+    probe.add_argument("--port", type=int, required=True)
+    probe.add_argument("--db", default=None, help="database id to probe")
+    probe.add_argument("--index", type=int, default=None,
+                       help="position index to probe (with --db)")
+    probe.add_argument("--board", default=None,
+                       help="12 comma-separated pit counts: ask the server "
+                            "for the best move")
+    probe.add_argument("--stats", action="store_true",
+                       help="print server/cache statistics")
     return parser
 
 
@@ -335,6 +380,99 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_page(args) -> int:
+    from .serve.pagedstore import DEFAULT_BLOCK_POSITIONS, write_paged
+
+    block_positions = args.block_positions or DEFAULT_BLOCK_POSITIONS
+    try:
+        dbs = DatabaseSet.load(args.archive)
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"cannot read archive: {exc}", file=sys.stderr)
+        return 2
+    summary = write_paged(
+        dbs, args.out, block_positions=block_positions, level=args.level
+    )
+    print(
+        f"paged {summary['databases']} databases "
+        f"({summary['positions']:,} positions) to {args.out}"
+    )
+    print(
+        f"  {format_bytes(summary['raw_bytes'])} raw -> "
+        f"{format_bytes(summary['data_bytes'])} in "
+        f"{block_positions}-position blocks "
+        f"(ratio {summary['ratio']:.1f}x, file "
+        f"{format_bytes(summary['file_bytes'])})"
+    )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from pathlib import Path
+
+    from .serve.server import ProbeServer
+    from .serve.service import ProbeService
+
+    if args.store.endswith(".npz"):
+        service = ProbeService.from_database_set(DatabaseSet.load(args.store))
+    else:
+        service = ProbeService.from_paged(
+            args.store, cache_bytes=args.cache_kb * 1024
+        )
+    server = ProbeServer(service, host=args.host, port=args.port)
+    describe = f"{service.game_name} ({service.backend_kind}"
+    if service.backend_kind == "paged":
+        describe += f", cache {format_bytes(args.cache_kb * 1024)}"
+    describe += ")"
+    print(f"serving {describe} on {server.host}:{server.port}", flush=True)
+    if args.ready_file:
+        Path(args.ready_file).write_text(f"{server.host} {server.port}\n")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    server.shutdown()
+    service.close()
+    print("server stopped")
+    return 0
+
+
+def _cmd_probe(args) -> int:
+    from .serve.client import ProbeClient, ProbeError
+
+    asked = args.stats or args.board is not None or args.db is not None
+    if not asked:
+        print("nothing to do: pass --db/--index, --board, or --stats",
+              file=sys.stderr)
+        return 2
+    if (args.db is None) != (args.index is None):
+        print("--db and --index go together", file=sys.stderr)
+        return 2
+    try:
+        with ProbeClient(args.host, args.port) as client:
+            if args.db is not None:
+                db_id = DatabaseSet._parse_id(args.db)
+                value = client.probe(db_id, args.index)
+                print(f"db {db_id} index {args.index}: value {value:+d}")
+            if args.board is not None:
+                board = [int(x) for x in args.board.split(",")]
+                if len(board) != 12:
+                    print("board must have 12 pit counts", file=sys.stderr)
+                    return 2
+                answer = client.best_move(board)
+                print(f"value for the mover: {answer['value']:+d}")
+                for move in answer["moves"]:
+                    print(f"  optimal: pit {move['pit']} "
+                          f"(captures {move['captures']})")
+            if args.stats:
+                stats = client.stats()
+                for key in sorted(stats):
+                    print(f"  {key} = {stats[key]}")
+    except (ProbeError, OSError) as exc:
+        print(f"probe failed: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     """Parse arguments and dispatch to the subcommand handlers."""
     args = _build_parser().parse_args(argv)
@@ -345,6 +483,9 @@ def main(argv=None) -> int:
         "query": _cmd_query,
         "model": _cmd_model,
         "metrics": _cmd_metrics,
+        "page": _cmd_page,
+        "serve": _cmd_serve,
+        "probe": _cmd_probe,
     }[args.command]
     return handler(args)
 

@@ -5,9 +5,12 @@ from .query import MoveEvaluation, best_moves, evaluate_moves, optimal_line
 from .search import DatabaseProbingSearch, SearchResult, SearchStats
 from .stats import DatabaseStats, database_stats, set_stats
 from .store import DatabaseSet
+from .successors import SuccessorRef, resolve_successors
 
 __all__ = [
     "DatabaseSet",
+    "SuccessorRef",
+    "resolve_successors",
     "DatabaseStats",
     "database_stats",
     "set_stats",

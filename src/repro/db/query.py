@@ -5,6 +5,15 @@ value and the move(s) achieving it.  :func:`optimal_line` replays a
 database-perfect game, used both as an example application and as an
 end-to-end certificate in the tests (the realized capture difference of
 a replayed line must equal the stored value).
+
+``dbs`` throughout is any *value source*: a resident
+:class:`~repro.db.store.DatabaseSet`, a
+:class:`~repro.serve.service.ProbeService` over a paged store, or a
+:class:`~repro.serve.client.ProbeClient` talking to a remote server —
+anything with ``__contains__`` plus either array indexing or the
+``probe_many`` protocol.  Sources with ``probe_many`` get all successor
+lookups of one position as a single batch (one network round trip, one
+cache-locality-sorted sweep).
 """
 
 from __future__ import annotations
@@ -14,9 +23,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..games.awari_db import AwariCaptureGame
-from .store import DatabaseSet
+from .successors import resolve_successors
 
 __all__ = ["MoveEvaluation", "evaluate_moves", "best_moves", "optimal_line"]
+
+
+def _gather_values(dbs, positions: list) -> list[int]:
+    """Values for ``[(db_id, index), ...]`` from any value source."""
+    probe_many = getattr(dbs, "probe_many", None)
+    if probe_many is not None:
+        return [int(v) for v in probe_many(positions)]
+    return [int(dbs[db_id][index]) for db_id, index in positions]
 
 
 @dataclass
@@ -36,37 +53,29 @@ class MoveEvaluation:
 
 
 def evaluate_moves(
-    game: AwariCaptureGame, dbs: DatabaseSet, board: np.ndarray
+    game: AwariCaptureGame, dbs, board: np.ndarray
 ) -> list[MoveEvaluation]:
     """Exact evaluation of every legal move from ``board``.
 
     Requires the databases for the board's stone count and everything a
     capture can reach.
     """
-    board = np.asarray(board, dtype=np.int16).reshape(1, 12)
-    n = int(board.sum())
+    refs = resolve_successors(game, board)
+    values = _gather_values(dbs, [(r.db_id, r.index) for r in refs])
     evals = []
-    for pit in range(6):
-        out = game.engine.apply_move(board, np.array([pit]))
-        if not out.legal[0]:
-            continue
-        cap = int(out.captured[0])
-        succ = out.boards[0]
-        target = n - cap
-        succ_idx = int(game.engine.indexer(target).rank(succ[None, :])[0])
-        value = cap - int(dbs[target][succ_idx])
-        if cap > 0:
+    for ref, succ_value in zip(refs, values):
+        if ref.captures > 0:
             depth = 0
         elif hasattr(dbs, "depth_of"):
-            depth = dbs.depth_of(target, succ_idx)
+            depth = dbs.depth_of(ref.db_id, ref.index)
         else:
             depth = None
         evals.append(
             MoveEvaluation(
-                pit=pit,
-                captures=cap,
-                value=value,
-                successor=succ,
+                pit=ref.pit,
+                captures=ref.captures,
+                value=ref.captures - succ_value,
+                successor=ref.board,
                 successor_depth=depth,
             )
         )
@@ -74,7 +83,7 @@ def evaluate_moves(
 
 
 def best_moves(
-    game: AwariCaptureGame, dbs: DatabaseSet, board: np.ndarray
+    game: AwariCaptureGame, dbs, board: np.ndarray
 ) -> tuple[int, list[MoveEvaluation]]:
     """(position value, optimal moves) for ``board``.
 
@@ -91,7 +100,7 @@ def best_moves(
 
 def optimal_line(
     game: AwariCaptureGame,
-    dbs: DatabaseSet,
+    dbs,
     board: np.ndarray,
     max_plies: int = 200,
 ) -> tuple[int, list[int]]:

@@ -68,8 +68,11 @@ class DatabaseProbingSearch:
         e.g. :class:`~repro.games.awari_db.AwariCaptureGame`.
     dbs:
         Mapping / :class:`~repro.db.store.DatabaseSet` of solved
-        databases; any position whose stone count is present is resolved
-        by lookup.
+        databases, or any probe source implementing the
+        :class:`~repro.serve.service.ProbeService` protocol (``probe`` +
+        ``__contains__``) — e.g. a paged store behind a block cache, so
+        the search never holds a full database in memory.  Any position
+        whose stone count is present is resolved by lookup.
     max_depth:
         Ply budget for the non-database part of the tree.
     """
@@ -84,6 +87,10 @@ class DatabaseProbingSearch:
     ):
         self.game = game
         self.dbs = dbs
+        probe = getattr(dbs, "probe", None)
+        self._lookup = (
+            probe if probe is not None else lambda n, idx: int(dbs[n][idx])
+        )
         self.max_depth = max_depth
         #: Node budget per :meth:`solve`.  Large drawish regions form
         #: cycles whose values are path-dependent (the classic
@@ -133,7 +140,7 @@ class DatabaseProbingSearch:
         if n in self.dbs:
             stats.db_probes += 1
             idx = int(self.game.engine.indexer(n).rank(board[None, :])[0])
-            return int(self.dbs[n][idx])
+            return int(self._lookup(n, idx))
         return None
 
     def _search(self, board, alpha, beta, depth, pdepth, stats):

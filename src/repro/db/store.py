@@ -63,8 +63,12 @@ class DatabaseSet:
     # ------------------------------------------------------------- memory
 
     def memory_bytes(self) -> int:
-        """Bytes of the stored value arrays (int16 in memory here)."""
-        return sum(v.nbytes for v in self.values.values())
+        """Resident bytes of the stored arrays (values plus depth arrays
+        when collected) — what the memory-wall benchmarks account."""
+        total = sum(v.nbytes for v in self.values.values())
+        if self.depths:
+            total += sum(d.nbytes for d in self.depths.values())
+        return total
 
     def memory_modeled_bytes(self) -> int:
         """Bytes a packed 1995 representation would need (1 byte/value)."""

@@ -1,0 +1,57 @@
+"""Successor resolution shared by every database lookup path.
+
+Evaluating a position against the databases always performs the same
+three steps per legal move: apply the move, identify the database the
+successor lands in (stone count minus capture), and rank the successor
+board inside that database's indexer.  The in-memory query path
+(:mod:`repro.db.query`) and the serving path (:mod:`repro.serve`) both
+build on this helper so the two can never disagree on *which* entry a
+move probes — only on where the value bytes come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SuccessorRef", "resolve_successors"]
+
+
+@dataclass(frozen=True)
+class SuccessorRef:
+    """One legal move and the database entry its successor occupies."""
+
+    pit: int
+    captures: int
+    board: np.ndarray
+    db_id: int
+    index: int
+
+
+def resolve_successors(game, board: np.ndarray) -> list[SuccessorRef]:
+    """Resolve every legal move from ``board`` to its database entry.
+
+    ``game`` is a capture game exposing ``engine`` (move application +
+    per-stone-count indexer), e.g.
+    :class:`~repro.games.awari_db.AwariCaptureGame`.  Moves are returned
+    in pit order; a terminal position returns an empty list.
+    """
+    board = np.asarray(board, dtype=np.int16).reshape(12)
+    n = int(board.sum())
+    batch = np.broadcast_to(board, (6, 12))
+    outcome = game.engine.apply_move(batch, np.arange(6, dtype=np.int64))
+    refs: list[SuccessorRef] = []
+    for pit in range(6):
+        if not outcome.legal[pit]:
+            continue
+        cap = int(outcome.captured[pit])
+        succ = outcome.boards[pit].copy()
+        target = n - cap
+        index = int(game.engine.indexer(target).rank(succ[None, :])[0])
+        refs.append(
+            SuccessorRef(
+                pit=pit, captures=cap, board=succ, db_id=target, index=index
+            )
+        )
+    return refs

@@ -1,0 +1,34 @@
+"""repro.serve — paged, cached endgame-database serving.
+
+Turns solved databases into a servable artifact: a paged on-disk format
+with O(1) block access (:mod:`~repro.serve.pagedstore`), an LRU block
+cache with a byte budget (:mod:`~repro.serve.cache`), a batched probe
+service over either storage backend (:mod:`~repro.serve.service`), and
+a TCP server/client pair speaking a length-prefixed JSON protocol
+(:mod:`~repro.serve.server` / :mod:`~repro.serve.client`).  See
+docs/SERVING.md.
+"""
+
+from .cache import BlockCache
+from .client import ProbeClient, ProbeError
+from .pagedstore import DEFAULT_BLOCK_POSITIONS, PagedStore, write_paged
+from .protocol import MAX_MESSAGE_BYTES, ProtocolError, recv_message, send_message
+from .server import ProbeServer
+from .service import MemoryBackend, PagedBackend, ProbeService
+
+__all__ = [
+    "BlockCache",
+    "DEFAULT_BLOCK_POSITIONS",
+    "MAX_MESSAGE_BYTES",
+    "MemoryBackend",
+    "PagedBackend",
+    "PagedStore",
+    "ProbeClient",
+    "ProbeError",
+    "ProbeServer",
+    "ProbeService",
+    "ProtocolError",
+    "recv_message",
+    "send_message",
+    "write_paged",
+]

@@ -1,0 +1,116 @@
+"""LRU block cache with a byte budget.
+
+Sits between a :class:`~repro.serve.pagedstore.PagedStore` and the probe
+path: decompressed blocks are retained up to ``budget_bytes``, evicting
+least-recently-used blocks first.  The invariant the tests pin down is
+that resident bytes never exceed *budget plus one block* — a miss must
+materialize its block before anything can be evicted, and the block just
+loaded is never evicted to make room for itself.
+
+Hits, misses, evictions and resident bytes are first-class
+``repro.obs`` metric families (pass ``registry.scoped("serve.cache")``);
+the same totals are kept as plain attributes so correctness tests and
+the throughput benchmark can read them without a registry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..obs import NULL_METRICS
+
+__all__ = ["BlockCache"]
+
+
+class BlockCache:
+    """Byte-budgeted LRU over decompressed blocks.
+
+    Keys are hashable (the probe path uses ``(db_id, block_no)``); values
+    are numpy arrays (anything with ``nbytes``).  Not thread-safe by
+    itself — the serving layer serializes access.
+    """
+
+    def __init__(self, budget_bytes: int, metrics=None):
+        if budget_bytes < 0:
+            raise ValueError("budget_bytes must be >= 0")
+        self.budget_bytes = int(budget_bytes)
+        self._metrics = NULL_METRICS if metrics is None else metrics
+        self._blocks: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.resident_bytes = 0
+        self.peak_resident_bytes = 0
+        self._metrics.set_gauge("budget_bytes", self.budget_bytes)
+        self._publish()
+
+    # ----------------------------------------------------------------- api
+
+    def get(self, key, loader):
+        """The cached block for ``key``, calling ``loader()`` on a miss."""
+        block = self._blocks.get(key)
+        if block is not None:
+            self._blocks.move_to_end(key)
+            self.hits += 1
+            self._metrics.inc("hits")
+            return block
+        self.misses += 1
+        self._metrics.inc("misses")
+        block = loader()
+        self._blocks[key] = block
+        self.resident_bytes += int(block.nbytes)
+        if self.resident_bytes > self.peak_resident_bytes:
+            self.peak_resident_bytes = self.resident_bytes
+        self._evict()
+        self._publish()
+        return block
+
+    def __contains__(self, key) -> bool:
+        return key in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def keys(self) -> list:
+        """Current keys in eviction order (least recently used first)."""
+        return list(self._blocks)
+
+    def clear(self) -> None:
+        self._blocks.clear()
+        self.resident_bytes = 0
+        self._publish()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Plain-dict counters (the server's ``stats`` op ships this)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "resident_bytes": self.resident_bytes,
+            "resident_blocks": len(self._blocks),
+            "peak_resident_bytes": self.peak_resident_bytes,
+            "budget_bytes": self.budget_bytes,
+        }
+
+    # ------------------------------------------------------------ internals
+
+    def _evict(self) -> None:
+        # Never evict the newest entry: a budget smaller than one block
+        # still has to hold the block being probed (the "+ one block"
+        # slack in the resident-bytes guarantee).
+        while self.resident_bytes > self.budget_bytes and len(self._blocks) > 1:
+            _, victim = self._blocks.popitem(last=False)
+            self.resident_bytes -= int(victim.nbytes)
+            self.evictions += 1
+            self._metrics.inc("evictions")
+
+    def _publish(self) -> None:
+        self._metrics.set_gauge("resident_bytes", self.resident_bytes)
+        self._metrics.set_gauge("resident_blocks", len(self._blocks))
+        self._metrics.set_gauge("peak_resident_bytes", self.peak_resident_bytes)

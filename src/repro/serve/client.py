@@ -1,0 +1,114 @@
+"""TCP probe client.
+
+A :class:`ProbeClient` speaks the wire protocol of
+:mod:`repro.serve.protocol` *and* implements the probe protocol of
+:class:`~repro.serve.service.ProbeService` (``probe`` / ``probe_many`` /
+``__contains__`` / ``depth_of``), so the in-memory query and search code
+— :func:`repro.db.query.best_moves`, :func:`repro.db.query.optimal_line`,
+:class:`repro.db.search.DatabaseProbingSearch` — runs unmodified against
+a remote server (see ``examples/served_play.py``).
+"""
+
+from __future__ import annotations
+
+import socket
+
+import numpy as np
+
+from ..db.store import DatabaseSet
+from .protocol import recv_message, send_message
+
+__all__ = ["ProbeError", "ProbeClient"]
+
+
+class ProbeError(RuntimeError):
+    """The server rejected a request (``ok: false``)."""
+
+
+class ProbeClient:
+    """Blocking client for one probe server connection."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._info: dict | None = None
+
+    # ----------------------------------------------------------------- wire
+
+    def request(self, message: dict) -> dict:
+        """One round trip; raises :class:`ProbeError` on ``ok: false``."""
+        send_message(self._sock, message)
+        response = recv_message(self._sock)
+        if response is None:
+            raise ProbeError("server closed the connection")
+        if not response.get("ok"):
+            raise ProbeError(response.get("error", "unknown server error"))
+        return response
+
+    # ------------------------------------------------------------- metadata
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def info(self) -> dict:
+        """Server metadata (cached: game, rules, ids, positions)."""
+        if self._info is None:
+            response = self.request({"op": "info"})
+            response.pop("ok")
+            response["ids"] = [
+                DatabaseSet._parse_id(str(i)) for i in response["ids"]
+            ]
+            self._info = response
+        return self._info
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["stats"]
+
+    @property
+    def game_name(self) -> str:
+        return self.info()["game"]
+
+    @property
+    def rules(self) -> str:
+        return self.info()["rules"]
+
+    def ids(self) -> list:
+        return list(self.info()["ids"])
+
+    def __contains__(self, db_id) -> bool:
+        return db_id in self.info()["ids"]
+
+    def positions(self, db_id) -> int:
+        return int(self.info()["positions"][str(db_id)])
+
+    # ---------------------------------------------------------------- probes
+
+    def probe(self, db_id, index: int) -> int:
+        return int(self.request(
+            {"op": "probe", "db": db_id, "index": int(index)}
+        )["value"])
+
+    def probe_many(self, positions) -> np.ndarray:
+        pairs = [[db_id, int(index)] for db_id, index in positions]
+        values = self.request({"op": "probe_many", "positions": pairs})["values"]
+        return np.asarray(values, dtype=np.int16)
+
+    def depth_of(self, db_id, index: int):
+        return None  # distances are not served over the wire
+
+    def best_move(self, board) -> dict:
+        """Server-side best move: ``{"value", "pits", "moves"}``."""
+        board = [int(x) for x in np.asarray(board).reshape(12)]
+        response = self.request({"op": "best_move", "board": board})
+        response.pop("ok")
+        return response
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "ProbeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

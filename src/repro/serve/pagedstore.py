@@ -1,0 +1,243 @@
+"""Paged on-disk database format with O(1) random block access.
+
+The ``.npz`` archives load *whole databases* into RAM — exactly the
+uniprocessor memory wall the paper measures (>600 MB for the database it
+could not build).  The paged format stores each database as fixed-size
+runs of positions ("blocks"), each zlib-compressed independently, behind
+a JSON header that records every block's file offset.  Probing one
+position costs one seek plus one block decompression, never a full-file
+decompression, so a server can answer queries from databases far larger
+than its memory budget (the cache layer on top is
+:class:`~repro.serve.cache.BlockCache`).
+
+File layout::
+
+    8 bytes   magic  b"REPROPGD"
+    8 bytes   header length (little-endian uint64)
+    N bytes   JSON header (utf-8)
+    ...       concatenated zlib-compressed blocks
+
+Header schema ``repro/paged-store/v1``: game name, rule string, block
+size in positions, value dtype, and per-database block tables
+(``offset`` relative to the end of the header, compressed length,
+position count).  Database ids are encoded as strings and parsed back
+with the same rule as :class:`~repro.db.store.DatabaseSet`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from ..db.store import DatabaseSet
+
+__all__ = ["PagedStore", "write_paged", "SCHEMA", "DEFAULT_BLOCK_POSITIONS"]
+
+SCHEMA = "repro/paged-store/v1"
+
+_MAGIC = b"REPROPGD"
+_DTYPE = "<i2"
+
+#: Default block granularity: 4096 int16 values = 8 KiB uncompressed.
+DEFAULT_BLOCK_POSITIONS = 4096
+
+
+def write_paged(
+    dbs: DatabaseSet,
+    path,
+    block_positions: int = DEFAULT_BLOCK_POSITIONS,
+    level: int = 6,
+) -> dict:
+    """Convert a :class:`DatabaseSet` to the paged format.
+
+    Returns a summary dict (databases, positions, raw/compressed bytes).
+    Only value arrays are paged; depth arrays, when present, stay in the
+    ``.npz`` world (serving probes values).
+    """
+    if block_positions < 1:
+        raise ValueError("block_positions must be >= 1")
+    path = Path(path)
+    databases: dict[str, dict] = {}
+    payloads: list[bytes] = []
+    offset = 0
+    raw_bytes = 0
+    for db_id in dbs.ids():
+        values = np.ascontiguousarray(dbs[db_id], dtype=_DTYPE)
+        raw_bytes += values.nbytes
+        blocks = []
+        for start in range(0, max(values.shape[0], 1), block_positions):
+            chunk = values[start : start + block_positions]
+            if chunk.shape[0] == 0 and start > 0:
+                break
+            payload = zlib.compress(chunk.tobytes(), level)
+            blocks.append(
+                {"offset": offset, "clen": len(payload), "count": int(chunk.shape[0])}
+            )
+            payloads.append(payload)
+            offset += len(payload)
+        databases[str(db_id)] = {
+            "positions": int(values.shape[0]),
+            "blocks": blocks,
+        }
+    header = json.dumps(
+        {
+            "schema": SCHEMA,
+            "game": dbs.game_name,
+            "rules": dbs.rules,
+            "block_positions": int(block_positions),
+            "dtype": _DTYPE,
+            "databases": databases,
+        },
+        separators=(",", ":"),
+    ).encode()
+    with open(path, "wb") as fh:
+        fh.write(_MAGIC)
+        fh.write(len(header).to_bytes(8, "little"))
+        fh.write(header)
+        for payload in payloads:
+            fh.write(payload)
+    compressed = offset
+    return {
+        "databases": len(databases),
+        "positions": dbs.total_positions,
+        "raw_bytes": raw_bytes,
+        "file_bytes": path.stat().st_size,
+        "data_bytes": compressed,
+        "ratio": (raw_bytes / compressed) if compressed else 0.0,
+    }
+
+
+class _BlockTable:
+    """Decoded block index of one database."""
+
+    __slots__ = ("positions", "offsets", "clens", "counts")
+
+    def __init__(self, entry: dict):
+        self.positions = int(entry["positions"])
+        blocks = entry["blocks"]
+        self.offsets = [int(b["offset"]) for b in blocks]
+        self.clens = [int(b["clen"]) for b in blocks]
+        self.counts = [int(b["count"]) for b in blocks]
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.offsets)
+
+
+class PagedStore:
+    """Random-access reader over one paged file.
+
+    Reads are thread-safe (a lock serializes seek+read on the shared
+    handle), which is what lets the TCP server probe one store from many
+    client threads.  The store itself holds **no** decompressed data —
+    callers that want reuse put a :class:`~repro.serve.cache.BlockCache`
+    in front of :meth:`read_block`.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._file = open(self.path, "rb")
+        self._lock = threading.Lock()
+        magic = self._file.read(len(_MAGIC))
+        if magic != _MAGIC:
+            self._file.close()
+            raise ValueError(f"{self.path} is not a paged store (bad magic)")
+        header_len = int.from_bytes(self._file.read(8), "little")
+        header = json.loads(self._file.read(header_len).decode())
+        if header.get("schema") != SCHEMA:
+            self._file.close()
+            raise ValueError(
+                f"unsupported paged-store schema {header.get('schema')!r}"
+            )
+        self.game_name: str = header["game"]
+        self.rules: str = header["rules"]
+        self.block_positions: int = int(header["block_positions"])
+        self._dtype = np.dtype(header["dtype"])
+        self._data_start = len(_MAGIC) + 8 + header_len
+        self._tables = {
+            DatabaseSet._parse_id(key): _BlockTable(entry)
+            for key, entry in header["databases"].items()
+        }
+
+    # ------------------------------------------------------------- metadata
+
+    def ids(self) -> list:
+        return sorted(self._tables)
+
+    def __contains__(self, db_id) -> bool:
+        return db_id in self._tables
+
+    def positions(self, db_id) -> int:
+        return self._table(db_id).positions
+
+    @property
+    def total_positions(self) -> int:
+        return sum(t.positions for t in self._tables.values())
+
+    def n_blocks(self, db_id) -> int:
+        return self._table(db_id).n_blocks
+
+    def block_of(self, index: int) -> int:
+        """Block number holding position ``index`` (any database)."""
+        return int(index) // self.block_positions
+
+    @property
+    def file_bytes(self) -> int:
+        return self.path.stat().st_size
+
+    def _table(self, db_id) -> _BlockTable:
+        try:
+            return self._tables[db_id]
+        except KeyError:
+            raise KeyError(
+                f"database {db_id!r} not present; have {self.ids()}"
+            ) from None
+
+    # ---------------------------------------------------------------- reads
+
+    def read_block(self, db_id, block_no: int) -> np.ndarray:
+        """Decompress one block: a seek and one zlib stream, O(block)."""
+        table = self._table(db_id)
+        if not (0 <= block_no < table.n_blocks):
+            raise IndexError(
+                f"block {block_no} out of range for db {db_id!r} "
+                f"({table.n_blocks} blocks)"
+            )
+        offset = self._data_start + table.offsets[block_no]
+        clen = table.clens[block_no]
+        with self._lock:
+            self._file.seek(offset)
+            payload = self._file.read(clen)
+        if len(payload) != clen:
+            raise IOError(f"short read in {self.path} at offset {offset}")
+        values = np.frombuffer(zlib.decompress(payload), dtype=self._dtype)
+        if values.shape[0] != table.counts[block_no]:
+            raise IOError(
+                f"block {block_no} of db {db_id!r} decoded "
+                f"{values.shape[0]} values, expected {table.counts[block_no]}"
+            )
+        return values
+
+    def read_all(self, db_id) -> np.ndarray:
+        """Whole database (test/convenience path, not the serving path)."""
+        table = self._table(db_id)
+        if table.n_blocks == 0:
+            return np.zeros(0, dtype=self._dtype)
+        return np.concatenate(
+            [self.read_block(db_id, b) for b in range(table.n_blocks)]
+        )
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "PagedStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

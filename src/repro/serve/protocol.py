@@ -1,0 +1,98 @@
+"""Length-prefixed JSON wire protocol for the probe server.
+
+Every message — request or response — is one JSON object encoded as
+UTF-8, prefixed by its byte length as a big-endian uint32.  JSON keeps
+the protocol inspectable and language-neutral; the length prefix makes
+framing trivial over a stream socket.
+
+Requests carry an ``op`` field; responses carry ``ok`` (and ``error``
+when ``ok`` is false).  The operations, documented in docs/SERVING.md:
+
+========== =============================================== =============
+op          request fields                                  response
+========== =============================================== =============
+ping        —                                               ``pong: true``
+info        —                                               game, rules, ids, positions, backend
+probe       ``db``, ``index``                               ``value``
+probe_many  ``positions`` = ``[[db, index], ...]``          ``values``
+best_move   ``board`` = 12 pit counts                       ``value``, ``pits``, ``moves``
+stats       —                                               cache/server counters
+========== =============================================== =============
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+__all__ = [
+    "ProtocolError",
+    "MAX_MESSAGE_BYTES",
+    "send_message",
+    "recv_message",
+]
+
+#: Upper bound on one message; a 64 MiB batch is ~4M probes.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """Malformed frame: oversized, truncated, or not JSON."""
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    """Send one length-prefixed JSON message."""
+    payload = json.dumps(message, separators=(",", ":")).encode()
+    if len(payload) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"message of {len(payload)} bytes exceeds limit")
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def recv_message(sock: socket.socket, stop=None) -> dict | None:
+    """Receive one message; ``None`` on clean EOF (or ``stop`` set).
+
+    ``stop`` is an optional :class:`threading.Event` polled whenever the
+    socket times out, letting a serving thread exit between frames
+    during graceful shutdown.
+    """
+    header = _recv_exactly(sock, _LEN.size, stop)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds limit")
+    payload = _recv_exactly(sock, length, stop)
+    if payload is None:
+        raise ProtocolError("connection closed mid-message")
+    try:
+        message = json.loads(payload.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad JSON frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame is not a JSON object")
+    return message
+
+
+def _recv_exactly(sock: socket.socket, n: int, stop=None) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on EOF before the first byte."""
+    chunks: list[bytes] = []
+    received = 0
+    while received < n:
+        try:
+            data = sock.recv(n - received)
+        except socket.timeout:
+            if stop is not None and stop.is_set():
+                return None
+            continue
+        if not data:
+            if received == 0:
+                return None
+            raise ProtocolError(
+                f"connection closed after {received} of {n} bytes"
+            )
+        chunks.append(data)
+        received += len(data)
+    return b"".join(chunks)

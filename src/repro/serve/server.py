@@ -1,0 +1,185 @@
+"""Threaded TCP probe server.
+
+One :class:`ProbeServer` wraps one :class:`~repro.serve.service.ProbeService`
+and answers the wire protocol of :mod:`repro.serve.protocol`.  Each
+client connection gets its own thread (the workload is
+lookup-dominated: threads block on socket I/O, and the paged backend
+serializes block access internally, so plain threads scale to the
+concurrency level a probe workload needs).
+
+Shutdown is graceful: :meth:`~ProbeServer.shutdown` stops the accept
+loop, lets every in-flight request finish (connection threads poll a
+stop event between frames), and joins the threads before returning.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from ..obs import NULL_METRICS
+from .protocol import ProtocolError, recv_message, send_message
+
+__all__ = ["ProbeServer"]
+
+#: Socket timeout used to poll the stop event in accept/recv loops.
+_POLL_SECONDS = 0.2
+
+
+class ProbeServer:
+    """Serve one :class:`ProbeService` over TCP.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    construction (the listener is bound eagerly, so clients may connect
+    as soon as :meth:`start` — or :meth:`serve_forever` — runs).
+    """
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0,
+                 metrics=None):
+        self.service = service
+        self._metrics = NULL_METRICS if metrics is None else metrics
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._accept_thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(32)
+        self._listener.settimeout(_POLL_SECONDS)
+        self.host, self.port = self._listener.getsockname()[:2]
+
+    @property
+    def address(self) -> tuple:
+        return (self.host, self.port)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> "ProbeServer":
+        """Run the accept loop on a background thread and return."""
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"probe-server-{self.port}-accept",
+            daemon=True,
+        )
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Run the accept loop on the calling thread until shutdown."""
+        self._accept_loop()
+
+    def shutdown(self) -> None:
+        """Stop accepting, drain in-flight requests, join all threads."""
+        self._stop.set()
+        if (
+            self._accept_thread is not None
+            and self._accept_thread is not threading.current_thread()
+        ):
+            self._accept_thread.join()
+        with self._lock:
+            threads = list(self._threads)
+        for thread in threads:
+            thread.join()
+        self._listener.close()
+
+    def __enter__(self) -> "ProbeServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ---------------------------------------------------------- accept loop
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed under us
+            self._metrics.inc("connections")
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name=f"probe-server-{self.port}-conn", daemon=True,
+            )
+            with self._lock:
+                self._threads = [t for t in self._threads if t.is_alive()]
+                self._threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        conn.settimeout(_POLL_SECONDS)
+        try:
+            while not self._stop.is_set():
+                try:
+                    request = recv_message(conn, stop=self._stop)
+                except ProtocolError as exc:
+                    send_message(conn, {"ok": False, "error": str(exc)})
+                    self._metrics.inc("errors")
+                    break
+                if request is None:
+                    break
+                send_message(conn, self._handle(request))
+        except OSError:
+            pass  # client went away mid-response
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------- requests
+
+    def _handle(self, request: dict) -> dict:
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
+        if handler is None:
+            self._metrics.inc("errors")
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        self._metrics.inc("requests")
+        self._metrics.inc(f"op.{op}")
+        try:
+            return handler(request)
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            self._metrics.inc("errors")
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    def _op_ping(self, request: dict) -> dict:
+        return {"ok": True, "pong": True}
+
+    def _op_info(self, request: dict) -> dict:
+        service = self.service
+        return {
+            "ok": True,
+            "game": service.game_name,
+            "rules": service.rules,
+            "backend": service.backend_kind,
+            "ids": service.ids(),
+            "positions": {str(i): service.positions(i) for i in service.ids()},
+        }
+
+    def _op_probe(self, request: dict) -> dict:
+        value = self.service.probe(request["db"], int(request["index"]))
+        return {"ok": True, "value": value}
+
+    def _op_probe_many(self, request: dict) -> dict:
+        positions = [(db, int(index)) for db, index in request["positions"]]
+        values = self.service.probe_many(positions)
+        return {"ok": True, "values": [int(v) for v in values]}
+
+    def _op_best_move(self, request: dict) -> dict:
+        board = request["board"]
+        if not isinstance(board, list) or len(board) != 12:
+            raise ValueError("board must be 12 pit counts")
+        value, moves = self.service.best_moves(board)
+        return {
+            "ok": True,
+            "value": int(value),
+            "pits": [m.pit for m in moves],
+            "moves": [
+                {"pit": m.pit, "captures": m.captures, "value": m.value}
+                for m in moves
+            ],
+        }
+
+    def _op_stats(self, request: dict) -> dict:
+        return {"ok": True, "stats": self.service.stats()}

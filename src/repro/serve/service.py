@@ -1,0 +1,302 @@
+"""The probe service — one lookup protocol over two storage backends.
+
+A :class:`ProbeService` answers the three questions a game-playing
+client asks of a solved database: the value of one position
+(:meth:`~ProbeService.probe`), the values of many positions
+(:meth:`~ProbeService.probe_many` — sorted by storage locality so a
+batch touches each cached block once), and the best move from a board
+(:meth:`~ProbeService.best_moves`, which delegates to the same
+:func:`~repro.db.query.best_moves` logic as the in-memory path, so
+serving can never disagree with it).
+
+Backends:
+
+* :class:`MemoryBackend` — a resident :class:`~repro.db.store.DatabaseSet`
+  (today's behaviour, wrapped);
+* :class:`PagedBackend` — a :class:`~repro.serve.pagedstore.PagedStore`
+  behind a :class:`~repro.serve.cache.BlockCache`, which never holds
+  more than the cache budget plus one block in memory.
+
+Anything exposing ``probe`` / ``probe_many`` / ``__contains__`` speaks
+the same protocol — the TCP :class:`~repro.serve.client.ProbeClient`
+does too, so ``repro.db.query`` and ``repro.db.search`` run unchanged
+over a remote server.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..db.store import DatabaseSet
+from ..obs import NULL_METRICS
+from .cache import BlockCache
+from .pagedstore import PagedStore
+
+__all__ = ["MemoryBackend", "PagedBackend", "ProbeService"]
+
+#: Default cache budget for paged serving: 64 MiB.
+DEFAULT_CACHE_BYTES = 64 * 1024 * 1024
+
+
+class MemoryBackend:
+    """Probe backend over an in-memory :class:`DatabaseSet`."""
+
+    kind = "memory"
+
+    def __init__(self, dbs: DatabaseSet):
+        self._dbs = dbs
+
+    @property
+    def game_name(self) -> str:
+        return self._dbs.game_name
+
+    @property
+    def rules(self) -> str:
+        return self._dbs.rules
+
+    def ids(self) -> list:
+        return self._dbs.ids()
+
+    def __contains__(self, db_id) -> bool:
+        return db_id in self._dbs
+
+    def positions(self, db_id) -> int:
+        return int(self._dbs[db_id].shape[0])
+
+    def gather(self, db_id, indices: np.ndarray) -> np.ndarray:
+        return self._dbs[db_id][indices]
+
+    def locality_key(self, db_id, index: int):
+        # Whole databases are resident; grouping by database is enough.
+        return (str(db_id),)
+
+    def depth_of(self, db_id, index: int):
+        return self._dbs.depth_of(db_id, index)
+
+    def stats(self) -> dict:
+        return {"resident_bytes": self._dbs.memory_bytes()}
+
+    def close(self) -> None:
+        pass
+
+
+class PagedBackend:
+    """Probe backend over a paged store behind an LRU block cache."""
+
+    kind = "paged"
+
+    def __init__(self, store: PagedStore, cache: BlockCache):
+        self._store = store
+        self._cache = cache
+        # One lock covers cache bookkeeping *and* block loads: the store
+        # is shared by every server thread and the cache is not
+        # thread-safe by itself.
+        self._lock = threading.Lock()
+
+    @property
+    def game_name(self) -> str:
+        return self._store.game_name
+
+    @property
+    def rules(self) -> str:
+        return self._store.rules
+
+    @property
+    def cache(self) -> BlockCache:
+        return self._cache
+
+    @property
+    def store(self) -> PagedStore:
+        return self._store
+
+    def ids(self) -> list:
+        return self._store.ids()
+
+    def __contains__(self, db_id) -> bool:
+        return db_id in self._store
+
+    def positions(self, db_id) -> int:
+        return self._store.positions(db_id)
+
+    def gather(self, db_id, indices: np.ndarray) -> np.ndarray:
+        out = np.empty(indices.shape[0], dtype=np.int16)
+        blocks = indices // self._store.block_positions
+        base = blocks * self._store.block_positions
+        with self._lock:
+            for block_no in np.unique(blocks):
+                mask = blocks == block_no
+                values = self._cache.get(
+                    (db_id, int(block_no)),
+                    lambda b=int(block_no): self._store.read_block(db_id, b),
+                )
+                out[mask] = values[indices[mask] - base[mask]]
+        return out
+
+    def locality_key(self, db_id, index: int):
+        return (str(db_id), int(index) // self._store.block_positions)
+
+    def depth_of(self, db_id, index: int):
+        return None  # depth arrays are not paged
+
+    def stats(self) -> dict:
+        return self._cache.stats()
+
+    def close(self) -> None:
+        self._store.close()
+
+
+class ProbeService:
+    """Batched position lookups plus best-move queries over one backend."""
+
+    def __init__(self, backend, game=None, metrics=None):
+        self._backend = backend
+        self._game = game
+        self._metrics = NULL_METRICS if metrics is None else metrics
+
+    # --------------------------------------------------------- constructors
+
+    @classmethod
+    def from_database_set(cls, dbs: DatabaseSet, game=None, metrics=None):
+        return cls(MemoryBackend(dbs), game=game, metrics=metrics)
+
+    @classmethod
+    def from_paged(
+        cls,
+        store,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        game=None,
+        metrics=None,
+    ):
+        """Serve a paged store (path or open :class:`PagedStore`)."""
+        if not isinstance(store, PagedStore):
+            store = PagedStore(store)
+        scoped = metrics.scoped("cache") if metrics is not None else None
+        cache = BlockCache(cache_bytes, metrics=scoped)
+        return cls(PagedBackend(store, cache), game=game, metrics=metrics)
+
+    # ------------------------------------------------------------- metadata
+
+    @property
+    def backend(self):
+        return self._backend
+
+    @property
+    def backend_kind(self) -> str:
+        return self._backend.kind
+
+    @property
+    def game_name(self) -> str:
+        return self._backend.game_name
+
+    @property
+    def rules(self) -> str:
+        return self._backend.rules
+
+    def ids(self) -> list:
+        return self._backend.ids()
+
+    def __contains__(self, db_id) -> bool:
+        return db_id in self._backend
+
+    def positions(self, db_id) -> int:
+        return self._backend.positions(db_id)
+
+    def stats(self) -> dict:
+        stats = dict(self._backend.stats())
+        stats["backend"] = self._backend.kind
+        return stats
+
+    # ---------------------------------------------------------------- probes
+
+    def probe(self, db_id, index: int) -> int:
+        """Exact value of position ``index`` of database ``db_id``."""
+        self._metrics.inc("probes")
+        idx = np.asarray([index], dtype=np.int64)
+        self._check_range(db_id, idx)
+        return int(self._backend.gather(db_id, idx)[0])
+
+    def probe_many(self, positions) -> np.ndarray:
+        """Values for ``[(db_id, index), ...]``, in request order.
+
+        Lookups are executed sorted by the backend's locality key
+        (database, then block for the paged backend) so a batch touching
+        one block pays for it once regardless of request order.
+        """
+        positions = list(positions)
+        self._metrics.inc("batches")
+        self._metrics.inc("probes", len(positions))
+        out = np.empty(len(positions), dtype=np.int16)
+        if not positions:
+            return out
+        order = sorted(
+            range(len(positions)),
+            key=lambda k: self._backend.locality_key(*positions[k]),
+        )
+        run_start = 0
+        while run_start < len(order):
+            db_id = positions[order[run_start]][0]
+            run_stop = run_start
+            while (
+                run_stop < len(order)
+                and positions[order[run_stop]][0] == db_id
+            ):
+                run_stop += 1
+            slots = order[run_start:run_stop]
+            idx = np.asarray(
+                [int(positions[k][1]) for k in slots], dtype=np.int64
+            )
+            self._check_range(db_id, idx)
+            out[slots] = self._backend.gather(db_id, idx)
+            run_start = run_stop
+        return out
+
+    def depth_of(self, db_id, index: int):
+        """Distance for one position, ``None`` when not available."""
+        return self._backend.depth_of(db_id, index)
+
+    def _check_range(self, db_id, idx: np.ndarray) -> None:
+        n = self._backend.positions(db_id)
+        if idx.size and (int(idx.min()) < 0 or int(idx.max()) >= n):
+            bad = int(idx[(idx < 0) | (idx >= n)][0])
+            raise IndexError(
+                f"index {bad} out of range for db {db_id!r} ({n} positions)"
+            )
+
+    # ------------------------------------------------------------ best move
+
+    @property
+    def game(self):
+        """The capture game, reconstructed from metadata on first use."""
+        if self._game is None:
+            from ..games.registry import capture_game_for
+
+            self._game = capture_game_for(self)
+        return self._game
+
+    def evaluate_moves(self, board: np.ndarray):
+        """Exact evaluation of every legal move (probes are batched)."""
+        from ..db.query import evaluate_moves
+
+        self._metrics.inc("best_move_queries")
+        return evaluate_moves(self.game, self, board)
+
+    def best_moves(self, board: np.ndarray):
+        """(position value, optimal moves) — the serving-side twin of
+        :func:`repro.db.query.best_moves`."""
+        from ..db.query import best_moves
+
+        self._metrics.inc("best_move_queries")
+        return best_moves(self.game, self, board)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        self._backend.close()
+
+    def __enter__(self) -> "ProbeService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

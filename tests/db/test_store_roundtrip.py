@@ -65,6 +65,29 @@ class TestIdParsing:
         assert DatabaseSet._parse_id("7a") == "7a"
 
 
+class TestMemoryAccounting:
+    def test_memory_bytes_counts_values_and_depths(self):
+        """Fig-2-style measurements must account every resident array:
+        values *and* the optional per-database depth arrays."""
+        values = {0: _arr(0), 1: _arr(1, -1, 0)}
+        depths = {1: np.array([2, 3, -1], dtype=np.int32)}
+        without = DatabaseSet(game_name="awari", values=values)
+        with_depths = DatabaseSet(
+            game_name="awari", values=values, depths=depths
+        )
+        value_bytes = sum(v.nbytes for v in values.values())
+        assert without.memory_bytes() == value_bytes
+        assert with_depths.memory_bytes() == value_bytes + depths[1].nbytes
+
+    def test_modeled_bytes_unaffected_by_depths(self):
+        dbs = DatabaseSet(
+            game_name="awari",
+            values={1: _arr(1, -1, 0)},
+            depths={1: np.array([2, 3, -1], dtype=np.int32)},
+        )
+        assert dbs.memory_modeled_bytes() == 3
+
+
 class TestMissingDatabase:
     def test_keyerror_names_missing_and_available(self):
         dbs = DatabaseSet(game_name="awari", values={0: _arr(0), 1: _arr(1)})

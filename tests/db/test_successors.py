@@ -1,0 +1,65 @@
+"""The shared successor-resolution helper: serving and in-memory query
+paths both build on it, so it is pinned against the engine directly."""
+
+import numpy as np
+import pytest
+
+from repro.core.sequential import SequentialSolver
+from repro.db.query import evaluate_moves
+from repro.db.store import DatabaseSet
+from repro.db.successors import resolve_successors
+from repro.games.awari_db import AwariCaptureGame
+from repro.games.kalah import KalahCaptureGame
+
+
+@pytest.fixture(scope="module", params=["awari", "kalah"])
+def game_and_dbs(request):
+    game = (AwariCaptureGame if request.param == "awari" else KalahCaptureGame)()
+    values, _ = SequentialSolver(game).solve(4)
+    return game, DatabaseSet(game_name=game.name, values=values)
+
+
+def _boards(game, stones, count, seed):
+    indexer = game.engine.indexer(stones)
+    rng = np.random.default_rng(seed)
+    return indexer.unrank(rng.integers(0, indexer.count, size=count))
+
+
+def test_matches_engine_per_move(game_and_dbs):
+    game, _ = game_and_dbs
+    for board in _boards(game, 4, 30, seed=1):
+        refs = resolve_successors(game, board)
+        n = int(board.sum())
+        pits_seen = []
+        for ref in refs:
+            pits_seen.append(ref.pit)
+            out = game.engine.apply_move(
+                board[None, :].astype(np.int16), np.array([ref.pit])
+            )
+            assert out.legal[0]
+            assert ref.captures == int(out.captured[0])
+            np.testing.assert_array_equal(ref.board, out.boards[0])
+            assert ref.db_id == n - ref.captures
+            assert ref.index == int(
+                game.engine.indexer(ref.db_id).rank(ref.board[None, :])[0]
+            )
+        assert pits_seen == sorted(pits_seen)  # pit order
+
+
+def test_evaluate_moves_uses_the_same_resolution(game_and_dbs):
+    """Every move evaluation probes exactly the entry the helper names."""
+    game, dbs = game_and_dbs
+    for board in _boards(game, 4, 20, seed=2):
+        refs = resolve_successors(game, board)
+        evals = evaluate_moves(game, dbs, board)
+        assert [e.pit for e in evals] == [r.pit for r in refs]
+        for ref, ev in zip(refs, evals):
+            assert ev.captures == ref.captures
+            assert ev.value == ref.captures - int(dbs[ref.db_id][ref.index])
+
+
+def test_terminal_board_has_no_successors():
+    game = AwariCaptureGame()
+    board = np.zeros(12, dtype=np.int16)
+    board[6] = 4  # mover has no stones and cannot feed: no legal move
+    assert resolve_successors(game, board) == []

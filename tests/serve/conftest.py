@@ -1,0 +1,45 @@
+"""Shared workloads for the serving tests.
+
+One small solved `DatabaseSet` per game (awari, kalah, synthetic),
+memoized per session, plus paged conversions at a deliberately tiny
+block size so even the small test databases span many blocks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sequential import SequentialSolver
+from repro.db.store import DatabaseSet
+from repro.games.awari_db import AwariCaptureGame
+from repro.games.kalah import KalahCaptureGame
+from repro.games.synthetic import SyntheticCaptureGame
+
+#: Positions per block in the paged fixtures — tiny on purpose.
+BLOCK_POSITIONS = 64
+
+GAMES = {
+    "awari": (AwariCaptureGame, 5),
+    "kalah": (KalahCaptureGame, 4),
+    "synthetic": (lambda: SyntheticCaptureGame(levels=5, max_size=50, seed=7), 4),
+}
+
+
+@pytest.fixture(scope="session", params=sorted(GAMES), ids=sorted(GAMES))
+def solved(request):
+    """(name, game, DatabaseSet) for one of the three games."""
+    name = request.param
+    factory, target = GAMES[name]
+    game = factory()
+    values, _ = SequentialSolver(game).solve(target)
+    rules = game.rules.describe() if hasattr(game, "rules") else ""
+    return name, game, DatabaseSet(game_name=game.name, values=values, rules=rules)
+
+
+@pytest.fixture(scope="session")
+def awari_solved():
+    game = AwariCaptureGame()
+    values, _ = SequentialSolver(game).solve(5)
+    return game, DatabaseSet(
+        game_name=game.name, values=values, rules=game.rules.describe()
+    )

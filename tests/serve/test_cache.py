@@ -1,0 +1,153 @@
+"""BlockCache behaviour: LRU eviction order, byte-budget enforcement,
+counters matching an oracle replay, and the obs gauge contract."""
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serve.cache import BlockCache
+
+
+def _block(fill, n=16):
+    return np.full(n, fill, dtype=np.int16)  # 32 bytes at n=16
+
+
+def _loader(fill, n=16, log=None):
+    def load():
+        if log is not None:
+            log.append(fill)
+        return _block(fill, n)
+
+    return load
+
+
+class TestLRU:
+    def test_hit_returns_cached_object(self):
+        cache = BlockCache(1024)
+        first = cache.get("a", _loader(1))
+        again = cache.get("a", _loader(2))
+        assert again is first
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_is_least_recently_used(self):
+        cache = BlockCache(96)  # room for three 32-byte blocks
+        for key in "abc":
+            cache.get(key, _loader(ord(key)))
+        cache.get("a", _loader(0))  # touch a: LRU order is now b, c, a
+        cache.get("d", _loader(4))  # evicts b
+        assert cache.keys() == ["c", "a", "d"]
+        assert "b" not in cache
+        assert cache.evictions == 1
+
+    def test_eviction_order_cascades(self):
+        cache = BlockCache(64)
+        cache.get("a", _loader(1))
+        cache.get("b", _loader(2))
+        big = cache.get("big", lambda: np.zeros(32, np.int16))  # 64 bytes
+        assert cache.keys() == ["big"]
+        assert cache.evictions == 2
+        assert big.nbytes == 64
+
+    def test_reload_after_eviction(self):
+        loads = []
+        cache = BlockCache(32)
+        cache.get("a", _loader(1, log=loads))
+        cache.get("b", _loader(2, log=loads))
+        cache.get("a", _loader(1, log=loads))
+        assert loads == [1, 2, 1]
+        assert cache.misses == 3 and cache.hits == 0
+
+
+class TestBudget:
+    def test_budget_enforced(self):
+        cache = BlockCache(100)
+        for key in range(20):
+            cache.get(key, _loader(key))
+            assert cache.resident_bytes <= 100
+        assert len(cache) == 3  # 3 * 32 = 96 <= 100
+
+    def test_single_oversized_block_stays(self):
+        """A budget smaller than one block still serves that block —
+        resident never exceeds budget + one block."""
+        cache = BlockCache(16)
+        block = cache.get("huge", lambda: np.zeros(64, np.int16))
+        assert len(cache) == 1
+        assert cache.resident_bytes == 128
+        assert cache.peak_resident_bytes <= 16 + block.nbytes
+        cache.get("next", lambda: np.zeros(64, np.int16))
+        assert len(cache) == 1  # the old one was evicted, not the new one
+        assert cache.keys() == ["next"]
+
+    def test_zero_budget_always_reloads(self):
+        loads = []
+        cache = BlockCache(0)
+        cache.get("a", _loader(1, log=loads))
+        cache.get("a", _loader(1, log=loads))
+        # One block may stay resident (the +1 slack) so the second get
+        # can still hit; what matters is the bound.
+        assert cache.resident_bytes <= 32
+        assert cache.budget_bytes == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            BlockCache(-1)
+
+
+class TestOracleReplay:
+    def test_counters_match_oracle(self):
+        """Replay a seeded access sequence against a dict-based oracle LRU
+        and require hit/miss/eviction counters to match exactly."""
+        rng = np.random.default_rng(42)
+        budget, block_bytes = 160, 32  # capacity: 5 blocks
+        capacity = budget // block_bytes
+        cache = BlockCache(budget)
+        oracle: list = []  # LRU order, least recent first
+        hits = misses = evictions = 0
+        sequence = rng.integers(0, 12, size=500)
+        for key in sequence:
+            key = int(key)
+            if key in oracle:
+                hits += 1
+                oracle.remove(key)
+                oracle.append(key)
+            else:
+                misses += 1
+                oracle.append(key)
+                while len(oracle) > capacity:
+                    oracle.pop(0)
+                    evictions += 1
+            cache.get(key, _loader(key))
+        assert cache.hits == hits
+        assert cache.misses == misses
+        assert cache.evictions == evictions
+        assert cache.keys() == oracle
+        assert cache.hit_rate == pytest.approx(hits / 500)
+
+
+class TestMetrics:
+    def test_gauges_and_counters_exported(self):
+        registry = MetricsRegistry()
+        cache = BlockCache(64, metrics=registry.scoped("serve.cache"))
+        cache.get("a", _loader(1))
+        cache.get("a", _loader(1))
+        cache.get("b", _loader(2))
+        cache.get("c", _loader(3))
+        counters = registry.counters
+        assert counters["serve.cache.hits"] == cache.hits == 1
+        assert counters["serve.cache.misses"] == cache.misses == 3
+        assert counters["serve.cache.evictions"] == cache.evictions == 1
+        gauges = registry.gauges
+        assert gauges["serve.cache.resident_bytes"] == cache.resident_bytes
+        assert gauges["serve.cache.resident_blocks"] == 2
+        assert gauges["serve.cache.budget_bytes"] == 64
+        assert (
+            gauges["serve.cache.peak_resident_bytes"]
+            == cache.peak_resident_bytes
+        )
+
+    def test_stats_dict(self):
+        cache = BlockCache(64)
+        cache.get("a", _loader(1))
+        stats = cache.stats()
+        assert stats["misses"] == 1 and stats["resident_blocks"] == 1
+        assert stats["budget_bytes"] == 64

@@ -1,0 +1,233 @@
+"""TCP server + client end-to-end tests (loopback, ephemeral ports)."""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.db.query import best_moves, optimal_line
+from repro.obs import MetricsRegistry
+from repro.serve.client import ProbeClient, ProbeError
+from repro.serve.pagedstore import write_paged
+from repro.serve.protocol import (
+    MAX_MESSAGE_BYTES,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
+from repro.serve.server import ProbeServer
+from repro.serve.service import ProbeService
+
+from .conftest import BLOCK_POSITIONS
+
+
+@pytest.fixture(scope="module")
+def served(awari_solved, tmp_path_factory):
+    """A running paged-backed server plus the ground-truth DatabaseSet."""
+    game, dbs = awari_solved
+    path = tmp_path_factory.mktemp("served") / "awari.pgdb"
+    write_paged(dbs, path, block_positions=BLOCK_POSITIONS)
+    service = ProbeService.from_paged(path, cache_bytes=64 * 1024)
+    server = ProbeServer(service).start()
+    yield game, dbs, server
+    server.shutdown()
+    service.close()
+
+
+@pytest.fixture()
+def client(served):
+    _, _, server = served
+    with ProbeClient(server.host, server.port) as c:
+        yield c
+
+
+class TestWire:
+    def test_ping_info(self, served, client):
+        game, dbs, _ = served
+        assert client.ping()
+        info = client.info()
+        assert info["game"] == "awari"
+        assert info["backend"] == "paged"
+        assert info["ids"] == dbs.ids()
+        assert client.positions(5) == dbs[5].shape[0]
+        assert 5 in client and 99 not in client
+
+    def test_probe_and_batch_match_ground_truth(self, served, client):
+        _, dbs, _ = served
+        rng = np.random.default_rng(1)
+        pairs = [
+            (int(d), int(rng.integers(0, dbs[int(d)].shape[0])))
+            for d in rng.integers(0, 6, size=200)
+        ]
+        expected = np.array([int(dbs[d][i]) for d, i in pairs], dtype=np.int16)
+        np.testing.assert_array_equal(client.probe_many(pairs), expected)
+        d, i = pairs[0]
+        assert client.probe(d, i) == int(expected[0])
+
+    def test_best_move_matches_local(self, served, client):
+        game, dbs, _ = served
+        indexer = game.engine.indexer(5)
+        rng = np.random.default_rng(8)
+        for idx in rng.integers(0, indexer.count, size=10):
+            board = indexer.unrank(np.array([int(idx)]))[0]
+            want_value, want_moves = best_moves(game, dbs, board)
+            answer = client.best_move(board)
+            assert answer["value"] == want_value
+            assert answer["pits"] == [m.pit for m in want_moves]
+
+    def test_client_speaks_probe_protocol(self, served, client):
+        """optimal_line runs unmodified over the TCP client."""
+        game, dbs, _ = served
+        indexer = game.engine.indexer(5)
+        rng = np.random.default_rng(12)
+        for idx in rng.integers(0, indexer.count, size=3):
+            board = indexer.unrank(np.array([int(idx)]))[0]
+            realized, _ = optimal_line(game, client, board)
+            assert realized == int(dbs[5][int(idx)])
+
+    def test_stats_op(self, served, client):
+        stats = client.stats()
+        assert stats["backend"] == "paged"
+        assert stats["misses"] >= 0 and "hit_rate" in stats
+
+
+class TestErrors:
+    def test_unknown_op(self, served, client):
+        with pytest.raises(ProbeError, match="unknown op"):
+            client.request({"op": "explode"})
+
+    def test_missing_database_over_wire(self, served, client):
+        with pytest.raises(ProbeError, match="not present"):
+            client.probe(99, 0)
+
+    def test_bad_index_over_wire(self, served, client):
+        with pytest.raises(ProbeError, match="out of range"):
+            client.probe(5, 10**9)
+
+    def test_bad_board_over_wire(self, served, client):
+        with pytest.raises(ProbeError, match="12 pit counts"):
+            client.request({"op": "best_move", "board": [1, 2, 3]})
+
+    def test_connection_survives_errors(self, served, client):
+        """An application error must not poison the connection."""
+        _, dbs, _ = served
+        with pytest.raises(ProbeError):
+            client.probe(99, 0)
+        assert client.probe(5, 0) == int(dbs[5][0])
+
+
+class TestProtocolFraming:
+    def test_roundtrip_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            send_message(a, {"op": "ping", "payload": "x" * 100_000})
+            message = recv_message(b)
+            assert message["op"] == "ping"
+            assert len(message["payload"]) == 100_000
+        finally:
+            a.close()
+            b.close()
+
+    def test_eof_returns_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_message(b) is None
+        finally:
+            b.close()
+
+    def test_truncated_frame_raises(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall((100).to_bytes(4, "big") + b"short")
+            a.close()
+            with pytest.raises(ProtocolError, match="connection closed"):
+                recv_message(b)
+        finally:
+            b.close()
+
+    def test_oversized_frame_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall((MAX_MESSAGE_BYTES + 1).to_bytes(4, "big"))
+            with pytest.raises(ProtocolError, match="exceeds limit"):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_json_frame_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            payload = b"\xff\xfe not json"
+            a.sendall(len(payload).to_bytes(4, "big") + payload)
+            with pytest.raises(ProtocolError, match="bad JSON"):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestConcurrencyAndShutdown:
+    def test_concurrent_clients_agree(self, served):
+        game, dbs, server = served
+        errors: list = []
+
+        def worker(seed):
+            try:
+                rng = np.random.default_rng(seed)
+                with ProbeClient(server.host, server.port) as c:
+                    pairs = [
+                        (5, int(i))
+                        for i in rng.integers(0, dbs[5].shape[0], size=300)
+                    ]
+                    got = c.probe_many(pairs)
+                    want = np.array(
+                        [int(dbs[5][i]) for _, i in pairs], dtype=np.int16
+                    )
+                    np.testing.assert_array_equal(got, want)
+            except Exception as exc:  # surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,)) for seed in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+    def test_graceful_shutdown_with_connected_client(self, awari_solved):
+        game, dbs = awari_solved
+        service = ProbeService.from_database_set(dbs)
+        server = ProbeServer(service).start()
+        client = ProbeClient(server.host, server.port)
+        assert client.probe(5, 0) == int(dbs[5][0])
+        server.shutdown()  # returns only once all threads joined
+        prefix = f"probe-server-{server.port}"
+        for thread in threading.enumerate():
+            assert not thread.name.startswith(prefix), thread
+        client.close()
+        service.close()
+
+    def test_server_metrics(self, awari_solved):
+        game, dbs = awari_solved
+        registry = MetricsRegistry()
+        service = ProbeService.from_database_set(dbs)
+        server = ProbeServer(
+            service, metrics=registry.scoped("serve.server")
+        ).start()
+        with ProbeClient(server.host, server.port) as client:
+            client.ping()
+            client.probe(5, 0)
+            with pytest.raises(ProbeError):
+                client.request({"op": "nope"})
+        server.shutdown()
+        service.close()
+        counters = registry.counters
+        assert counters["serve.server.connections"] == 1
+        assert counters["serve.server.requests"] == 2
+        assert counters["serve.server.op.probe"] == 1
+        assert counters["serve.server.errors"] == 1

@@ -1,0 +1,245 @@
+"""ProbeService tests.
+
+The load-bearing one is the differential suite: for every game
+(awari, kalah, synthetic), probing every position through both backends
+— in-memory and paged, the latter with a cache budget smaller than one
+database — must return values bit-identical to direct array indexing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.db.query import best_moves, evaluate_moves, optimal_line
+from repro.db.search import DatabaseProbingSearch
+from repro.obs import MetricsRegistry
+from repro.serve.cache import BlockCache
+from repro.serve.pagedstore import PagedStore, write_paged
+from repro.serve.service import MemoryBackend, PagedBackend, ProbeService
+
+from .conftest import BLOCK_POSITIONS
+
+#: Cache budget used in the differential sweeps: two blocks' worth of
+#: int16 values — far smaller than any solved database in the fixtures.
+SMALL_BUDGET = 2 * BLOCK_POSITIONS * 2
+
+
+def _services(dbs, tmp_path, cache_bytes=SMALL_BUDGET, metrics=None):
+    path = tmp_path / "store.pgdb"
+    write_paged(dbs, path, block_positions=BLOCK_POSITIONS)
+    return {
+        "memory": ProbeService.from_database_set(dbs),
+        "paged": ProbeService.from_paged(
+            path, cache_bytes=cache_bytes, metrics=metrics
+        ),
+    }
+
+
+class TestDifferential:
+    def test_every_position_bit_identical(self, solved, tmp_path):
+        name, game, dbs = solved
+        largest = max(dbs[i].nbytes for i in dbs.ids())
+        budget = min(SMALL_BUDGET, largest // 2)
+        assert budget < largest, "cache budget must not fit one database"
+        for kind, service in _services(
+            dbs, tmp_path, cache_bytes=budget
+        ).items():
+            for db_id in dbs.ids():
+                n = dbs[db_id].shape[0]
+                got = service.probe_many([(db_id, i) for i in range(n)])
+                np.testing.assert_array_equal(
+                    got, dbs[db_id],
+                    err_msg=f"{kind} backend diverges on {name} db {db_id}",
+                )
+            service.close()
+
+    def test_shuffled_batch_order_preserved(self, solved, tmp_path):
+        """Locality sorting must not leak into the result order."""
+        name, game, dbs = solved
+        rng = np.random.default_rng(3)
+        pairs = [
+            (db_id, int(i))
+            for db_id in dbs.ids()
+            for i in rng.integers(0, dbs[db_id].shape[0], size=40)
+        ]
+        rng.shuffle(pairs)
+        expected = np.array([int(dbs[d][i]) for d, i in pairs], dtype=np.int16)
+        for kind, service in _services(dbs, tmp_path).items():
+            np.testing.assert_array_equal(
+                service.probe_many(pairs), expected, err_msg=kind
+            )
+            service.close()
+
+    def test_single_probe_matches(self, solved, tmp_path):
+        name, game, dbs = solved
+        top = dbs.ids()[-1]
+        mid = dbs[top].shape[0] // 2
+        for kind, service in _services(dbs, tmp_path).items():
+            assert service.probe(top, mid) == int(dbs[top][mid]), kind
+            service.close()
+
+
+class TestResidentBytes:
+    def test_probe_sweep_stays_under_budget_plus_one_block(
+        self, awari_solved, tmp_path
+    ):
+        """Acceptance: a full probe sweep through the paged backend keeps
+        the cache's own resident-bytes gauge under budget + one block."""
+        game, dbs = awari_solved
+        registry = MetricsRegistry()
+        service = _services(
+            dbs, tmp_path, metrics=registry.scoped("serve")
+        )["paged"]
+        block_bytes = BLOCK_POSITIONS * 2  # int16
+        rng = np.random.default_rng(11)
+        for db_id in dbs.ids():
+            n = dbs[db_id].shape[0]
+            service.probe_many(
+                [(db_id, int(i)) for i in rng.integers(0, n, size=2 * n)]
+            )
+        cache = service.backend.cache
+        assert cache.misses > 0 and cache.evictions > 0
+        gauges = registry.gauges
+        assert (
+            gauges["serve.cache.peak_resident_bytes"]
+            == cache.peak_resident_bytes
+        )
+        assert cache.peak_resident_bytes <= SMALL_BUDGET + block_bytes
+        assert gauges["serve.cache.resident_bytes"] <= SMALL_BUDGET
+        service.close()
+
+    def test_locality_sort_bounds_block_loads(self, awari_solved, tmp_path):
+        """A batch confined to one database loads each block at most
+        once, no matter how scrambled the request order is."""
+        game, dbs = awari_solved
+        top = dbs.ids()[-1]
+        n = dbs[top].shape[0]
+        path = tmp_path / "locality.pgdb"
+        write_paged(dbs, path, block_positions=BLOCK_POSITIONS)
+        cache = BlockCache(2 * BLOCK_POSITIONS * 2)  # two blocks only
+        service = ProbeService(PagedBackend(PagedStore(path), cache))
+        rng = np.random.default_rng(5)
+        order = rng.permutation(n)
+        service.probe_many([(top, int(i)) for i in order])
+        n_blocks = service.backend.store.n_blocks(top)
+        assert n_blocks > 2  # budget genuinely smaller than the database
+        assert cache.misses == n_blocks
+        service.close()
+
+
+class TestBestMoves:
+    def test_paths_cannot_disagree(self, awari_solved, tmp_path):
+        """Serving best-move answers equal the in-memory query path on a
+        sample of boards (shared successor resolution + shared logic)."""
+        game, dbs = awari_solved
+        services = _services(dbs, tmp_path)
+        indexer = game.engine.indexer(5)
+        rng = np.random.default_rng(2)
+        for idx in rng.integers(0, indexer.count, size=25):
+            board = indexer.unrank(np.array([int(idx)]))[0]
+            want_value, want_moves = best_moves(game, dbs, board)
+            for kind, service in services.items():
+                got_value, got_moves = service.best_moves(board)
+                assert got_value == want_value, kind
+                assert [m.pit for m in got_moves] == [
+                    m.pit for m in want_moves
+                ], kind
+        for service in services.values():
+            service.close()
+
+    def test_game_reconstructed_from_metadata(self, awari_solved, tmp_path):
+        game, dbs = awari_solved
+        service = _services(dbs, tmp_path)["paged"]
+        assert service.game.rules.describe() == game.rules.describe()
+        service.close()
+
+    def test_optimal_line_over_probe_service(self, awari_solved, tmp_path):
+        game, dbs = awari_solved
+        service = _services(dbs, tmp_path)["paged"]
+        indexer = game.engine.indexer(5)
+        rng = np.random.default_rng(9)
+        for idx in rng.integers(0, indexer.count, size=5):
+            board = indexer.unrank(np.array([int(idx)]))[0]
+            realized, _ = optimal_line(game, service, board)
+            assert realized == int(dbs[5][int(idx)])
+        service.close()
+
+    def test_evaluate_moves_depths(self, awari_solved, tmp_path):
+        """The paged path reports no depths (not served), the memory path
+        keeps whatever the DatabaseSet holds."""
+        game, dbs = awari_solved
+        service = _services(dbs, tmp_path)["paged"]
+        board = np.array([0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 1, 0], dtype=np.int16)
+        for ev in service.evaluate_moves(board):
+            assert ev.successor_depth in (None, 0)
+        service.close()
+
+
+class TestSearchIntegration:
+    def test_search_over_paged_store_matches_memory(
+        self, awari_solved, tmp_path
+    ):
+        """DatabaseProbingSearch over a paged ProbeService (partial
+        databases, tiny cache) agrees with the in-memory search."""
+        game, dbs = awari_solved
+        from repro.db.store import DatabaseSet
+
+        partial = DatabaseSet(
+            game_name=dbs.game_name,
+            values={i: dbs.values[i] for i in range(5)},
+            rules=dbs.rules,
+        )
+        path = tmp_path / "partial.pgdb"
+        write_paged(partial, path, block_positions=BLOCK_POSITIONS)
+        service = ProbeService.from_paged(path, cache_bytes=SMALL_BUDGET)
+        indexer = game.engine.indexer(5)
+        rng = np.random.default_rng(4)
+        checked = 0
+        for idx in rng.integers(0, indexer.count, size=8):
+            board = indexer.unrank(np.array([int(idx)]))[0]
+            mem = DatabaseProbingSearch(game, partial, max_depth=16).solve(board)
+            paged = DatabaseProbingSearch(game, service, max_depth=16).solve(board)
+            assert paged.exact == mem.exact
+            if mem.exact:
+                assert paged.value == mem.value == int(dbs[5][int(idx)])
+                checked += 1
+        assert checked >= 1
+        service.close()
+
+
+class TestErrors:
+    def test_index_out_of_range(self, awari_solved, tmp_path):
+        game, dbs = awari_solved
+        for kind, service in _services(dbs, tmp_path).items():
+            with pytest.raises(IndexError, match="out of range"):
+                service.probe(5, dbs[5].shape[0])
+            with pytest.raises(IndexError):
+                service.probe_many([(5, 0), (5, -1)])
+            service.close()
+
+    def test_missing_database(self, awari_solved, tmp_path):
+        game, dbs = awari_solved
+        for kind, service in _services(dbs, tmp_path).items():
+            assert 99 not in service
+            with pytest.raises(KeyError):
+                service.probe(99, 0)
+            service.close()
+
+    def test_empty_batch(self, awari_solved, tmp_path):
+        game, dbs = awari_solved
+        service = _services(dbs, tmp_path)["memory"]
+        assert service.probe_many([]).shape == (0,)
+        service.close()
+
+
+class TestMemoryBackendParity:
+    def test_metadata_and_depths(self, awari_solved):
+        game, dbs = awari_solved
+        service = ProbeService.from_database_set(dbs)
+        assert service.game_name == dbs.game_name
+        assert service.rules == dbs.rules
+        assert service.ids() == dbs.ids()
+        assert service.positions(5) == dbs[5].shape[0]
+        assert service.backend_kind == "memory"
+        assert service.depth_of(5, 0) is None  # fixture has no depths
+        assert isinstance(service.backend, MemoryBackend)
+        assert service.stats()["backend"] == "memory"

@@ -150,6 +150,89 @@ class TestMetricsCLI:
         assert "schema" in capsys.readouterr().err
 
 
+class TestServeCLI:
+    @pytest.fixture(scope="class")
+    def paged(self, archive, tmp_path_factory):
+        path = tmp_path_factory.mktemp("paged") / "awari4.pgdb"
+        assert main([
+            "page", str(archive), str(path), "--block-positions", "256",
+        ]) == 0
+        return path
+
+    def test_page_reports_compression(self, archive, tmp_path, capsys):
+        assert main(["page", str(archive), str(tmp_path / "again.pgdb")]) == 0
+        out = capsys.readouterr().out
+        assert "paged 5 databases" in out and "ratio" in out
+
+    def test_page_output_servable(self, archive, paged):
+        from repro.db.store import DatabaseSet
+        from repro.serve import ProbeService
+
+        dbs = DatabaseSet.load(archive)
+        with ProbeService.from_paged(paged, cache_bytes=4096) as service:
+            assert service.probe(4, 0) == int(dbs[4][0])
+            assert service.backend_kind == "paged"
+
+    def test_page_rejects_missing_archive(self, tmp_path, capsys):
+        assert main(["page", str(tmp_path / "nope.npz"),
+                     str(tmp_path / "out.pgdb")]) == 2
+        assert "cannot read archive" in capsys.readouterr().err
+
+    @pytest.fixture(scope="class")
+    def server(self, paged):
+        from repro.serve import ProbeServer, ProbeService
+
+        service = ProbeService.from_paged(paged, cache_bytes=8192)
+        server = ProbeServer(service).start()
+        yield server
+        server.shutdown()
+        service.close()
+
+    def test_probe_value(self, archive, server, capsys):
+        from repro.db.store import DatabaseSet
+
+        dbs = DatabaseSet.load(archive)
+        assert main(["probe", "--port", str(server.port),
+                     "--db", "4", "--index", "7"]) == 0
+        out = capsys.readouterr().out
+        assert f"value {int(dbs[4][7]):+d}" in out
+
+    def test_probe_board_and_stats(self, server, capsys):
+        assert main(["probe", "--port", str(server.port),
+                     "--board", "0,0,0,0,0,1,1,0,0,0,0,2", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "value for the mover" in out
+        assert "hit_rate" in out
+
+    def test_probe_requires_a_question(self, server, capsys):
+        assert main(["probe", "--port", str(server.port)]) == 2
+        assert "nothing to do" in capsys.readouterr().err
+
+    def test_probe_db_without_index(self, server, capsys):
+        assert main(["probe", "--port", str(server.port), "--db", "4"]) == 2
+
+    def test_probe_bad_board(self, server, capsys):
+        assert main(["probe", "--port", str(server.port),
+                     "--board", "1,2,3"]) == 2
+
+    def test_probe_server_error_is_reported(self, server, capsys):
+        assert main(["probe", "--port", str(server.port),
+                     "--db", "99", "--index", "0"]) == 1
+        assert "probe failed" in capsys.readouterr().err
+
+    def test_probe_no_server(self, capsys):
+        import socket
+
+        # Grab a port that is definitely closed.
+        probe_sock = socket.socket()
+        probe_sock.bind(("127.0.0.1", 0))
+        port = probe_sock.getsockname()[1]
+        probe_sock.close()
+        assert main(["probe", "--port", str(port), "--db", "0",
+                     "--index", "0"]) == 1
+        assert "probe failed" in capsys.readouterr().err
+
+
 class TestModelCommand:
     def test_model_headline(self, capsys):
         assert main(["model", "--stones", "13", "--procs", "64"]) == 0
