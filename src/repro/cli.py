@@ -64,6 +64,31 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="RUN_JSON",
         help="write a run manifest (config + metrics registry) here",
     )
+    solve.add_argument(
+        "--workers", type=int, default=1,
+        help="solve on N real cores with a supervised process pool "
+             "(multiproc backend; incompatible with --procs)",
+    )
+    solve.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="crash-safe checkpoint directory; an interrupted run "
+             "resumes from it (see docs/RESILIENCE.md)",
+    )
+    solve.add_argument(
+        "--scan-chunk", type=int, default=1 << 15,
+        help="positions per scan chunk for --workers fan-out",
+    )
+    solve.add_argument(
+        "--inject-fault", action="append", default=[], metavar="SPEC",
+        help="deterministic fault injection, e.g. kill-worker:chunk=2, "
+             "kill-worker:threshold=3, corrupt-checkpoint:db=4 "
+             "(repeatable; see docs/RESILIENCE.md)",
+    )
+    solve.add_argument(
+        "--fault-state-dir", default=None, metavar="DIR",
+        help="directory for once-only fault flags (share it with a "
+             "resumed run so a fired fault stays fired)",
+    )
 
     stats = sub.add_parser("stats", help="database statistics (Table 1)")
     stats.add_argument("archive")
@@ -118,6 +143,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--ready-file", default=None, metavar="PATH",
         help="write 'host port' here once listening (for scripts/CI)",
     )
+    serve.add_argument(
+        "--inject-fault", action="append", default=[], metavar="SPEC",
+        help="deterministic fault injection, e.g. drop-conn:every=50 or "
+             "drop-conn:after=100 (repeatable; see docs/RESILIENCE.md)",
+    )
 
     probe = sub.add_parser("probe", help="query a running probe server")
     probe.add_argument("--host", default="127.0.0.1")
@@ -141,6 +171,26 @@ def _cmd_solve(args) -> int:
 
     game = capture_game(args.game)
     metrics = MetricsRegistry() if args.metrics_out else NULL_METRICS
+    faults = None
+    if args.inject_fault:
+        from .resilience.faults import FaultPlan, FaultSpecError
+
+        try:
+            faults = FaultPlan.from_specs(
+                args.inject_fault, state_dir=args.fault_state_dir
+            )
+        except FaultSpecError as exc:
+            print(f"bad --inject-fault spec: {exc}", file=sys.stderr)
+            return 2
+        if faults.worker_kill is not None and args.workers <= 1:
+            print("kill-worker faults need --workers > 1", file=sys.stderr)
+            return 2
+    if args.procs > 1 and args.workers > 1:
+        print("--procs (simulated cluster) and --workers (real cores) "
+              "are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.workers > 1 or args.checkpoint_dir:
+        return _solve_resilient(args, game, metrics, faults)
     if args.procs > 1:
         config = ParallelConfig(
             n_procs=args.procs,
@@ -190,6 +240,59 @@ def _cmd_solve(args) -> int:
                 "combine": args.combine,
                 "partition": args.partition,
                 "mode": args.mode,
+            },
+        )
+        manifest.save(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def _solve_resilient(args, game, metrics, faults) -> int:
+    """``repro solve`` on the fault-tolerant path: supervised multiproc
+    workers and/or crash-safe checkpointing through the pipeline."""
+    from .core.pipeline import PipelineConfig, PipelineRunner
+
+    backend = "multiproc" if args.workers > 1 else "sequential"
+    config = PipelineConfig(
+        backend=backend,
+        checkpoint_dir=args.checkpoint_dir,
+        workers=args.workers if args.workers > 1 else None,
+        scan_chunk=args.scan_chunk,
+        faults=faults,
+    )
+    runner = PipelineRunner(game, config, metrics=metrics)
+    values, status = runner.run(args.stones)
+    rules = game.rules.describe() if hasattr(game, "rules") else ""
+    dbs = DatabaseSet(game_name=game.name, values=values, rules=rules)
+    solved, resumed = len(status.solved), len(status.resumed)
+    where = (f"on {args.workers} workers" if backend == "multiproc"
+             else "sequentially")
+    print(
+        f"solved {args.game} up to {args.stones} stones {where} "
+        f"({dbs.total_positions:,} positions, {solved} built, "
+        f"{resumed} resumed, {status.wall_seconds:.1f}s wall)"
+    )
+    if args.checkpoint_dir:
+        print(f"checkpoints in {args.checkpoint_dir}")
+    if args.out:
+        dbs.save(args.out)
+        print(f"saved to {args.out} ({format_bytes(dbs.memory_bytes())})")
+    if args.metrics_out:
+        from .obs import RunManifest
+
+        manifest = RunManifest.from_registry(
+            metrics,
+            game=game.name,
+            command="solve",
+            rules=dbs.rules,
+            config={
+                "stones": args.stones,
+                "game": args.game,
+                "backend": backend,
+                "workers": args.workers,
+                "checkpoint_dir": args.checkpoint_dir,
+                "scan_chunk": args.scan_chunk,
+                "inject_fault": list(args.inject_fault),
             },
         )
         manifest.save(args.metrics_out)
@@ -412,17 +515,32 @@ def _cmd_serve(args) -> int:
     from .serve.server import ProbeServer
     from .serve.service import ProbeService
 
+    faults = None
+    if args.inject_fault:
+        from .resilience.faults import FaultPlan, FaultSpecError
+
+        try:
+            faults = FaultPlan.from_specs(args.inject_fault)
+        except FaultSpecError as exc:
+            print(f"bad --inject-fault spec: {exc}", file=sys.stderr)
+            return 2
     if args.store.endswith(".npz"):
         service = ProbeService.from_database_set(DatabaseSet.load(args.store))
     else:
         service = ProbeService.from_paged(
             args.store, cache_bytes=args.cache_kb * 1024
         )
-    server = ProbeServer(service, host=args.host, port=args.port)
+    server = ProbeServer(service, host=args.host, port=args.port,
+                         faults=faults)
     describe = f"{service.game_name} ({service.backend_kind}"
     if service.backend_kind == "paged":
         describe += f", cache {format_bytes(args.cache_kb * 1024)}"
     describe += ")"
+    if faults is not None and faults.connection_drop is not None:
+        drop = faults.connection_drop
+        parts = [f"every={drop.every}" if drop.every else "",
+                 f"after={drop.after}" if drop.after else ""]
+        describe += f" [chaos: drop {' '.join(p for p in parts if p)}]"
     print(f"serving {describe} on {server.host}:{server.port}", flush=True)
     if args.ready_file:
         Path(args.ready_file).write_text(f"{server.host} {server.port}\n")

@@ -7,6 +7,13 @@ independent, so they fan out across a process pool (``fork`` start
 method: the prepared graph is inherited copy-on-write, no pickling of
 the big arrays on the way in).
 
+Both fan-outs (the scan chunks of graph construction and the threshold
+runs) go through a :class:`~repro.resilience.SupervisedPool`: a child
+killed mid-task costs one chunk replay, not the database, and shows up
+as ``resilience.*`` counters in the metrics registry.  An optional
+:class:`~repro.resilience.RoundStore` checkpoints each threshold's
+labels as they complete, so a killed build resumes mid-database.
+
 Falls back to in-process solving where ``fork`` is unavailable.
 """
 
@@ -14,12 +21,12 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import time
-from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
 from ..games.base import CaptureGame
 from ..obs import NULL_METRICS
+from ..resilience import RetryPolicy, SupervisedPool
 from .graph import build_database_graph
 from .kernel import solve_kernel, threshold_init
 from .values import LOSS, NO_EXIT, WIN, assemble_values
@@ -29,15 +36,18 @@ __all__ = ["MultiprocessSolver"]
 # Module globals inherited by forked workers (set per database).
 _GRAPH = None
 _SCAN = None  # (game, db_id, lower_values)
+_FAULTS = None  # FaultPlan under test, None in production
 
 
 def _solve_one_threshold(t: int):
+    if _FAULTS is not None and _FAULTS.worker_kill is not None:
+        _FAULTS.worker_kill.maybe_kill("threshold", t)
     t0 = time.perf_counter()
     result = solve_kernel(threshold_init(_GRAPH, t))
     return t, result.status, time.perf_counter() - t0
 
 
-def _scan_range(bounds):
+def _scan_range(task):
     """Forked worker: scan one chunk of the database into graph parts.
 
     The trailing element of the return tuple is the chunk's wall time in
@@ -45,8 +55,10 @@ def _scan_range(bounds):
     """
     import numpy as _np
 
+    chunk_no, (start, stop) = task
+    if _FAULTS is not None and _FAULTS.worker_kill is not None:
+        _FAULTS.worker_kill.maybe_kill("chunk", chunk_no)
     game, db_id, lower_values = _SCAN
-    start, stop = bounds
     t0 = time.perf_counter()
     scan = game.scan_chunk(db_id, start, stop)
     rows = np.arange(start, stop, dtype=np.int64)
@@ -80,20 +92,33 @@ class MultiprocessSolver:
         game: CaptureGame,
         workers: int | None = None,
         metrics=None,
+        policy: RetryPolicy | None = None,
+        faults=None,
+        chunk: int = 1 << 15,
     ):
         self.game = game
         self.workers = workers or mp.cpu_count()
         #: Registry under the ``multiproc.`` prefix.  Per-process wall
         #: times land in the (non-deterministic) timers family; the
-        #: counters stay deterministic.
+        #: counters stay deterministic.  Supervision counters land under
+        #: ``resilience.``.
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        #: Retry/rebuild bounds for the supervised pools.
+        self.policy = policy if policy is not None else RetryPolicy()
+        #: Optional :class:`~repro.resilience.FaultPlan` (chaos testing).
+        self.faults = faults
+        #: Scan fan-out granularity (positions per chunk).
+        self.chunk = int(chunk)
         try:
             self._context = mp.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
             self._context = None
 
-    def solve_database(self, db_id, lower_values) -> np.ndarray:
-        global _GRAPH
+    def solve_database(self, db_id, lower_values, round_store=None) -> np.ndarray:
+        """Solve one database; ``round_store`` (a
+        :class:`~repro.resilience.RoundStore`) resumes and checkpoints
+        individual threshold runs for crash-safe long solves."""
+        global _GRAPH, _FAULTS
         m = self.metrics
         t_db = time.perf_counter()
         graph = self._build_graph(db_id, lower_values)
@@ -109,28 +134,44 @@ class MultiprocessSolver:
             return values
         thresholds = list(range(1, bound + 1))
         statuses: dict = {}
+        if round_store is not None:
+            statuses = {
+                t: s for t, s in round_store.load().items() if t in thresholds
+            }
+            if statuses:
+                m.inc("resilience.rounds_resumed", len(statuses))
+        todo = [t for t in thresholds if t not in statuses]
+
+        def record(t, status, child_s):
+            statuses[t] = status
+            m.observe_seconds("multiproc.threshold_seconds", child_s)
+            if round_store is not None:
+                round_store.put(t, status)
+
         if self._context is None or self.workers <= 1 or bound == 1:
-            for t in thresholds:
+            for t in todo:
                 t0 = time.perf_counter()
-                statuses[t] = solve_kernel(threshold_init(graph, t)).status
-                m.observe_seconds(
-                    "multiproc.threshold_seconds", time.perf_counter() - t0
-                )
-        else:
+                status = solve_kernel(threshold_init(graph, t)).status
+                record(t, status, time.perf_counter() - t0)
+        elif todo:
             _GRAPH = graph
+            _FAULTS = self.faults
             try:
-                with ProcessPoolExecutor(
-                    max_workers=min(self.workers, bound),
+                with SupervisedPool(
+                    _solve_one_threshold,
+                    max_workers=min(self.workers, len(todo)),
                     mp_context=self._context,
+                    policy=self.policy,
+                    metrics=m,
                 ) as pool:
-                    for t, status, child_s in pool.map(
-                        _solve_one_threshold, thresholds
-                    ):
-                        statuses[t] = status
-                        # Child-process wall time, aggregated pool-wide.
-                        m.observe_seconds("multiproc.threshold_seconds", child_s)
+                    # Child-process wall times, aggregated pool-wide.
+                    pool.map(
+                        todo,
+                        on_result=lambda i, out: record(*out),
+                    )
             finally:
                 _GRAPH = None
+                _FAULTS = None
         m.inc("multiproc.thresholds", len(thresholds))
         win_sets = [statuses[t] == WIN for t in thresholds]
         loss_sets = [statuses[t] == LOSS for t in thresholds]
@@ -146,42 +187,47 @@ class MultiprocessSolver:
 
     # ------------------------------------------------------------ internals
 
-    def _build_graph(self, db_id, lower_values, chunk: int = 1 << 15):
+    def _build_graph(self, db_id, lower_values, chunk: int | None = None):
         """Graph construction with the scan fanned out across processes
         (the scan is the dominant cost for awari-sized databases)."""
-        global _SCAN
+        global _SCAN, _FAULTS
+        chunk = self.chunk if chunk is None else chunk
         size = self.game.db_size(db_id)
         n_chunks = (size + chunk - 1) // chunk
         if self._context is None or self.workers <= 1 or n_chunks < 2:
             return build_database_graph(self.game, db_id, lower_values)
         from .graph import CSR, DatabaseGraph, WorkCounters
 
-        bounds = [
-            (start, min(start + chunk, size)) for start in range(0, size, chunk)
+        tasks = [
+            (i, (start, min(start + chunk, size)))
+            for i, start in enumerate(range(0, size, chunk))
         ]
         best_exit = np.empty(size, dtype=np.int16)
         out_degree = np.empty(size, dtype=np.int32)
-        srcs, dsts = [], []
         work = WorkCounters(positions_scanned=size)
         _SCAN = (self.game, db_id, lower_values)
+        _FAULTS = self.faults
         try:
-            with ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=self._context
+            with SupervisedPool(
+                _scan_range,
+                max_workers=self.workers,
+                mp_context=self._context,
+                policy=self.policy,
+                metrics=self.metrics,
             ) as pool:
-                for start, be, deg, src, dst, child_s in pool.map(
-                    _scan_range, bounds
-                ):
-                    stop = start + be.shape[0]
-                    best_exit[start:stop] = be
-                    out_degree[start:stop] = deg
-                    srcs.append(src)
-                    dsts.append(dst)
-                    self.metrics.inc("multiproc.scan_chunks")
-                    self.metrics.observe_seconds(
-                        "multiproc.scan_seconds", child_s
-                    )
+                scanned = pool.map(tasks)
         finally:
             _SCAN = None
+            _FAULTS = None
+        srcs, dsts = [], []
+        for start, be, deg, src, dst, child_s in scanned:
+            stop = start + be.shape[0]
+            best_exit[start:stop] = be
+            out_degree[start:stop] = deg
+            srcs.append(src)
+            dsts.append(dst)
+            self.metrics.inc("multiproc.scan_chunks")
+            self.metrics.observe_seconds("multiproc.scan_seconds", child_s)
         src = np.concatenate(srcs) if srcs else np.zeros(0, dtype=np.int64)
         dst = np.concatenate(dsts) if dsts else np.zeros(0, dtype=np.int64)
         forward = CSR.from_edges(size, src, dst)

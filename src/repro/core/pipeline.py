@@ -6,8 +6,17 @@ capture game's database sequence with any solver backend, writing each
 finished database (plus a manifest) to a checkpoint directory and
 resuming from whatever is already there.
 
+Checkpoints are crash-safe: every array and the manifest land via
+atomic tmp-file + rename writes, each database record carries the CRC32
+of its ``.npy`` file, and resumes verify it — a checkpoint damaged on
+disk is detected and rebuilt instead of half-trusted.  For long
+``multiproc`` builds, per-threshold round snapshots
+(:class:`~repro.resilience.RoundStore`) let a solve killed mid-database
+resume mid-database with bit-identical values.
+
 Backends: ``sequential`` (threshold RA), ``bounds`` (interval
-iteration), ``parallel`` (the simulated cluster).  All produce identical
+iteration), ``parallel`` (the simulated cluster), ``multiproc``
+(supervised process pool on real cores).  All produce identical
 databases; the manifest records which backend built what, so mixed
 resumes are fine.
 """
@@ -23,6 +32,15 @@ import numpy as np
 
 from ..games.base import CaptureGame
 from ..obs import MetricsRegistry, NULL_METRICS
+from ..resilience import (
+    CheckpointCorruptError,
+    RetryPolicy,
+    RoundStore,
+    atomic_save_array,
+    atomic_write_json,
+    load_array_verified,
+)
+from ..resilience.faults import corrupt_file
 from .bounds import BoundsSolver
 from .parallel.driver import ParallelConfig, ParallelSolver
 from .sequential import SequentialSolver
@@ -31,18 +49,32 @@ __all__ = ["PipelineConfig", "PipelineRunner", "PipelineStatus"]
 
 _MANIFEST = "manifest.json"
 
+_BACKENDS = ("sequential", "bounds", "parallel", "multiproc")
+
 
 @dataclass(frozen=True)
 class PipelineConfig:
     """How to build and where to checkpoint."""
 
-    backend: str = "sequential"  # "sequential" | "bounds" | "parallel"
+    backend: str = "sequential"  # one of _BACKENDS
     checkpoint_dir: str | None = None
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
     verify_on_load: bool = True
+    #: Process count for the ``multiproc`` backend (None = cpu_count).
+    workers: int | None = None
+    #: Scan fan-out granularity for the ``multiproc`` backend.
+    scan_chunk: int = 1 << 15
+    #: Retry/rebuild bounds for supervised pools (``multiproc``).
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Checkpoint individual threshold runs of ``multiproc`` builds for
+    #: databases at least this large (mid-database crash resume).
+    round_snapshots: bool = True
+    round_snapshot_min_positions: int = 1 << 15
+    #: Optional :class:`~repro.resilience.FaultPlan` (chaos testing).
+    faults: object = None
 
     def __post_init__(self):
-        if self.backend not in ("sequential", "bounds", "parallel"):
+        if self.backend not in _BACKENDS:
             raise ValueError(f"unknown backend {self.backend!r}")
 
 
@@ -95,10 +127,24 @@ class PipelineRunner:
 
     def _save_manifest(self, manifest: dict) -> None:
         if self._dir is not None:
-            self._manifest_path().write_text(json.dumps(manifest, indent=2))
+            atomic_write_json(self._manifest_path(), manifest)
 
     def _db_path(self, db_id) -> Path:
         return self._dir / f"db_{db_id}.npy"
+
+    def _round_store(self, db_id) -> RoundStore | None:
+        """Per-threshold snapshot store for one database build, when the
+        configuration asks for intra-database checkpoints."""
+        if (
+            self._dir is None
+            or self.config.backend != "multiproc"
+            or not self.config.round_snapshots
+        ):
+            return None
+        size = self.game.db_size(db_id)
+        if size < self.config.round_snapshot_min_positions:
+            return None
+        return RoundStore(self._dir / f"rounds_db_{db_id}", size)
 
     # ---------------------------------------------------------------- run
 
@@ -116,7 +162,10 @@ class PipelineRunner:
                 self.metrics.inc("pipeline.databases_resumed")
                 continue
             t_db = time.perf_counter()
-            values[db_id], build_metrics = self._solve_one(db_id, values)
+            round_store = self._round_store(db_id)
+            values[db_id], build_metrics = self._solve_one(
+                db_id, values, round_store
+            )
             status.solved.append(db_id)
             self.metrics.inc("pipeline.databases_solved")
             record = {
@@ -127,6 +176,10 @@ class PipelineRunner:
             }
             self.metrics.merge(build_metrics)
             self._checkpoint(db_id, values[db_id], manifest, record)
+            if round_store is not None:
+                # The final values are safely on disk; the per-threshold
+                # snapshots are redundant from here on.
+                round_store.clear()
         status.wall_seconds = time.perf_counter() - t0
         return values, status
 
@@ -134,12 +187,25 @@ class PipelineRunner:
         if self._dir is None:
             return None
         key = str(db_id)
-        if key not in manifest["databases"]:
+        record = manifest["databases"].get(key)
+        if record is None:
             return None
         path = self._db_path(db_id)
         if not path.exists():
             return None
-        array = np.load(path)
+        crc = record.get("crc32") if isinstance(record, dict) else None
+        if crc is not None:
+            try:
+                array = load_array_verified(path, crc)
+            except CheckpointCorruptError:
+                # Damaged on disk after a clean write: drop the record
+                # and rebuild rather than trusting (or dying on) it.
+                self.metrics.inc("resilience.checkpoints_rejected")
+                del manifest["databases"][key]
+                self._save_manifest(manifest)
+                return None
+        else:
+            array = np.load(path)
         expected = self.game.db_size(db_id)
         if array.shape[0] != expected:
             raise ValueError(
@@ -152,7 +218,7 @@ class PipelineRunner:
                 raise ValueError(f"checkpoint for db {db_id} is corrupt")
         return array
 
-    def _solve_one(self, db_id, values):
+    def _solve_one(self, db_id, values, round_store=None):
         """Build one database; returns ``(values, metrics snapshot)``.
 
         Each build gets a fresh registry so its snapshot is exactly this
@@ -164,6 +230,19 @@ class PipelineRunner:
         if backend == "sequential":
             solver = SequentialSolver(self.game, metrics=build)
             out, _ = solver.solve_database(db_id, values)
+            return out, build.snapshot()
+        if backend == "multiproc":
+            from .multiproc import MultiprocessSolver
+
+            solver = MultiprocessSolver(
+                self.game,
+                workers=self.config.workers,
+                metrics=build,
+                policy=self.config.retry,
+                faults=self.config.faults,
+                chunk=self.config.scan_chunk,
+            )
+            out = solver.solve_database(db_id, values, round_store=round_store)
             return out, build.snapshot()
         if backend == "bounds":
             # BoundsSolver exposes whole-pipeline solve only; reuse its
@@ -191,6 +270,17 @@ class PipelineRunner:
     def _checkpoint(self, db_id, array, manifest, record: dict) -> None:
         if self._dir is None:
             return
-        np.save(self._db_path(db_id), array)
+        path = self._db_path(db_id)
+        record["crc32"] = atomic_save_array(path, array)
         manifest["databases"][str(db_id)] = record
         self._save_manifest(manifest)
+        faults = self.config.faults
+        if (
+            faults is not None
+            and getattr(faults, "checkpoint_corrupt", None) is not None
+            and faults.checkpoint_corrupt.should_fire(db_id)
+        ):
+            # Chaos hook: damage the freshly written checkpoint so the
+            # next resume exercises CRC detection and rebuild.
+            corrupt_file(path)
+            self.metrics.inc("faults.checkpoints_corrupted")

@@ -1,0 +1,69 @@
+"""repro.resilience — fault tolerance for solving and serving.
+
+The paper's headline run compresses a 40-hour uniprocessor solve to 50
+minutes on 64 Ethernet-connected machines — exactly the regime where a
+single crashed worker, dropped socket, or torn checkpoint erases hours
+of retrograde analysis.  This package makes every long-running path
+restartable and failure-isolated:
+
+* :class:`SupervisedPool` — a process pool with per-task completion
+  tracking, bounded retry/backoff, and pool rebuilds, so a killed child
+  costs one task, not one database.
+* :mod:`~repro.resilience.checkpoint` — atomic tmp-file + rename writes
+  with CRC32 verification, plus :class:`RoundStore` for intra-database
+  (per-threshold) snapshots of long solves.
+* :mod:`~repro.resilience.faults` — deterministic, seeded fault
+  injectors (kill the worker running one chosen task, sever a client
+  connection, corrupt a checkpoint file) so every recovery path is
+  exercised by tests and ``--inject-fault`` CLI flags, not just written.
+
+All counters land in the ``resilience.*`` family of the
+:mod:`repro.obs` registry; see docs/RESILIENCE.md.
+"""
+
+from .checkpoint import (
+    CheckpointCorruptError,
+    RoundStore,
+    atomic_save_array,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    crc32_of_file,
+    load_array_verified,
+)
+from .faults import (
+    CheckpointCorruptInjector,
+    ConnectionDropInjector,
+    FaultPlan,
+    FaultSpec,
+    FaultSpecError,
+    WorkerKillInjector,
+    corrupt_file,
+    parse_fault,
+)
+from .pool import PoolFailedError, RetryPolicy, SupervisedPool
+from .retry import ReconnectPolicy, backoff_delay
+
+__all__ = [
+    "SupervisedPool",
+    "RetryPolicy",
+    "PoolFailedError",
+    "ReconnectPolicy",
+    "backoff_delay",
+    "CheckpointCorruptError",
+    "RoundStore",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+    "atomic_save_array",
+    "crc32_of_file",
+    "load_array_verified",
+    "FaultSpec",
+    "FaultSpecError",
+    "FaultPlan",
+    "WorkerKillInjector",
+    "ConnectionDropInjector",
+    "CheckpointCorruptInjector",
+    "corrupt_file",
+    "parse_fault",
+]

@@ -1,0 +1,188 @@
+"""Crash-safe checkpoint primitives: atomic writes + CRC32 verification.
+
+A checkpoint torn by a mid-write kill is worse than no checkpoint: a
+truncated ``.npy`` that half-loads poisons every database built on top
+of it.  Two rules fix that:
+
+* **Never write in place.**  Everything goes to ``<name>.tmp`` in the
+  same directory, is fsynced, and lands with :func:`os.replace` — the
+  destination either holds the old bytes or the complete new ones.
+* **Record a CRC32 next to every artifact.**  Verification on load
+  distinguishes "never written" from "written then damaged"; a reader
+  that detects damage can fall back to recomputing instead of trusting
+  garbage.
+
+:class:`RoundStore` applies both rules to intra-database progress: one
+retrograde threshold run's labels per file, so a solve killed at
+threshold 17 of 24 resumes at 18 with bit-identical results.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "CheckpointCorruptError",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+    "atomic_save_array",
+    "crc32_of_file",
+    "load_array_verified",
+    "RoundStore",
+]
+
+
+class CheckpointCorruptError(RuntimeError):
+    """A checkpoint file failed CRC32 or structural verification."""
+
+
+# ----------------------------------------------------------- atomic writes
+
+
+def atomic_write_bytes(path, data: bytes) -> None:
+    """Write ``data`` so ``path`` is never observed half-written."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def atomic_write_text(path, text: str) -> None:
+    """Atomically replace ``path`` with UTF-8 encoded ``text``."""
+    atomic_write_bytes(path, text.encode())
+
+
+def atomic_write_json(path, obj) -> None:
+    """Atomically replace ``path`` with ``obj`` serialized as JSON."""
+    atomic_write_text(path, json.dumps(obj, indent=2))
+
+
+def atomic_save_array(path, array: np.ndarray) -> int:
+    """Atomically write ``array`` in ``.npy`` format; returns the CRC32
+    of the file's bytes (record it in a manifest for verified loads)."""
+    buffer = io.BytesIO()
+    np.save(buffer, np.ascontiguousarray(array))
+    data = buffer.getvalue()
+    atomic_write_bytes(path, data)
+    return zlib.crc32(data)
+
+
+# ------------------------------------------------------------ verification
+
+
+def crc32_of_file(path, chunk: int = 1 << 20) -> int:
+    """CRC32 of a file's bytes, streamed in ``chunk``-sized reads."""
+    crc = 0
+    with open(path, "rb") as fh:
+        while True:
+            block = fh.read(chunk)
+            if not block:
+                break
+            crc = zlib.crc32(block, crc)
+    return crc
+
+
+def load_array_verified(path, crc=None) -> np.ndarray:
+    """Load a ``.npy`` file, checking its CRC32 first when one is given.
+
+    Raises :class:`CheckpointCorruptError` on mismatch *before* handing
+    the bytes to :func:`numpy.load`, so damage surfaces as a typed error
+    instead of an arbitrary parser failure.
+    """
+    path = Path(path)
+    if crc is not None:
+        actual = crc32_of_file(path)
+        if actual != int(crc):
+            raise CheckpointCorruptError(
+                f"{path}: CRC32 {actual:#010x} does not match recorded "
+                f"{int(crc):#010x}"
+            )
+    try:
+        return np.load(path)
+    except (OSError, ValueError) as exc:
+        raise CheckpointCorruptError(f"{path}: unreadable array: {exc}") from exc
+
+
+# -------------------------------------------------------------- RoundStore
+
+
+class RoundStore:
+    """Per-threshold snapshots inside one long database solve.
+
+    Layout: ``<dir>/t<t>.npy`` holds the kernel's status labels for
+    threshold ``t``; ``<dir>/rounds.json`` maps thresholds to CRC32s.
+    Every write is atomic and the index is rewritten after the array
+    lands, so a crash at any byte leaves a store that verifies cleanly
+    (at worst the last threshold is re-solved).
+    """
+
+    _INDEX = "rounds.json"
+
+    def __init__(self, directory, size: int):
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self.size = int(size)
+        self._index = self._load_index()
+
+    def _index_path(self) -> Path:
+        return self._dir / self._INDEX
+
+    def _load_index(self) -> dict:
+        try:
+            index = json.loads(self._index_path().read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+        return index if isinstance(index, dict) else {}
+
+    def _status_path(self, t: int) -> Path:
+        return self._dir / f"t{int(t)}.npy"
+
+    # --------------------------------------------------------------- io
+
+    def load(self) -> dict[int, np.ndarray]:
+        """Verified snapshots by threshold; damaged entries are dropped
+        (their thresholds simply get re-solved)."""
+        out: dict[int, np.ndarray] = {}
+        for key, crc in self._index.items():
+            try:
+                t = int(key)
+            except ValueError:
+                continue
+            path = self._status_path(t)
+            if not path.exists():
+                continue
+            try:
+                status = load_array_verified(path, crc)
+            except CheckpointCorruptError:
+                continue
+            if status.shape != (self.size,):
+                continue
+            out[t] = status
+        return out
+
+    def put(self, t: int, status: np.ndarray) -> None:
+        crc = atomic_save_array(self._status_path(t), status)
+        self._index[str(int(t))] = crc
+        atomic_write_json(self._index_path(), self._index)
+
+    def clear(self) -> None:
+        """Remove every snapshot (call once the final values are safely
+        checkpointed — the rounds are redundant from then on)."""
+        for key in list(self._index):
+            self._status_path(int(key)).unlink(missing_ok=True)
+        self._index = {}
+        self._index_path().unlink(missing_ok=True)
+        try:
+            self._dir.rmdir()
+        except OSError:
+            pass  # leftover foreign files; keep the directory

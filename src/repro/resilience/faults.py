@@ -1,0 +1,243 @@
+"""Deterministic fault injection for the chaos suite and CLI.
+
+A recovery path that is never executed is a recovery path that does not
+work.  This module turns the three failure modes the resilience layer
+defends against into *deterministic, repeatable* injectors:
+
+* ``kill-worker`` — SIGKILL the pool worker executing one chosen task
+  (a scan chunk or a threshold run), exactly once.
+* ``drop-conn`` — sever probe connections server-side: every Nth
+  accepted connection outright, and/or each connection after K answered
+  requests.
+* ``corrupt-checkpoint`` — flip a byte in one database's checkpoint
+  file after it is written, exactly once.
+
+Once-only semantics survive process boundaries (forked pool workers,
+killed-and-resumed pipelines) through an ``O_CREAT | O_EXCL`` flag file:
+whichever process trips the fault first atomically claims the flag, and
+every later attempt — including the replay of the killed task — runs
+clean.  That is what makes "inject a fault, finish anyway, bit-identical
+output" assertable.
+
+Specs are compact strings for the CLI (``--inject-fault``)::
+
+    kill-worker:chunk=2          kill the worker scanning chunk 2
+    kill-worker:threshold=3      kill the worker solving threshold 3
+    drop-conn:every=50           drop every 50th accepted connection
+    drop-conn:after=100          sever each connection after 100 requests
+    drop-conn:every=7,after=100  both
+    corrupt-checkpoint:db=4      corrupt database 4's checkpoint file
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import tempfile
+import threading
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FaultSpecError",
+    "FaultSpec",
+    "parse_fault",
+    "WorkerKillInjector",
+    "ConnectionDropInjector",
+    "CheckpointCorruptInjector",
+    "FaultPlan",
+    "corrupt_file",
+]
+
+#: kind -> allowed integer parameters.
+_KINDS = {
+    "kill-worker": {"chunk", "threshold"},
+    "drop-conn": {"every", "after"},
+    "corrupt-checkpoint": {"db"},
+}
+
+
+class FaultSpecError(ValueError):
+    """A ``--inject-fault`` spec string does not parse."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed ``kind:key=value[,key=value]`` spec."""
+
+    kind: str
+    params: dict
+
+
+def parse_fault(text: str) -> FaultSpec:
+    """Parse one ``kind:key=int[,key=int]`` fault spec, validating the
+    kind and its parameter names; raises :class:`FaultSpecError`."""
+    kind, _, rest = str(text).strip().partition(":")
+    if kind not in _KINDS:
+        raise FaultSpecError(
+            f"unknown fault kind {kind!r} (expected one of "
+            f"{', '.join(sorted(_KINDS))})"
+        )
+    params: dict = {}
+    for part in filter(None, rest.split(",")):
+        key, sep, value = part.partition("=")
+        if key not in _KINDS[kind]:
+            raise FaultSpecError(f"{kind!r} takes {sorted(_KINDS[kind])}, "
+                                 f"not {key!r}")
+        if not sep:
+            raise FaultSpecError(f"parameter {key!r} needs =<int>")
+        try:
+            params[key] = int(value)
+        except ValueError as exc:
+            raise FaultSpecError(f"{key}={value!r} is not an integer") from exc
+    if not params:
+        raise FaultSpecError(f"{kind!r} needs at least one parameter, e.g. "
+                             f"{kind}:{sorted(_KINDS[kind])[0]}=1")
+    if kind == "kill-worker" and len(params) != 1:
+        raise FaultSpecError("kill-worker takes exactly one of chunk=/threshold=")
+    return FaultSpec(kind, params)
+
+
+# ---------------------------------------------------------------- injectors
+
+
+def _claim_flag(flag_path: str) -> bool:
+    """Atomically claim a once-only flag; True for the first claimant."""
+    try:
+        fd = os.open(flag_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+@dataclass(frozen=True)
+class WorkerKillInjector:
+    """SIGKILL the process executing one chosen task — once.
+
+    ``scope`` is ``"chunk"`` (scan fan-out) or ``"threshold"``
+    (threshold fan-out); ``target`` is the task number within that
+    scope.  The flag file makes the kill fire exactly once across every
+    fork and pool rebuild, so the replayed task succeeds.
+    """
+
+    scope: str
+    target: int
+    flag_path: str
+
+    def should_fire(self, scope: str, number: int) -> bool:
+        if scope != self.scope or int(number) != self.target:
+            return False
+        return _claim_flag(self.flag_path)
+
+    def maybe_kill(self, scope: str, number: int) -> None:
+        if self.should_fire(scope, number):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+class ConnectionDropInjector:
+    """Sever probe connections server-side, deterministically.
+
+    ``every=N`` drops every Nth accepted connection before it is served;
+    ``after=K`` severs each connection once it has answered K requests.
+    Counting is process-local and thread-safe.
+    """
+
+    def __init__(self, every: int | None = None, after: int | None = None):
+        if not every and not after:
+            raise FaultSpecError("drop-conn needs every= and/or after=")
+        self.every = int(every) if every else None
+        self.after = int(after) if after else None
+        self._accepted = 0
+        self._lock = threading.Lock()
+
+    def drop_on_accept(self) -> bool:
+        if self.every is None:
+            return False
+        with self._lock:
+            self._accepted += 1
+            return self._accepted % self.every == 0
+
+    def sever_after(self) -> int | None:
+        return self.after
+
+
+@dataclass(frozen=True)
+class CheckpointCorruptInjector:
+    """Flip a byte in one database's checkpoint after it lands — once."""
+
+    db: int
+    flag_path: str
+
+    def should_fire(self, db_key) -> bool:
+        if str(db_key) != str(self.db):
+            return False
+        return _claim_flag(self.flag_path)
+
+
+def corrupt_file(path, offset: int | None = None) -> None:
+    """Flip one byte of ``path`` in place (middle byte by default —
+    past the ``.npy`` header, inside the data)."""
+    with open(path, "r+b") as fh:
+        fh.seek(0, os.SEEK_END)
+        size = fh.tell()
+        if size == 0:
+            return
+        pos = size // 2 if offset is None else min(int(offset), size - 1)
+        fh.seek(pos)
+        byte = fh.read(1)
+        fh.seek(pos)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+
+
+# --------------------------------------------------------------- FaultPlan
+
+
+@dataclass
+class FaultPlan:
+    """Every injector for one run, built from ``--inject-fault`` specs.
+
+    ``state_dir`` holds the once-only flag files; hand the *same*
+    directory to a killed-and-resumed run so a fault that already fired
+    stays fired.
+    """
+
+    worker_kill: WorkerKillInjector | None = None
+    connection_drop: ConnectionDropInjector | None = None
+    checkpoint_corrupt: CheckpointCorruptInjector | None = None
+    specs: list = field(default_factory=list)
+
+    @classmethod
+    def from_specs(cls, texts, state_dir=None) -> "FaultPlan":
+        specs = [parse_fault(t) if not isinstance(t, FaultSpec) else t
+                 for t in texts]
+        plan = cls(specs=specs)
+        if state_dir is None and any(
+            s.kind in ("kill-worker", "corrupt-checkpoint") for s in specs
+        ):
+            state_dir = tempfile.mkdtemp(prefix="repro-faults-")
+        if state_dir is not None:
+            os.makedirs(state_dir, exist_ok=True)
+        for spec in specs:
+            if spec.kind == "kill-worker":
+                (scope, target), = spec.params.items()
+                plan.worker_kill = WorkerKillInjector(
+                    scope=scope,
+                    target=target,
+                    flag_path=os.path.join(
+                        str(state_dir), f"kill_{scope}_{target}.fired"
+                    ),
+                )
+            elif spec.kind == "drop-conn":
+                plan.connection_drop = ConnectionDropInjector(
+                    every=spec.params.get("every"),
+                    after=spec.params.get("after"),
+                )
+            else:  # corrupt-checkpoint
+                db = spec.params["db"]
+                plan.checkpoint_corrupt = CheckpointCorruptInjector(
+                    db=db,
+                    flag_path=os.path.join(
+                        str(state_dir), f"corrupt_db_{db}.fired"
+                    ),
+                )
+        return plan

@@ -1,4 +1,4 @@
-"""TCP probe client.
+"""TCP probe client with transparent reconnection.
 
 A :class:`ProbeClient` speaks the wire protocol of
 :mod:`repro.serve.protocol` *and* implements the probe protocol of
@@ -7,42 +7,133 @@ A :class:`ProbeClient` speaks the wire protocol of
 — :func:`repro.db.query.best_moves`, :func:`repro.db.query.optimal_line`,
 :class:`repro.db.search.DatabaseProbingSearch` — runs unmodified against
 a remote server (see ``examples/served_play.py``).
+
+Failure handling: every transport error (refused/reset connection,
+timeout, torn frame) is normalized to :class:`ProbeError`.  Because the
+probe protocol is a pure lookup service, every request is idempotent —
+after a dropped connection the client reconnects with bounded backoff
+(:class:`~repro.resilience.ReconnectPolicy`) and transparently replays
+the in-flight request; a long search mid-game survives a server restart
+or a flaky network hop.  Reconnections are counted on
+:attr:`ProbeClient.reconnects` and as ``resilience.reconnects`` in an
+optional metrics registry.
 """
 
 from __future__ import annotations
 
 import socket
+import time
 
 import numpy as np
 
 from ..db.store import DatabaseSet
-from .protocol import recv_message, send_message
+from ..obs import NULL_METRICS
+from ..resilience import ReconnectPolicy
+from .protocol import ProtocolError, recv_message, send_message
 
 __all__ = ["ProbeError", "ProbeClient"]
 
 
 class ProbeError(RuntimeError):
-    """The server rejected a request (``ok: false``)."""
+    """A probe failed: the server rejected the request (``ok: false``)
+    or the connection could not be (re-)established within the policy's
+    bounds.  Every raw socket error surfaces as this type."""
 
 
 class ProbeClient:
-    """Blocking client for one probe server connection."""
+    """Blocking client for one probe server, reconnecting on failure.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    ``reconnect=False`` restores fail-fast semantics (no replays);
+    ``policy`` bounds connection attempts, request replays, and backoff.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 policy: ReconnectPolicy | None = None,
+                 reconnect: bool = True, metrics=None):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self.policy = policy if policy is not None else ReconnectPolicy()
+        self.reconnect = reconnect
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        #: Connections re-established after a drop (not the initial one).
+        self.reconnects = 0
+        self._sock: socket.socket | None = None
+        self._closed = False
         self._info: dict | None = None
+        self._connect()
 
     # ----------------------------------------------------------------- wire
 
-    def request(self, message: dict) -> dict:
-        """One round trip; raises :class:`ProbeError` on ``ok: false``."""
-        send_message(self._sock, message)
-        response = recv_message(self._sock)
-        if response is None:
-            raise ProbeError("server closed the connection")
-        if not response.get("ok"):
-            raise ProbeError(response.get("error", "unknown server error"))
-        return response
+    def _connect(self) -> None:
+        attempts = max(self.policy.connect_attempts, 1)
+        last: OSError | None = None
+        for attempt in range(1, attempts + 1):
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+                return
+            except OSError as exc:
+                last = exc
+                self._sock = None
+                if attempt < attempts:
+                    self.metrics.inc("resilience.connect_retries")
+                    time.sleep(self.policy.backoff(attempt))
+        raise ProbeError(
+            f"cannot connect to {self.host}:{self.port} after "
+            f"{attempts} attempts: {last}"
+        ) from last
+
+    def _drop_socket(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def request(self, message: dict, idempotent: bool = True) -> dict:
+        """One round trip; raises :class:`ProbeError` on ``ok: false``.
+
+        Transport failures of idempotent requests are transparently
+        replayed over a fresh connection, up to the policy's bound.  All
+        probe-protocol operations are idempotent; pass
+        ``idempotent=False`` for a hypothetical mutating op to make a
+        transport failure surface immediately instead.
+        """
+        if self._closed:
+            raise ProbeError("client is closed")
+        replays = (
+            self.policy.request_replays
+            if (self.reconnect and idempotent)
+            else 0
+        )
+        for attempt in range(replays + 1):
+            try:
+                if self._sock is None:
+                    self._connect()
+                    self.reconnects += 1
+                    self.metrics.inc("resilience.reconnects")
+                send_message(self._sock, message)
+                response = recv_message(self._sock)
+                if response is None:
+                    raise ConnectionError("server closed the connection")
+            except ProbeError:
+                raise  # _connect exhausted its own bounded retries
+            except (OSError, ProtocolError) as exc:
+                self._drop_socket()
+                if attempt >= replays:
+                    raise ProbeError(
+                        f"request {message.get('op')!r} to "
+                        f"{self.host}:{self.port} failed: {exc}"
+                    ) from exc
+                time.sleep(self.policy.backoff(attempt + 1))
+                continue
+            if not response.get("ok"):
+                raise ProbeError(response.get("error", "unknown server error"))
+            return response
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------- metadata
 
@@ -105,7 +196,9 @@ class ProbeClient:
     # ------------------------------------------------------------ lifecycle
 
     def close(self) -> None:
-        self._sock.close()
+        """Close the connection; safe to call any number of times."""
+        self._closed = True
+        self._drop_socket()
 
     def __enter__(self) -> "ProbeClient":
         return self

@@ -28,6 +28,7 @@ import struct
 
 __all__ = [
     "ProtocolError",
+    "OversizedFrameError",
     "MAX_MESSAGE_BYTES",
     "send_message",
     "recv_message",
@@ -43,27 +44,46 @@ class ProtocolError(RuntimeError):
     """Malformed frame: oversized, truncated, or not JSON."""
 
 
-def send_message(sock: socket.socket, message: dict) -> None:
+class OversizedFrameError(ProtocolError):
+    """A frame's declared length exceeds the receiver's limit.
+
+    Raised *before* any payload allocation — the length prefix alone is
+    enough to reject, so a hostile 4 GiB declaration costs 4 bytes of
+    buffering, not 4 GiB.
+    """
+
+
+def send_message(sock: socket.socket, message: dict,
+                 max_bytes: int = MAX_MESSAGE_BYTES) -> None:
     """Send one length-prefixed JSON message."""
     payload = json.dumps(message, separators=(",", ":")).encode()
-    if len(payload) > MAX_MESSAGE_BYTES:
-        raise ProtocolError(f"message of {len(payload)} bytes exceeds limit")
+    if len(payload) > max_bytes:
+        raise OversizedFrameError(
+            f"message of {len(payload)} bytes exceeds limit ({max_bytes})"
+        )
     sock.sendall(_LEN.pack(len(payload)) + payload)
 
 
-def recv_message(sock: socket.socket, stop=None) -> dict | None:
+def recv_message(sock: socket.socket, stop=None,
+                 max_bytes: int = MAX_MESSAGE_BYTES) -> dict | None:
     """Receive one message; ``None`` on clean EOF (or ``stop`` set).
 
     ``stop`` is an optional :class:`threading.Event` polled whenever the
     socket times out, letting a serving thread exit between frames
-    during graceful shutdown.
+    during graceful shutdown.  Without ``stop``, a socket timeout
+    propagates to the caller (a client must not spin forever on a hung
+    server).  ``max_bytes`` caps the accepted frame length; an oversized
+    declaration raises :class:`OversizedFrameError` without buffering
+    any payload.
     """
     header = _recv_exactly(sock, _LEN.size, stop)
     if header is None:
         return None
     (length,) = _LEN.unpack(header)
-    if length > MAX_MESSAGE_BYTES:
-        raise ProtocolError(f"frame of {length} bytes exceeds limit")
+    if length > max_bytes:
+        raise OversizedFrameError(
+            f"frame of {length} bytes exceeds limit ({max_bytes})"
+        )
     payload = _recv_exactly(sock, length, stop)
     if payload is None:
         raise ProtocolError("connection closed mid-message")
@@ -84,7 +104,9 @@ def _recv_exactly(sock: socket.socket, n: int, stop=None) -> bytes | None:
         try:
             data = sock.recv(n - received)
         except socket.timeout:
-            if stop is not None and stop.is_set():
+            if stop is None:
+                raise  # no shutdown event to poll: surface the timeout
+            if stop.is_set():
                 return None
             continue
         if not data:

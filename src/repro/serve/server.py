@@ -18,7 +18,12 @@ import socket
 import threading
 
 from ..obs import NULL_METRICS
-from .protocol import ProtocolError, recv_message, send_message
+from .protocol import (
+    MAX_MESSAGE_BYTES,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
 
 __all__ = ["ProbeServer"]
 
@@ -32,12 +37,24 @@ class ProbeServer:
     ``port=0`` binds an ephemeral port; read :attr:`port` after
     construction (the listener is bound eagerly, so clients may connect
     as soon as :meth:`start` — or :meth:`serve_forever` — runs).
+
+    Connections are isolated: a malformed or oversized frame, or any
+    exception a handler raises, produces an ``ok: false`` response (or a
+    closed connection) for that client only — it never takes down the
+    server or wedges another client's thread.  ``max_message_bytes``
+    caps accepted frame lengths; ``faults`` optionally carries a
+    :class:`~repro.resilience.FaultPlan` whose connection-drop injector
+    severs connections deterministically (chaos testing of reconnecting
+    clients).
     """
 
     def __init__(self, service, host: str = "127.0.0.1", port: int = 0,
-                 metrics=None):
+                 metrics=None, max_message_bytes: int = MAX_MESSAGE_BYTES,
+                 faults=None):
         self.service = service
         self._metrics = NULL_METRICS if metrics is None else metrics
+        self._max_message_bytes = int(max_message_bytes)
+        self._drop = getattr(faults, "connection_drop", None)
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         self._accept_thread: threading.Thread | None = None
@@ -100,6 +117,11 @@ class ProbeServer:
             except OSError:
                 break  # listener closed under us
             self._metrics.inc("connections")
+            if self._drop is not None and self._drop.drop_on_accept():
+                # Injected fault: sever this connection before serving it.
+                self._metrics.inc("faults.connections_dropped")
+                conn.close()
+                continue
             thread = threading.Thread(
                 target=self._serve_connection, args=(conn,),
                 name=f"probe-server-{self.port}-conn", daemon=True,
@@ -111,17 +133,31 @@ class ProbeServer:
 
     def _serve_connection(self, conn: socket.socket) -> None:
         conn.settimeout(_POLL_SECONDS)
+        sever_after = self._drop.sever_after() if self._drop else None
+        answered = 0
         try:
             while not self._stop.is_set():
                 try:
-                    request = recv_message(conn, stop=self._stop)
+                    request = recv_message(
+                        conn, stop=self._stop,
+                        max_bytes=self._max_message_bytes,
+                    )
                 except ProtocolError as exc:
+                    # Reject and close: after a bad frame the stream
+                    # cannot be re-synchronized, but only this client's
+                    # connection pays for it.
                     send_message(conn, {"ok": False, "error": str(exc)})
                     self._metrics.inc("errors")
                     break
                 if request is None:
                     break
                 send_message(conn, self._handle(request))
+                answered += 1
+                if sever_after is not None and answered >= sever_after:
+                    # Injected fault: hang up mid-session so reconnect
+                    # and replay paths get exercised.
+                    self._metrics.inc("faults.connections_severed")
+                    break
         except OSError:
             pass  # client went away mid-response
         finally:
@@ -139,7 +175,8 @@ class ProbeServer:
         self._metrics.inc(f"op.{op}")
         try:
             return handler(request)
-        except (KeyError, IndexError, TypeError, ValueError) as exc:
+        except Exception as exc:  # noqa: BLE001 — isolation: one bad
+            # request must answer ok:false, never kill the thread.
             self._metrics.inc("errors")
             return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
 

@@ -76,19 +76,53 @@ class TestCheckpointing:
                 KalahCaptureGame(), PipelineConfig(checkpoint_dir=str(tmp_path))
             ).run(1)
 
-    def test_corrupt_checkpoint_detected(self, tmp_path):
+    def test_corrupt_checkpoint_rebuilt(self, tmp_path, reference):
+        """An overwritten checkpoint fails its CRC and is re-solved."""
+        from repro.obs import MetricsRegistry
+
         game = AwariCaptureGame()
         cfg = PipelineConfig(checkpoint_dir=str(tmp_path))
         PipelineRunner(game, cfg).run(2)
         bad = np.full(game.db_size(2), 99, dtype=np.int16)
         np.save(tmp_path / "db_2.npy", bad)
-        with pytest.raises(ValueError, match="corrupt"):
-            PipelineRunner(game, cfg).run(2)
+        metrics = MetricsRegistry()
+        values, status = PipelineRunner(game, cfg, metrics=metrics).run(2)
+        assert 2 in status.solved
+        assert metrics.counters["resilience.checkpoints_rejected"] == 1
+        np.testing.assert_array_equal(values[2], reference[2])
 
-    def test_truncated_checkpoint_detected(self, tmp_path):
+    def test_truncated_checkpoint_rebuilt(self, tmp_path, reference):
         game = AwariCaptureGame()
         cfg = PipelineConfig(checkpoint_dir=str(tmp_path))
         PipelineRunner(game, cfg).run(2)
+        np.save(tmp_path / "db_2.npy", np.zeros(3, dtype=np.int16))
+        values, status = PipelineRunner(game, cfg).run(2)
+        assert 2 in status.solved
+        np.testing.assert_array_equal(values[2], reference[2])
+
+    def test_corrupt_legacy_checkpoint_raises(self, tmp_path):
+        """A manifest record without a CRC (pre-resilience layout) keeps
+        the strict value-range check: damage raises, never half-loads."""
+        game = AwariCaptureGame()
+        cfg = PipelineConfig(checkpoint_dir=str(tmp_path))
+        PipelineRunner(game, cfg).run(2)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        for record in manifest["databases"].values():
+            record.pop("crc32", None)
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+        bad = np.full(game.db_size(2), 99, dtype=np.int16)
+        np.save(tmp_path / "db_2.npy", bad)
+        with pytest.raises(ValueError, match="corrupt"):
+            PipelineRunner(game, cfg).run(2)
+
+    def test_truncated_legacy_checkpoint_raises(self, tmp_path):
+        game = AwariCaptureGame()
+        cfg = PipelineConfig(checkpoint_dir=str(tmp_path))
+        PipelineRunner(game, cfg).run(2)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        for record in manifest["databases"].values():
+            record.pop("crc32", None)
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest))
         np.save(tmp_path / "db_2.npy", np.zeros(3, dtype=np.int16))
         with pytest.raises(ValueError, match="entries"):
             PipelineRunner(game, cfg).run(2)
@@ -103,8 +137,8 @@ class TestCheckpointing:
         assert 1 in status.solved
         np.testing.assert_array_equal(values[1], reference[1])
 
-    def test_oversized_checkpoint_detected(self, tmp_path):
-        """Size mismatch in the *larger* direction is rejected too."""
+    def test_oversized_checkpoint_rebuilt(self, tmp_path, reference):
+        """Size mismatch in the *larger* direction is caught too."""
         game = AwariCaptureGame()
         cfg = PipelineConfig(checkpoint_dir=str(tmp_path))
         PipelineRunner(game, cfg).run(2)
@@ -112,8 +146,9 @@ class TestCheckpointing:
             tmp_path / "db_2.npy",
             np.zeros(game.db_size(2) + 7, dtype=np.int16),
         )
-        with pytest.raises(ValueError, match="entries"):
-            PipelineRunner(game, cfg).run(2)
+        values, status = PipelineRunner(game, cfg).run(2)
+        assert 2 in status.solved
+        np.testing.assert_array_equal(values[2], reference[2])
 
 
 class TestBuildRecords:

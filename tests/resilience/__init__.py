@@ -1,0 +1,1 @@
+"""Chaos suite: every recovery path exercised, not just written."""

@@ -1,0 +1,121 @@
+"""Atomic writes, CRC verification, and round-store resume."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    CheckpointCorruptError,
+    RoundStore,
+    atomic_save_array,
+    atomic_write_bytes,
+    atomic_write_json,
+    crc32_of_file,
+    load_array_verified,
+)
+from repro.resilience.faults import corrupt_file
+
+
+class TestAtomicWrites:
+    def test_bytes_land_and_tmp_is_gone(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        atomic_write_bytes(path, b"hello")
+        assert path.read_bytes() == b"hello"
+        assert not (tmp_path / "blob.bin.tmp").exists()
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        atomic_write_bytes(path, b"old contents")
+        atomic_write_bytes(path, b"new")
+        assert path.read_bytes() == b"new"
+
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "m.json"
+        atomic_write_json(path, {"a": 1, "b": [2, 3]})
+        assert json.loads(path.read_text()) == {"a": 1, "b": [2, 3]}
+
+
+class TestVerifiedArrays:
+    def test_save_load_roundtrip_with_crc(self, tmp_path):
+        array = np.arange(1000, dtype=np.int16)
+        path = tmp_path / "a.npy"
+        crc = atomic_save_array(path, array)
+        assert crc == crc32_of_file(path)
+        np.testing.assert_array_equal(load_array_verified(path, crc), array)
+
+    def test_flipped_byte_is_detected(self, tmp_path):
+        array = np.arange(1000, dtype=np.int16)
+        path = tmp_path / "a.npy"
+        crc = atomic_save_array(path, array)
+        corrupt_file(path)
+        with pytest.raises(CheckpointCorruptError, match="CRC32"):
+            load_array_verified(path, crc)
+
+    def test_load_without_crc_skips_verification(self, tmp_path):
+        array = np.arange(10, dtype=np.int16)
+        path = tmp_path / "a.npy"
+        atomic_save_array(path, array)
+        np.testing.assert_array_equal(load_array_verified(path), array)
+
+    def test_corrupt_file_flips_exactly_one_byte(self, tmp_path):
+        path = tmp_path / "x.bin"
+        path.write_bytes(bytes(100))
+        corrupt_file(path)
+        data = path.read_bytes()
+        assert len(data) == 100
+        assert sum(1 for b in data if b != 0) == 1
+
+
+class TestRoundStore:
+    def _statuses(self, size, thresholds):
+        rng = np.random.default_rng(7)
+        return {t: rng.integers(0, 3, size=size).astype(np.uint8)
+                for t in thresholds}
+
+    def test_put_load_roundtrip(self, tmp_path):
+        store = RoundStore(tmp_path / "rounds", size=64)
+        statuses = self._statuses(64, [1, 2, 5])
+        for t, s in statuses.items():
+            store.put(t, s)
+        fresh = RoundStore(tmp_path / "rounds", size=64)
+        loaded = fresh.load()
+        assert sorted(loaded) == [1, 2, 5]
+        for t in statuses:
+            np.testing.assert_array_equal(loaded[t], statuses[t])
+
+    def test_corrupt_round_is_dropped_not_trusted(self, tmp_path):
+        store = RoundStore(tmp_path / "rounds", size=32)
+        for t, s in self._statuses(32, [1, 2]).items():
+            store.put(t, s)
+        corrupt_file(tmp_path / "rounds" / "t1.npy")
+        loaded = RoundStore(tmp_path / "rounds", size=32).load()
+        assert sorted(loaded) == [2]
+
+    def test_missing_file_is_dropped(self, tmp_path):
+        store = RoundStore(tmp_path / "rounds", size=32)
+        for t, s in self._statuses(32, [1, 2]).items():
+            store.put(t, s)
+        os.unlink(tmp_path / "rounds" / "t2.npy")
+        assert sorted(RoundStore(tmp_path / "rounds", size=32).load()) == [1]
+
+    def test_wrong_size_is_dropped(self, tmp_path):
+        store = RoundStore(tmp_path / "rounds", size=32)
+        for t, s in self._statuses(32, [1]).items():
+            store.put(t, s)
+        # Same store path reopened for a different database size.
+        assert RoundStore(tmp_path / "rounds", size=64).load() == {}
+
+    def test_torn_index_means_empty_not_crash(self, tmp_path):
+        store = RoundStore(tmp_path / "rounds", size=16)
+        store.put(1, np.zeros(16, dtype=np.uint8))
+        (tmp_path / "rounds" / "rounds.json").write_text('{"1": 12')  # torn
+        assert RoundStore(tmp_path / "rounds", size=16).load() == {}
+
+    def test_clear_removes_everything(self, tmp_path):
+        store = RoundStore(tmp_path / "rounds", size=16)
+        for t, s in self._statuses(16, [1, 2, 3]).items():
+            store.put(t, s)
+        store.clear()
+        assert not (tmp_path / "rounds").exists()

@@ -1,0 +1,114 @@
+"""Fault-spec parsing and injector determinism (no actual kills here —
+the SIGKILL paths run in tests/resilience/test_recovery.py workers)."""
+
+import pytest
+
+from repro.resilience.faults import (
+    CheckpointCorruptInjector,
+    ConnectionDropInjector,
+    FaultPlan,
+    FaultSpecError,
+    WorkerKillInjector,
+    parse_fault,
+)
+
+
+class TestParsing:
+    def test_kill_worker_chunk(self):
+        spec = parse_fault("kill-worker:chunk=3")
+        assert spec.kind == "kill-worker"
+        assert spec.params == {"chunk": 3}
+
+    def test_kill_worker_threshold(self):
+        assert parse_fault("kill-worker:threshold=2").params == {"threshold": 2}
+
+    def test_drop_conn_both_params(self):
+        spec = parse_fault("drop-conn:every=7,after=100")
+        assert spec.params == {"every": 7, "after": 100}
+
+    def test_corrupt_checkpoint(self):
+        assert parse_fault("corrupt-checkpoint:db=4").params == {"db": 4}
+
+    @pytest.mark.parametrize("bad", [
+        "explode:now=1",            # unknown kind
+        "kill-worker",              # no params
+        "kill-worker:chunk",        # no value
+        "kill-worker:chunk=x",      # not an integer
+        "kill-worker:every=1",      # wrong parameter for kind
+        "kill-worker:chunk=1,threshold=2",  # exactly one scope allowed
+        "drop-conn:db=1",
+    ])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_fault(bad)
+
+
+class TestWorkerKillInjector:
+    def test_fires_once_on_the_target_only(self, tmp_path):
+        inj = WorkerKillInjector("chunk", 3, str(tmp_path / "f.flag"))
+        assert not inj.should_fire("chunk", 2)
+        assert not inj.should_fire("threshold", 3)
+        assert inj.should_fire("chunk", 3)
+        assert not inj.should_fire("chunk", 3)  # once only
+
+    def test_flag_survives_a_new_injector_instance(self, tmp_path):
+        """A resumed run (same state dir) must not re-fire the fault."""
+        flag = str(tmp_path / "f.flag")
+        assert WorkerKillInjector("chunk", 1, flag).should_fire("chunk", 1)
+        assert not WorkerKillInjector("chunk", 1, flag).should_fire("chunk", 1)
+
+
+class TestConnectionDropInjector:
+    def test_every_nth_connection(self):
+        inj = ConnectionDropInjector(every=3)
+        drops = [inj.drop_on_accept() for _ in range(9)]
+        assert drops == [False, False, True] * 3
+
+    def test_after_only_never_drops_on_accept(self):
+        inj = ConnectionDropInjector(after=5)
+        assert not any(inj.drop_on_accept() for _ in range(10))
+        assert inj.sever_after() == 5
+
+    def test_needs_a_parameter(self):
+        with pytest.raises(FaultSpecError):
+            ConnectionDropInjector()
+
+
+class TestCheckpointCorruptInjector:
+    def test_fires_once_for_matching_db(self, tmp_path):
+        inj = CheckpointCorruptInjector(2, str(tmp_path / "c.flag"))
+        assert not inj.should_fire(1)
+        assert inj.should_fire(2)
+        assert not inj.should_fire(2)
+
+
+class TestFaultPlan:
+    def test_from_specs_builds_all_injectors(self, tmp_path):
+        plan = FaultPlan.from_specs(
+            ["kill-worker:chunk=2", "drop-conn:every=50,after=10",
+             "corrupt-checkpoint:db=3"],
+            state_dir=str(tmp_path),
+        )
+        assert plan.worker_kill.scope == "chunk"
+        assert plan.worker_kill.target == 2
+        assert plan.connection_drop.every == 50
+        assert plan.connection_drop.sever_after() == 10
+        assert plan.checkpoint_corrupt.db == 3
+        assert len(plan.specs) == 3
+
+    def test_state_dir_is_shared_across_plans(self, tmp_path):
+        """Two plans over one state dir see each other's fired flags —
+        the property a killed-and-resumed CLI run relies on."""
+        first = FaultPlan.from_specs(["kill-worker:chunk=1"],
+                                     state_dir=str(tmp_path))
+        assert first.worker_kill.should_fire("chunk", 1)
+        second = FaultPlan.from_specs(["kill-worker:chunk=1"],
+                                      state_dir=str(tmp_path))
+        assert not second.worker_kill.should_fire("chunk", 1)
+
+    def test_default_state_dir_is_created(self):
+        plan = FaultPlan.from_specs(["kill-worker:threshold=1"])
+        assert plan.worker_kill is not None
+        import os
+
+        assert os.path.isdir(os.path.dirname(plan.worker_kill.flag_path))

@@ -1,0 +1,130 @@
+"""SupervisedPool unit tests: retry, replay, rebuild, bounded failure.
+
+Worker functions live at module level so they pickle; cross-process
+"fail once then succeed" state goes through O_CREAT|O_EXCL flag files
+(fork workers share no memory with the parent after the snapshot).
+"""
+
+import multiprocessing as mp
+import os
+import signal
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.resilience import PoolFailedError, RetryPolicy, SupervisedPool
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(), reason="needs fork"
+)
+
+FORK = mp.get_context("fork")
+
+#: Fast backoff so the suite stays quick.
+FAST = RetryPolicy(backoff_seconds=0.001, backoff_max_seconds=0.01)
+
+
+def _square(x):
+    return x * x
+
+
+def _claim(path) -> bool:
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def _fail_once(task):
+    x, flag = task
+    if _claim(flag):
+        raise RuntimeError("transient failure")
+    return x + 1
+
+
+def _always_fail(task):
+    raise RuntimeError("permanent failure")
+
+
+def _kill_once(task):
+    x, target, flag = task
+    if x == target and _claim(flag):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x * 10
+
+
+def _pool(fn, workers=2, policy=FAST, metrics=None):
+    return SupervisedPool(fn, max_workers=workers, mp_context=FORK,
+                         policy=policy, metrics=metrics)
+
+
+class TestHappyPath:
+    def test_map_returns_results_in_task_order(self):
+        with _pool(_square) as pool:
+            assert pool.map(range(20)) == [x * x for x in range(20)]
+
+    def test_on_result_sees_every_task_once(self):
+        seen = {}
+        with _pool(_square) as pool:
+            pool.map(range(8), on_result=lambda i, r: seen.setdefault(i, r))
+        assert seen == {i: i * i for i in range(8)}
+
+    def test_counters_clean_run(self):
+        metrics = MetricsRegistry()
+        with _pool(_square, metrics=metrics) as pool:
+            pool.map(range(5))
+        assert metrics.counters["resilience.tasks_completed"] == 5
+        assert "resilience.retries" not in metrics.counters
+        assert "resilience.pool_rebuilds" not in metrics.counters
+
+
+class TestRetry:
+    def test_transient_failure_is_retried(self, tmp_path):
+        metrics = MetricsRegistry()
+        tasks = [(x, str(tmp_path / f"f{x}.flag")) for x in range(4)]
+        with _pool(_fail_once, metrics=metrics) as pool:
+            assert pool.map(tasks) == [1, 2, 3, 4]
+        assert metrics.counters["resilience.retries"] == 4
+        assert metrics.counters["resilience.task_failures"] == 4
+        assert metrics.counters["resilience.tasks_completed"] == 4
+
+    def test_permanent_failure_is_bounded(self):
+        policy = RetryPolicy(max_task_retries=2, backoff_seconds=0.001)
+        with _pool(_always_fail, policy=policy) as pool:
+            with pytest.raises(PoolFailedError, match="failed 3 times"):
+                pool.map([0])
+
+
+class TestRebuild:
+    def test_killed_worker_costs_one_replay_round(self, tmp_path):
+        metrics = MetricsRegistry()
+        flag = str(tmp_path / "kill.flag")
+        tasks = [(x, 3, flag) for x in range(8)]
+        with _pool(_kill_once, metrics=metrics) as pool:
+            assert pool.map(tasks) == [x * 10 for x in range(8)]
+        assert metrics.counters["resilience.pool_rebuilds"] == 1
+        assert metrics.counters["resilience.tasks_replayed"] >= 1
+        assert metrics.counters["resilience.tasks_completed"] == 8
+
+    def test_rebuilds_are_bounded(self, tmp_path):
+        # Three distinct kill flags = the pool breaks three times, one
+        # more than the policy allows.
+        policy = RetryPolicy(max_pool_rebuilds=2, backoff_seconds=0.001)
+        tasks = [(0, 0, str(tmp_path / f"k{i}.flag")) for i in range(3)]
+        # One worker so exactly one kill fires per round: three breaks.
+        with _pool(_kill_once, workers=1, policy=policy) as pool:
+            with pytest.raises(PoolFailedError, match="broke 3 times"):
+                # Tasks all target x == 0, so each round kills again
+                # until the flags run out — but the bound trips first.
+                pool.map(tasks)
+
+
+class TestPolicy:
+    def test_backoff_is_deterministic_and_capped(self):
+        policy = RetryPolicy(backoff_seconds=0.1, backoff_max_seconds=0.3)
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.3)
+        assert policy.backoff(10) == pytest.approx(0.3)
