@@ -1,0 +1,163 @@
+"""IPC overhead of the multiprocess fan-out — pickle vs shared memory.
+
+The paper engineers per-position communication cost toward zero with
+message combining; the modern analogue in `MultiprocessSolver` is the
+pickle tax of pool results.  This bench solves one database per size on
+both fan-out paths (``use_shm=False``: workers pickle status arrays and
+edge lists back; ``use_shm=True``: workers write into a parent-owned
+:class:`~repro.core.shm.ShmArena` and return metadata tuples), asserts
+the resulting databases are bit-identical — including under a
+``kill-worker`` fault injection — and reports the bytes each path moved
+through the pool, as counted by ``multiproc.ipc_bytes_pickled`` /
+``multiproc.ipc_bytes_saved``.
+
+Lower databases are zero-filled: the fan-out traffic depends only on
+array *shapes*, and both paths consume identical inputs, so the
+bit-identity assertion is exact while the sweep stays fast enough to
+reach a >= 1M-position database (12-stone awari).  The smallest size is
+additionally cross-checked against the sequential builder on the same
+zero lowers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+from conftest import publish
+
+from repro.analysis.report import Table, format_bytes
+from repro.core.multiproc import MultiprocessSolver
+from repro.core.sequential import SequentialSolver
+from repro.core.shm import shm_available
+from repro.games.awari_db import AwariCaptureGame
+from repro.obs import MetricsRegistry
+from repro.resilience.faults import FaultPlan
+
+#: Awari databases swept: 75k, 352k, and 1.35M positions.
+STONE_SWEEP = [8, 10, 12]
+WORKERS = 2
+SCAN_CHUNK = 1 << 15
+
+
+def _zero_lowers(game, stones: int) -> dict:
+    return {
+        n: np.zeros(game.db_size(n), dtype=np.int16) for n in range(stones)
+    }
+
+
+def _run(game, stones: int, use_shm: bool, faults=None):
+    metrics = MetricsRegistry()
+    solver = MultiprocessSolver(
+        game,
+        workers=WORKERS,
+        metrics=metrics,
+        chunk=SCAN_CHUNK,
+        use_shm=use_shm,
+        faults=faults,
+    )
+    lowers = _zero_lowers(game, stones)
+    t0 = time.perf_counter()
+    values = solver.solve_database(stones, lowers)
+    seconds = time.perf_counter() - t0
+    return values, metrics.snapshot()["counters"], seconds
+
+
+def test_ipc_overhead(results_dir, tmp_path):
+    assert shm_available(), "bench requires POSIX shared memory"
+    game = AwariCaptureGame()
+    rows = []
+    top_values = None
+    for stones in STONE_SWEEP:
+        v_pickle, c_pickle, s_pickle = _run(game, stones, use_shm=False)
+        v_shm, c_shm, s_shm = _run(game, stones, use_shm=True)
+        np.testing.assert_array_equal(
+            v_shm, v_pickle, err_msg=f"paths diverge at {stones} stones"
+        )
+        pickled = c_pickle["multiproc.ipc_bytes_pickled"]
+        saved = c_shm["multiproc.ipc_bytes_saved"]
+        shm_pickled = c_shm.get("multiproc.ipc_bytes_pickled", 0)
+        # The whole point: the arena path moves strictly fewer pickled
+        # bytes, and what it saved is exactly what pickling paid.
+        assert shm_pickled < pickled
+        assert saved == pickled
+        rows.append(
+            {
+                "stones": stones,
+                "positions": game.db_size(stones),
+                "pickle_bytes": int(pickled),
+                "shm_pickled_bytes": int(shm_pickled),
+                "ipc_bytes_saved": int(saved),
+                "shm_segments": int(c_shm["multiproc.shm_segments"]),
+                "pickle_seconds": s_pickle,
+                "shm_seconds": s_shm,
+            }
+        )
+        if stones == STONE_SWEEP[-1]:
+            top_values = v_shm
+    assert rows[-1]["positions"] >= 1_000_000
+
+    # Smallest size: cross-check both fan-outs against the sequential
+    # builder on the same zero lowers.
+    seq_solver = SequentialSolver(game)
+    v_seq, _ = seq_solver.solve_database(
+        STONE_SWEEP[0], _zero_lowers(game, STONE_SWEEP[0])
+    )
+    v_small, _, _ = _run(game, STONE_SWEEP[0], use_shm=True)
+    np.testing.assert_array_equal(v_small, v_seq)
+
+    # Largest size again, now with a worker SIGKILLed mid-scan: the
+    # replayed task re-writes its own arena region, bit-identically.
+    plan = FaultPlan.from_specs(
+        ["kill-worker:chunk=1"], state_dir=str(tmp_path / "faults")
+    )
+    v_fault, c_fault, _ = _run(
+        game, STONE_SWEEP[-1], use_shm=True, faults=plan
+    )
+    np.testing.assert_array_equal(v_fault, top_values)
+    assert c_fault.get("resilience.pool_rebuilds", 0) >= 1
+    assert (
+        c_fault["multiproc.ipc_bytes_saved"]
+        == rows[-1]["ipc_bytes_saved"]
+    )
+
+    table = Table(
+        f"multiprocess fan-out IPC — pickle vs shared memory "
+        f"({WORKERS} workers, {SCAN_CHUNK}-position chunks)",
+        ["stones", "positions", "pickled", "shm-pickled", "saved",
+         "segs", "t-pickle", "t-shm"],
+    )
+    for row in rows:
+        table.add(
+            row["stones"],
+            f"{row['positions']:,}",
+            format_bytes(row["pickle_bytes"]),
+            format_bytes(row["shm_pickled_bytes"]),
+            format_bytes(row["ipc_bytes_saved"]),
+            row["shm_segments"],
+            f"{row['pickle_seconds']:.1f}s",
+            f"{row['shm_seconds']:.1f}s",
+        )
+    lines = [table.render(), ""]
+    lines.append(
+        "# kill-worker:chunk=1 on the largest database: bit-identical, "
+        f"pool_rebuilds={c_fault.get('resilience.pool_rebuilds', 0)}"
+    )
+    publish(results_dir, "ipc_overhead", "\n".join(lines))
+
+    result = {
+        "schema": "repro/ipc-overhead/v1",
+        "workers": WORKERS,
+        "scan_chunk": SCAN_CHUNK,
+        "sweep": rows,
+        "fault_injected": {
+            "spec": "kill-worker:chunk=1",
+            "stones": STONE_SWEEP[-1],
+            "bit_identical": True,
+            "pool_rebuilds": int(c_fault.get("resilience.pool_rebuilds", 0)),
+        },
+    }
+    (results_dir / "ipc_overhead.json").write_text(
+        json.dumps(result, indent=2) + "\n"
+    )

@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""End-to-end IPC fan-out smoke test, used by the CI ``ipc-smoke`` job.
+
+Both multiprocess fan-out paths, driven through the real CLI on a tiny
+board and checked bit-for-bit against a sequential reference:
+
+1. reference — single-process ``repro solve``
+2. shared-memory fan-out (the default) — 2 workers; result must be
+   identical and the manifest must report ``multiproc.ipc_bytes_saved``
+   and ``multiproc.shm_segments``
+3. pickle fan-out (``--no-shm``) — identical again, with every byte
+   accounted under ``multiproc.ipc_bytes_pickled`` and the two paths'
+   byte counts agreeing exactly
+4. shared memory under fire — ``kill-worker:chunk=1`` injected; the
+   replayed task re-writes its own arena region, so the database must
+   still be bit-identical with ``resilience.retries >= 1``
+
+Exits non-zero on any mismatch or missing counter.
+
+Run:  PYTHONPATH=src python scripts/ipc_smoke.py
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+STONES = 5
+
+
+def cli(*args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=300,
+    )
+    if result.returncode != 0:
+        raise RuntimeError(
+            f"repro {' '.join(args)} failed ({result.returncode}):\n"
+            f"{result.stdout}{result.stderr}"
+        )
+    return result.stdout
+
+
+def identical(archive_a: Path, archive_b: Path) -> bool:
+    from repro.db.store import DatabaseSet
+
+    a, b = DatabaseSet.load(archive_a), DatabaseSet.load(archive_b)
+    if a.ids() != b.ids():
+        return False
+    return all(np.array_equal(a[d], b[d]) for d in a.ids())
+
+
+def counters_of(manifest_path: Path) -> dict:
+    return json.loads(manifest_path.read_text())["metrics"]["counters"]
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="ipc-smoke-"))
+    reference = tmp / "reference.npz"
+
+    print(f"== reference: sequential {STONES}-stone solve")
+    cli("solve", "--stones", str(STONES), "--out", str(reference))
+
+    # ------------------------------------------- 2: shared-memory path
+    shm_out, shm_manifest = tmp / "shm.npz", tmp / "shm.json"
+    print("== shm fan-out: 2 workers, 256-position chunks")
+    cli("solve", "--stones", str(STONES), "--workers", "2",
+        "--scan-chunk", "256",
+        "--out", str(shm_out), "--metrics-out", str(shm_manifest))
+    if not identical(reference, shm_out):
+        print("FAIL: shm solve diverged from sequential", file=sys.stderr)
+        return 1
+    shm = counters_of(shm_manifest)
+    saved = shm.get("multiproc.ipc_bytes_saved", 0)
+    segments = shm.get("multiproc.shm_segments", 0)
+    print(f"   bit-identical; ipc_bytes_saved={saved} shm_segments={segments}")
+    if saved < 1 or segments < 1:
+        print("FAIL: shm path reported no arena traffic", file=sys.stderr)
+        return 1
+
+    # ------------------------------------------------- 3: pickle path
+    pkl_out, pkl_manifest = tmp / "pickle.npz", tmp / "pickle.json"
+    print("== pickle fan-out: same solve with --no-shm")
+    cli("solve", "--stones", str(STONES), "--workers", "2",
+        "--scan-chunk", "256", "--no-shm",
+        "--out", str(pkl_out), "--metrics-out", str(pkl_manifest))
+    if not identical(reference, pkl_out):
+        print("FAIL: --no-shm solve diverged", file=sys.stderr)
+        return 1
+    pkl = counters_of(pkl_manifest)
+    pickled = pkl.get("multiproc.ipc_bytes_pickled", 0)
+    print(f"   bit-identical; ipc_bytes_pickled={pickled}")
+    if pickled < 1:
+        print("FAIL: pickle path reported no pickled bytes", file=sys.stderr)
+        return 1
+    if "multiproc.ipc_bytes_saved" in pkl:
+        print("FAIL: pickle path claims shm savings", file=sys.stderr)
+        return 1
+    if shm.get("multiproc.ipc_bytes_pickled", 0) >= pickled:
+        print("FAIL: shm path pickled at least as much as --no-shm",
+              file=sys.stderr)
+        return 1
+    if saved != pickled:
+        print(f"FAIL: byte accounting disagrees (saved={saved} "
+              f"pickled={pickled})", file=sys.stderr)
+        return 1
+
+    # ---------------------------------------- 4: shm under worker kill
+    fault_out, fault_manifest = tmp / "fault.npz", tmp / "fault.json"
+    print("== shm fan-out with one worker SIGKILLed mid-scan")
+    cli("solve", "--stones", str(STONES), "--workers", "2",
+        "--scan-chunk", "256",
+        "--inject-fault", "kill-worker:chunk=1",
+        "--fault-state-dir", str(tmp / "faults"),
+        "--out", str(fault_out), "--metrics-out", str(fault_manifest))
+    if not identical(reference, fault_out):
+        print("FAIL: fault-injected shm solve diverged", file=sys.stderr)
+        return 1
+    fault = counters_of(fault_manifest)
+    retries = fault.get("resilience.retries", 0)
+    print(f"   bit-identical; retries={retries} "
+          f"ipc_bytes_saved={fault.get('multiproc.ipc_bytes_saved', 0)}")
+    if retries < 1:
+        print("FAIL: the injected kill never fired", file=sys.stderr)
+        return 1
+
+    print("== ipc smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,6 +79,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="positions per scan chunk for --workers fan-out",
     )
     solve.add_argument(
+        "--no-shm", action="store_true",
+        help="disable the zero-copy shared-memory fan-out for --workers "
+             "(workers pickle their results back instead; for platforms "
+             "without POSIX shared memory)",
+    )
+    solve.add_argument(
         "--inject-fault", action="append", default=[], metavar="SPEC",
         help="deterministic fault injection, e.g. kill-worker:chunk=2, "
              "kill-worker:threshold=3, corrupt-checkpoint:db=4 "
@@ -258,6 +264,7 @@ def _solve_resilient(args, game, metrics, faults) -> int:
         checkpoint_dir=args.checkpoint_dir,
         workers=args.workers if args.workers > 1 else None,
         scan_chunk=args.scan_chunk,
+        use_shm=False if args.no_shm else None,
         faults=faults,
     )
     runner = PipelineRunner(game, config, metrics=metrics)
@@ -292,6 +299,7 @@ def _solve_resilient(args, game, metrics, faults) -> int:
                 "workers": args.workers,
                 "checkpoint_dir": args.checkpoint_dir,
                 "scan_chunk": args.scan_chunk,
+                "no_shm": bool(args.no_shm),
                 "inject_fault": list(args.inject_fault),
             },
         )

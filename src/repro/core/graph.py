@@ -25,7 +25,14 @@ import numpy as np
 from ..games.base import CaptureGame
 from .values import NO_EXIT
 
-__all__ = ["CSR", "DatabaseGraph", "build_database_graph", "WorkCounters"]
+__all__ = [
+    "CSR",
+    "ChunkParts",
+    "DatabaseGraph",
+    "build_database_graph",
+    "scan_chunk_to_parts",
+    "WorkCounters",
+]
 
 
 @dataclass
@@ -70,7 +77,24 @@ class CSR:
         return CSR(indptr=indptr, indices=dst[order])
 
     def transpose(self, n: int) -> "CSR":
-        """Reverse adjacency over ``n`` nodes."""
+        """Reverse adjacency over ``n`` nodes.
+
+        ``n`` must cover both endpoints of every edge — at least the
+        ``indptr.size - 1`` source rows, and every destination in
+        ``indices`` — otherwise the reverse adjacency would silently
+        drop nodes or edges.
+        """
+        n_rows = int(self.indptr.shape[0]) - 1
+        if n < n_rows:
+            raise ValueError(
+                f"transpose over {n} nodes cannot hold the {n_rows} "
+                f"source rows of this CSR"
+            )
+        if self.indices.size and int(self.indices.max()) >= n:
+            raise ValueError(
+                f"transpose over {n} nodes: destination index "
+                f"{int(self.indices.max())} is out of range"
+            )
         src = np.repeat(
             np.arange(self.indptr.shape[0] - 1, dtype=np.int64),
             np.diff(self.indptr),
@@ -123,6 +147,81 @@ class DatabaseGraph:
         )
 
 
+@dataclass
+class ChunkParts:
+    """One scanned chunk reduced to solver-ready graph parts.
+
+    ``best_exit``/``out_degree`` are chunk-local (length ``stop - start``,
+    positions ``start + i``); ``src``/``dst`` carry *global* position
+    indices, emitted in (position, move-slot) order so concatenating
+    chunks in scan order reproduces the unchunked edge list exactly.
+    The work counts follow :class:`WorkCounters` semantics:
+    ``moves_generated`` counts every legal move of the chunk and
+    ``exit_lookups`` every capturing move whose successor value was
+    looked up in a lower database.
+    """
+
+    start: int
+    best_exit: np.ndarray  # (stop-start,) int16, NO_EXIT where none
+    out_degree: np.ndarray  # (stop-start,) int32
+    src: np.ndarray  # (E,) int64 global internal-edge sources
+    dst: np.ndarray  # (E,) int64 global internal-edge destinations
+    moves_generated: int
+    exit_lookups: int
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.src.shape[0])
+
+
+def scan_chunk_to_parts(
+    game: CaptureGame, db_id, lower_values: Mapping, start: int, stop: int
+) -> ChunkParts:
+    """Scan positions ``start <= i < stop`` of ``db_id`` into graph parts.
+
+    The single implementation of the terminal/capture/internal move
+    handling, shared by :func:`build_database_graph` and both fan-out
+    paths of :class:`~repro.core.multiproc.MultiprocessSolver`, so the
+    scan semantics (and the work counters) cannot drift between the
+    sequential and multiprocess backends.
+    """
+    scan = game.scan_chunk(db_id, start, stop)
+    n = stop - start
+    best_exit = np.full(n, NO_EXIT, dtype=np.int16)
+    out_degree = np.zeros(n, dtype=np.int32)
+    moves_generated = int(scan.legal.sum())
+    exit_lookups = 0
+    # Terminal rule: an immediate, exact exit value.
+    term = scan.terminal
+    best_exit[term] = scan.terminal_value[term]
+    # Capturing moves: exits into smaller databases.
+    cap_mask = scan.legal & (scan.capture > 0)
+    if cap_mask.any():
+        r, c = np.nonzero(cap_mask)
+        caps = scan.capture[r, c]
+        succ = scan.succ_index[r, c]
+        vals = np.empty(r.shape[0], dtype=np.int64)
+        for amount in np.unique(caps):
+            m = caps == amount
+            target = game.exit_db(db_id, int(amount))
+            vals[m] = amount - lower_values[target][succ[m]].astype(np.int64)
+        exit_lookups = int(r.shape[0])
+        np.maximum.at(best_exit, r, vals.astype(np.int16))
+    # Internal (non-capturing) moves.
+    int_mask = scan.legal & (scan.capture == 0)
+    r, c = np.nonzero(int_mask)
+    np.add.at(out_degree, r, 1)
+    return ChunkParts(
+        start=start,
+        best_exit=best_exit,
+        out_degree=out_degree,
+        src=r.astype(np.int64) + start,
+        dst=scan.succ_index[r, c],
+        moves_generated=moves_generated,
+        exit_lookups=exit_lookups,
+    )
+
+
 def build_database_graph(
     game: CaptureGame,
     db_id,
@@ -141,34 +240,14 @@ def build_database_graph(
     work = WorkCounters()
     for start in range(0, size, chunk):
         stop = min(start + chunk, size)
-        scan = game.scan_chunk(db_id, start, stop)
-        n = scan.size
-        work.positions_scanned += n
-        work.moves_generated += int(scan.legal.sum())
-        rows = np.arange(start, stop, dtype=np.int64)
-        # Terminal rule: an immediate, exact exit value.
-        term = scan.terminal
-        best_exit[rows[term]] = scan.terminal_value[term]
-        # Capturing moves: exits into smaller databases.
-        cap_mask = scan.legal & (scan.capture > 0)
-        if cap_mask.any():
-            r, c = np.nonzero(cap_mask)
-            caps = scan.capture[r, c]
-            succ = scan.succ_index[r, c]
-            vals = np.empty(r.shape[0], dtype=np.int64)
-            for amount in np.unique(caps):
-                m = caps == amount
-                target = game.exit_db(db_id, int(amount))
-                vals[m] = amount - lower_values[target][succ[m]].astype(np.int64)
-            work.exit_lookups += r.shape[0]
-            np.maximum.at(best_exit, rows[r], vals.astype(np.int16))
-        # Internal (non-capturing) moves.
-        int_mask = scan.legal & (scan.capture == 0)
-        if int_mask.any():
-            r, c = np.nonzero(int_mask)
-            srcs.append(rows[r])
-            dsts.append(scan.succ_index[r, c])
-            np.add.at(out_degree, rows[r], 1)
+        parts = scan_chunk_to_parts(game, db_id, lower_values, start, stop)
+        work.positions_scanned += stop - start
+        work.moves_generated += parts.moves_generated
+        work.exit_lookups += parts.exit_lookups
+        best_exit[start:stop] = parts.best_exit
+        out_degree[start:stop] = parts.out_degree
+        srcs.append(parts.src)
+        dsts.append(parts.dst)
     src = np.concatenate(srcs) if srcs else np.zeros(0, dtype=np.int64)
     dst = np.concatenate(dsts) if dsts else np.zeros(0, dtype=np.int64)
     forward = CSR.from_edges(size, src, dst)

@@ -7,12 +7,26 @@ independent, so they fan out across a process pool (``fork`` start
 method: the prepared graph is inherited copy-on-write, no pickling of
 the big arrays on the way in).
 
+Results avoid pickling on the way *out* too: where POSIX shared memory
+is available the parent allocates a :class:`~repro.core.shm.ShmArena`
+and each worker writes its threshold labels / scan-chunk arrays
+directly into its own disjoint region, so pool results shrink to small
+metadata tuples — the modern analogue of the paper's message combining,
+which likewise exists to drive per-position communication cost toward
+zero.  The bytes that skipped the pickle path are reported as
+``multiproc.ipc_bytes_saved``; ``use_shm=False`` (CLI ``--no-shm``)
+keeps the original pickling fan-out, whose traffic is reported as
+``multiproc.ipc_bytes_pickled``.  Both paths produce bit-identical
+databases (differentially tested).
+
 Both fan-outs (the scan chunks of graph construction and the threshold
 runs) go through a :class:`~repro.resilience.SupervisedPool`: a child
 killed mid-task costs one chunk replay, not the database, and shows up
-as ``resilience.*`` counters in the metrics registry.  An optional
-:class:`~repro.resilience.RoundStore` checkpoints each threshold's
-labels as they complete, so a killed build resumes mid-database.
+as ``resilience.*`` counters in the metrics registry.  A replayed task
+re-writes only its own arena region, so retries after a SIGKILL stay
+bit-identical.  An optional :class:`~repro.resilience.RoundStore`
+checkpoints each threshold's labels as they complete, so a killed build
+resumes mid-database.
 
 Falls back to in-process solving where ``fork`` is unavailable.
 """
@@ -27,8 +41,9 @@ import numpy as np
 from ..games.base import CaptureGame
 from ..obs import NULL_METRICS
 from ..resilience import RetryPolicy, SupervisedPool
-from .graph import build_database_graph
+from .graph import build_database_graph, scan_chunk_to_parts
 from .kernel import solve_kernel, threshold_init
+from .shm import ShmArena, shm_available
 from .values import LOSS, NO_EXIT, WIN, assemble_values
 
 __all__ = ["MultiprocessSolver"]
@@ -37,51 +52,58 @@ __all__ = ["MultiprocessSolver"]
 _GRAPH = None
 _SCAN = None  # (game, db_id, lower_values)
 _FAULTS = None  # FaultPlan under test, None in production
+_ARENA = None  # ShmArena for the zero-copy fan-out, None on the pickle path
+_EDGE_CAP = 0  # per-chunk capacity of the arena's src/dst edge regions
 
 
-def _solve_one_threshold(t: int):
+def _solve_one_threshold(task):
+    """Forked worker: one threshold run of the inherited graph.
+
+    With an arena the status labels land in the worker's own row of the
+    shared ``status`` array and only ``(t, None, kernel stats, seconds)``
+    is pickled back; without one the labels ride the pool result.
+    """
+    row, t = task
     if _FAULTS is not None and _FAULTS.worker_kill is not None:
         _FAULTS.worker_kill.maybe_kill("threshold", t)
     t0 = time.perf_counter()
     result = solve_kernel(threshold_init(_GRAPH, t))
-    return t, result.status, time.perf_counter() - t0
+    stats = (result.rounds, result.parent_notifications)
+    if _ARENA is None:
+        return t, result.status, stats, time.perf_counter() - t0
+    _ARENA["status"][row] = result.status
+    return t, None, stats, time.perf_counter() - t0
 
 
 def _scan_range(task):
     """Forked worker: scan one chunk of the database into graph parts.
 
-    The trailing element of the return tuple is the chunk's wall time in
-    the child process, aggregated by the parent into the metrics registry.
+    With an arena the chunk's arrays are written straight into the
+    parent-allocated segments (``best_exit``/``out_degree`` at the
+    chunk's position range, edges at the chunk's span of ``src``/``dst``)
+    and ``payload`` comes back ``None``; without one the arrays
+    themselves are pickled back.  The trailing element of the return
+    tuple is the chunk's wall time in the child process, aggregated by
+    the parent into the metrics registry.
     """
-    import numpy as _np
-
     chunk_no, (start, stop) = task
     if _FAULTS is not None and _FAULTS.worker_kill is not None:
         _FAULTS.worker_kill.maybe_kill("chunk", chunk_no)
     game, db_id, lower_values = _SCAN
     t0 = time.perf_counter()
-    scan = game.scan_chunk(db_id, start, stop)
-    rows = np.arange(start, stop, dtype=np.int64)
-    best_exit = np.full(stop - start, -(2**15), dtype=np.int16)
-    term = scan.terminal
-    best_exit[term] = scan.terminal_value[term]
-    cap_mask = scan.legal & (scan.capture > 0)
-    if cap_mask.any():
-        r, c = _np.nonzero(cap_mask)
-        caps = scan.capture[r, c]
-        succ = scan.succ_index[r, c]
-        vals = _np.empty(r.shape[0], dtype=_np.int64)
-        for amount in _np.unique(caps):
-            m = caps == amount
-            target = game.exit_db(db_id, int(amount))
-            vals[m] = amount - lower_values[target][succ[m]].astype(_np.int64)
-        _np.maximum.at(best_exit, r, vals.astype(_np.int16))
-    int_mask = scan.legal & (scan.capture == 0)
-    r, c = _np.nonzero(int_mask)
-    out_degree = _np.zeros(stop - start, dtype=_np.int32)
-    _np.add.at(out_degree, r, 1)
-    elapsed = time.perf_counter() - t0
-    return start, best_exit, out_degree, rows[r], scan.succ_index[r, c], elapsed
+    parts = scan_chunk_to_parts(game, db_id, lower_values, start, stop)
+    counts = (parts.moves_generated, parts.exit_lookups)
+    if _ARENA is None:
+        payload = (parts.best_exit, parts.out_degree, parts.src, parts.dst)
+        return (chunk_no, start, parts.n_edges, counts, payload,
+                time.perf_counter() - t0)
+    _ARENA["best_exit"][start:stop] = parts.best_exit
+    _ARENA["out_degree"][start:stop] = parts.out_degree
+    span = chunk_no * _EDGE_CAP
+    _ARENA["src"][span:span + parts.n_edges] = parts.src
+    _ARENA["dst"][span:span + parts.n_edges] = parts.dst
+    return (chunk_no, start, parts.n_edges, counts, None,
+            time.perf_counter() - t0)
 
 
 class MultiprocessSolver:
@@ -95,6 +117,7 @@ class MultiprocessSolver:
         policy: RetryPolicy | None = None,
         faults=None,
         chunk: int = 1 << 15,
+        use_shm: bool | None = None,
     ):
         self.game = game
         self.workers = workers or mp.cpu_count()
@@ -109,6 +132,12 @@ class MultiprocessSolver:
         self.faults = faults
         #: Scan fan-out granularity (positions per chunk).
         self.chunk = int(chunk)
+        #: Zero-copy fan-out through shared memory.  ``None`` means
+        #: "whenever the platform supports it"; an explicit ``False``
+        #: is the ``--no-shm`` escape hatch.
+        if use_shm is None:
+            use_shm = shm_available()
+        self.use_shm = bool(use_shm) and shm_available()
         try:
             self._context = mp.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
@@ -118,12 +147,15 @@ class MultiprocessSolver:
         """Solve one database; ``round_store`` (a
         :class:`~repro.resilience.RoundStore`) resumes and checkpoints
         individual threshold runs for crash-safe long solves."""
-        global _GRAPH, _FAULTS
+        global _GRAPH, _FAULTS, _ARENA
         m = self.metrics
         t_db = time.perf_counter()
         graph = self._build_graph(db_id, lower_values)
         m.inc("multiproc.databases")
-        m.inc("multiproc.positions_scanned", graph.size)
+        m.inc("multiproc.positions_scanned", graph.work.positions_scanned)
+        m.inc("multiproc.moves_generated", graph.work.moves_generated)
+        m.inc("multiproc.edges_internal", graph.work.edges_internal)
+        m.inc("multiproc.exit_lookups", graph.work.exit_lookups)
         bound = self.game.value_bound(db_id)
         if bound == 0:
             values = graph.best_exit.astype(np.int16)
@@ -142,8 +174,10 @@ class MultiprocessSolver:
                 m.inc("resilience.rounds_resumed", len(statuses))
         todo = [t for t in thresholds if t not in statuses]
 
-        def record(t, status, child_s):
+        def record(t, status, kernel_stats, child_s):
             statuses[t] = status
+            m.inc("multiproc.propagation_rounds", kernel_stats[0])
+            m.inc("multiproc.parent_notifications", kernel_stats[1])
             m.observe_seconds("multiproc.threshold_seconds", child_s)
             if round_store is not None:
                 round_store.put(t, status)
@@ -151,11 +185,34 @@ class MultiprocessSolver:
         if self._context is None or self.workers <= 1 or bound == 1:
             for t in todo:
                 t0 = time.perf_counter()
-                status = solve_kernel(threshold_init(graph, t)).status
-                record(t, status, time.perf_counter() - t0)
+                result = solve_kernel(threshold_init(graph, t))
+                record(
+                    t,
+                    result.status,
+                    (result.rounds, result.parent_notifications),
+                    time.perf_counter() - t0,
+                )
         elif todo:
             _GRAPH = graph
             _FAULTS = self.faults
+            arena = None
+            if self.use_shm:
+                arena = ShmArena()
+                arena.alloc("status", (len(todo), graph.size), np.uint8)
+                m.inc("multiproc.shm_segments", arena.segments)
+            _ARENA = arena
+
+            def on_result(i, out):
+                t, status, kernel_stats, child_s = out
+                if status is None:
+                    # Copy the worker's row out of the arena: a local
+                    # memcpy instead of a cross-process pickle.
+                    status = np.array(arena["status"][i], copy=True)
+                    m.inc("multiproc.ipc_bytes_saved", status.nbytes)
+                else:
+                    m.inc("multiproc.ipc_bytes_pickled", status.nbytes)
+                record(t, status, kernel_stats, child_s)
+
             try:
                 with SupervisedPool(
                     _solve_one_threshold,
@@ -166,12 +223,15 @@ class MultiprocessSolver:
                 ) as pool:
                     # Child-process wall times, aggregated pool-wide.
                     pool.map(
-                        todo,
-                        on_result=lambda i, out: record(*out),
+                        list(enumerate(todo)),
+                        on_result=on_result,
                     )
             finally:
                 _GRAPH = None
                 _FAULTS = None
+                _ARENA = None
+                if arena is not None:
+                    arena.close()
         m.inc("multiproc.thresholds", len(thresholds))
         win_sets = [statuses[t] == WIN for t in thresholds]
         loss_sets = [statuses[t] == LOSS for t in thresholds]
@@ -190,7 +250,7 @@ class MultiprocessSolver:
     def _build_graph(self, db_id, lower_values, chunk: int | None = None):
         """Graph construction with the scan fanned out across processes
         (the scan is the dominant cost for awari-sized databases)."""
-        global _SCAN, _FAULTS
+        global _SCAN, _FAULTS, _ARENA, _EDGE_CAP
         chunk = self.chunk if chunk is None else chunk
         size = self.game.db_size(db_id)
         n_chunks = (size + chunk - 1) // chunk
@@ -202,11 +262,23 @@ class MultiprocessSolver:
             (i, (start, min(start + chunk, size)))
             for i, start in enumerate(range(0, size, chunk))
         ]
-        best_exit = np.empty(size, dtype=np.int16)
-        out_degree = np.empty(size, dtype=np.int32)
         work = WorkCounters(positions_scanned=size)
+        arena = None
+        edge_cap = 0
+        if self.use_shm:
+            # Every position has at most one internal move per move
+            # slot, so chunk * slots bounds any chunk's edge count.
+            slots = int(self.game.scan_chunk(db_id, 0, 1).legal.shape[1])
+            edge_cap = chunk * slots
+            arena = ShmArena()
+            arena.alloc("best_exit", (size,), np.int16)
+            arena.alloc("out_degree", (size,), np.int32)
+            arena.alloc("src", (n_chunks * edge_cap,), np.int64)
+            arena.alloc("dst", (n_chunks * edge_cap,), np.int64)
+            self.metrics.inc("multiproc.shm_segments", arena.segments)
         _SCAN = (self.game, db_id, lower_values)
         _FAULTS = self.faults
+        _ARENA, _EDGE_CAP = arena, edge_cap
         try:
             with SupervisedPool(
                 _scan_range,
@@ -216,24 +288,18 @@ class MultiprocessSolver:
                 metrics=self.metrics,
             ) as pool:
                 scanned = pool.map(tasks)
+            best_exit, out_degree, src, dst = self._collect_scan(
+                scanned, arena, chunk, edge_cap, size, work
+            )
         finally:
             _SCAN = None
             _FAULTS = None
-        srcs, dsts = [], []
-        for start, be, deg, src, dst, child_s in scanned:
-            stop = start + be.shape[0]
-            best_exit[start:stop] = be
-            out_degree[start:stop] = deg
-            srcs.append(src)
-            dsts.append(dst)
-            self.metrics.inc("multiproc.scan_chunks")
-            self.metrics.observe_seconds("multiproc.scan_seconds", child_s)
-        src = np.concatenate(srcs) if srcs else np.zeros(0, dtype=np.int64)
-        dst = np.concatenate(dsts) if dsts else np.zeros(0, dtype=np.int64)
+            _ARENA, _EDGE_CAP = None, 0
+            if arena is not None:
+                arena.close()
         forward = CSR.from_edges(size, src, dst)
         reverse = CSR.from_edges(size, dst, src)
         work.edges_internal = forward.n_edges
-        work.moves_generated = forward.n_edges  # captures folded into exits
         return DatabaseGraph(
             db_id=db_id,
             size=size,
@@ -243,3 +309,51 @@ class MultiprocessSolver:
             reverse=reverse,
             work=work,
         )
+
+    def _collect_scan(self, scanned, arena, chunk, edge_cap, size, work):
+        """Assemble chunk results (either fan-out path) into graph arrays.
+
+        Chunks arrive in task order and edges are concatenated in that
+        order, so the edge list — and therefore the CSR — is bit-identical
+        to a sequential :func:`build_database_graph` of the same database.
+        """
+        m = self.metrics
+        srcs, dsts = [], []
+        if arena is None:
+            best_exit = np.empty(size, dtype=np.int16)
+            out_degree = np.empty(size, dtype=np.int32)
+        else:
+            best_exit = arena.take("best_exit")
+            out_degree = arena.take("out_degree")
+        for chunk_no, start, n_edges, counts, payload, child_s in scanned:
+            work.moves_generated += counts[0]
+            work.exit_lookups += counts[1]
+            m.inc("multiproc.scan_chunks")
+            m.observe_seconds("multiproc.scan_seconds", child_s)
+            if payload is None:
+                span = chunk_no * edge_cap
+                srcs.append(
+                    np.array(arena["src"][span:span + n_edges], copy=True)
+                )
+                dsts.append(
+                    np.array(arena["dst"][span:span + n_edges], copy=True)
+                )
+                stop = min(start + chunk, size)
+                m.inc(
+                    "multiproc.ipc_bytes_saved",
+                    (stop - start) * (2 + 4) + 16 * n_edges,
+                )
+            else:
+                be, deg, src, dst = payload
+                stop = start + be.shape[0]
+                best_exit[start:stop] = be
+                out_degree[start:stop] = deg
+                srcs.append(src)
+                dsts.append(dst)
+                m.inc(
+                    "multiproc.ipc_bytes_pickled",
+                    be.nbytes + deg.nbytes + src.nbytes + dst.nbytes,
+                )
+        src = np.concatenate(srcs) if srcs else np.zeros(0, dtype=np.int64)
+        dst = np.concatenate(dsts) if dsts else np.zeros(0, dtype=np.int64)
+        return best_exit, out_degree, src, dst

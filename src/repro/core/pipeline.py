@@ -64,6 +64,10 @@ class PipelineConfig:
     workers: int | None = None
     #: Scan fan-out granularity for the ``multiproc`` backend.
     scan_chunk: int = 1 << 15
+    #: Zero-copy shared-memory fan-out for ``multiproc`` workers
+    #: (``None`` = wherever the platform supports it, ``False`` = the
+    #: ``--no-shm`` pickling path).
+    use_shm: bool | None = None
     #: Retry/rebuild bounds for supervised pools (``multiproc``).
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     #: Checkpoint individual threshold runs of ``multiproc`` builds for
@@ -241,6 +245,7 @@ class PipelineRunner:
                 policy=self.config.retry,
                 faults=self.config.faults,
                 chunk=self.config.scan_chunk,
+                use_shm=self.config.use_shm,
             )
             out = solver.solve_database(db_id, values, round_store=round_store)
             return out, build.snapshot()

@@ -1,0 +1,112 @@
+"""Shared-memory fan-out substrate for multiprocess solving.
+
+The paper's headline speedup hinges on driving the *per-position*
+communication cost toward zero (message combining packs thousands of
+updates into one Ethernet frame).  The modern-hardware analogue of that
+overhead class is the pickle tax of a process pool: every worker result
+is serialized in the child, shipped over a pipe, and deserialized in
+the parent, so fanning a database scan or a set of threshold runs
+across cores moves megabytes per task even though the parent only
+needs a few integers of metadata.
+
+:class:`ShmArena` removes that tax.  The parent allocates named numpy
+arrays backed by ``multiprocessing.shared_memory`` segments; workers
+forked from the parent inherit the arena through a module global and
+write their results directly into their own *disjoint* slice of each
+array.  Pool results shrink to small metadata tuples (ids, counts, wall
+times), and a task replayed after a worker crash simply re-writes its
+own region — byte-identical, because the region is owned by exactly one
+task (see :mod:`repro.resilience`).
+
+The parent stays the owner of every segment: :meth:`ShmArena.close`
+unlinks them all.  ``mmap`` refuses to unmap a segment while numpy
+views of it are alive, so the parent copies results out with
+:meth:`ShmArena.take` (a local memcpy — cheap compared to a pickle
+round-trip) before closing.
+
+Platforms without POSIX shared memory fall back to the pickling path;
+gate on :func:`shm_available` (the CLI exposes this as ``--no-shm``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # Python >= 3.8 on POSIX/Windows; guarded for exotic platforms.
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - no shm on this platform
+    _shared_memory = None
+
+__all__ = ["shm_available", "ShmArena"]
+
+
+def shm_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` is usable here."""
+    return _shared_memory is not None
+
+
+class ShmArena:
+    """A set of named shared-memory numpy arrays owned by the parent.
+
+    Allocate arrays with :meth:`alloc` *before* the worker pool forks,
+    publish the arena to workers through a module global, and close it
+    (context manager or :meth:`close`) once results are copied out.
+    Workers index the arena (``arena["status"]``) and write into their
+    task's slice; they never allocate, close, or unlink.
+    """
+
+    def __init__(self):
+        if _shared_memory is None:  # pragma: no cover - platform gate
+            raise RuntimeError("shared memory is unavailable on this platform")
+        self._segments: dict[str, object] = {}
+        self._arrays: dict[str, np.ndarray] = {}
+        #: Total bytes allocated across all segments.
+        self.nbytes = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    def alloc(self, name: str, shape, dtype) -> np.ndarray:
+        """Create one zero-filled shared array under ``name``."""
+        if name in self._segments:
+            raise ValueError(f"arena already holds an array named {name!r}")
+        nbytes = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+        segment = _shared_memory.SharedMemory(
+            create=True, size=max(nbytes, 1)
+        )
+        array = np.ndarray(shape, dtype=dtype, buffer=segment.buf)
+        array[...] = 0
+        self._segments[name] = segment
+        self._arrays[name] = array
+        self.nbytes += nbytes
+        return array
+
+    def close(self) -> None:
+        """Drop all views and unlink every segment (idempotent)."""
+        self._arrays.clear()
+        segments, self._segments = self._segments, {}
+        for segment in segments.values():
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- access
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._arrays[name]
+
+    @property
+    def segments(self) -> int:
+        """Number of live shared-memory segments."""
+        return len(self._segments)
+
+    def take(self, name: str) -> np.ndarray:
+        """Copy an array out of its segment (safe to keep after close)."""
+        return np.array(self._arrays[name], copy=True)

@@ -4,7 +4,7 @@ miniature problems (no game engine involved)."""
 import numpy as np
 import pytest
 
-from repro.core.graph import CSR, build_database_graph
+from repro.core.graph import CSR, build_database_graph, scan_chunk_to_parts
 from repro.core.kernel import RAProblem, csr_provider, solve_kernel, threshold_init
 from repro.core.values import LOSS, NO_EXIT, UNKNOWN, WIN
 from repro.games.awari_db import AwariCaptureGame
@@ -67,6 +67,26 @@ class TestKernelMicro:
         res = solve_kernel(problem)
         assert res.status[1] == LOSS
 
+    def test_same_round_decrements_through_parallel_edges(self):
+        # 2 holds four internal moves: two parallel edges into each of 0
+        # and 1, and both children are WIN from round zero.  All four
+        # decrements arrive at 2 in the SAME propagation round and every
+        # one must count — an implementation that deduplicates (parent,
+        # child) pairs or assigns instead of accumulating would leave the
+        # counter at 2 and misreport 2 as a draw.
+        edges = [(2, 0), (2, 0), (2, 1), (2, 1)]
+        problem = tiny_problem(edges, 3, win0=[0, 1])
+        res = solve_kernel(problem)
+        assert res.status[2] == LOSS
+        assert res.depth[2] == 1  # finalized by the first round's batch
+
+    def test_parallel_edge_decrement_shortfall_is_not_a_loss(self):
+        # Same shape, but only child 0 ever wins: the two parallel edges
+        # into 0 drain 2 of 3 escape options, and 2 must stay undecided.
+        problem = tiny_problem([(2, 0), (2, 0), (2, 1)], 3, win0=[0])
+        res = solve_kernel(problem)
+        assert res.status[2] == UNKNOWN
+
     def test_cycle_stays_drawn(self):
         problem = tiny_problem([(0, 1), (1, 0)], 2)
         res = solve_kernel(problem)
@@ -113,6 +133,76 @@ class TestThresholdInit:
         w1 = (threshold_init(graph, 1).status == WIN).sum()
         w4 = (threshold_init(graph, 4).status == WIN).sum()
         assert w4 < w1
+
+
+class TestTransposeValidation:
+    def test_rejects_n_smaller_than_source_rows(self):
+        csr = CSR.from_edges(4, np.array([0, 3]), np.array([1, 2]))
+        with pytest.raises(ValueError, match="source rows"):
+            csr.transpose(3)
+
+    def test_rejects_destinations_out_of_range(self):
+        csr = CSR.from_edges(3, np.array([0, 1]), np.array([1, 7]))
+        with pytest.raises(ValueError, match="out of range"):
+            csr.transpose(3)
+
+    def test_accepts_wider_node_range(self):
+        # Transposing onto MORE nodes than the forward graph is legal
+        # (extra nodes simply have no predecessors).
+        csr = CSR.from_edges(2, np.array([0, 1]), np.array([1, 0]))
+        rev = csr.transpose(5)
+        assert rev.indptr.shape[0] == 6
+        assert rev.n_edges == 2
+
+
+class TestScanChunkToParts:
+    """The shared chunk-scan helper is the single source of truth for
+    terminal/capture/internal handling (used by the sequential builder
+    and both multiprocess fan-out paths)."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        game = AwariCaptureGame()
+        from repro.core.sequential import SequentialSolver
+
+        values, _ = SequentialSolver(game).solve(3)
+        return game, {n: values[n] for n in range(4)}
+
+    def test_chunked_parts_reassemble_the_whole_scan(self, setup):
+        game, lower = setup
+        size = game.db_size(4)
+        whole = scan_chunk_to_parts(game, 4, lower, 0, size)
+        pieces = [
+            scan_chunk_to_parts(game, 4, lower, s, min(s + 97, size))
+            for s in range(0, size, 97)
+        ]
+        np.testing.assert_array_equal(
+            np.concatenate([p.best_exit for p in pieces]), whole.best_exit
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([p.out_degree for p in pieces]), whole.out_degree
+        )
+        # Global edge indices concatenate in scan order: bit-identical
+        # edge list regardless of chunk boundaries.
+        np.testing.assert_array_equal(
+            np.concatenate([p.src for p in pieces]), whole.src
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([p.dst for p in pieces]), whole.dst
+        )
+        assert sum(p.moves_generated for p in pieces) == whole.moves_generated
+        assert sum(p.exit_lookups for p in pieces) == whole.exit_lookups
+
+    def test_parts_agree_with_built_graph(self, setup):
+        game, lower = setup
+        size = game.db_size(4)
+        graph = build_database_graph(game, 4, lower)
+        parts = scan_chunk_to_parts(game, 4, lower, 0, size)
+        np.testing.assert_array_equal(parts.best_exit, graph.best_exit)
+        np.testing.assert_array_equal(parts.out_degree, graph.out_degree)
+        assert parts.n_edges == graph.forward.n_edges
+        assert parts.moves_generated == graph.work.moves_generated
+        assert parts.exit_lookups == graph.work.exit_lookups
 
 
 class TestGraphBuild:

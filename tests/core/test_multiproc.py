@@ -6,9 +6,11 @@ import pytest
 
 from repro.core.multiproc import MultiprocessSolver
 from repro.core.sequential import SequentialSolver
+from repro.core.shm import ShmArena, shm_available
 from repro.games.awari_db import AwariCaptureGame
 from repro.games.kalah import KalahCaptureGame
 from repro.games.synthetic import SyntheticCaptureGame
+from repro.obs import MetricsRegistry
 
 
 class TestMultiprocessSolver:
@@ -40,15 +42,104 @@ class TestMultiprocessSolver:
         for n in range(5):
             np.testing.assert_array_equal(par[n], seq[n])
 
-    def test_parallel_graph_build_equals_sequential_build(self):
+    @pytest.mark.parametrize("use_shm", [True, False], ids=["shm", "pickle"])
+    def test_parallel_graph_build_equals_sequential_build(self, use_shm):
         from repro.core.graph import build_database_graph
 
         game = AwariCaptureGame()
         seq, _ = SequentialSolver(game).solve(5)
         lower = {n: seq[n] for n in range(6)}
-        solver = MultiprocessSolver(game, workers=2)
+        solver = MultiprocessSolver(game, workers=2, use_shm=use_shm)
         mp_graph = solver._build_graph(6, lower, chunk=1 << 12)
         ref = build_database_graph(game, 6, lower)
         np.testing.assert_array_equal(mp_graph.best_exit, ref.best_exit)
         np.testing.assert_array_equal(mp_graph.out_degree, ref.out_degree)
-        assert mp_graph.forward.n_edges == ref.forward.n_edges
+        np.testing.assert_array_equal(
+            mp_graph.forward.indptr, ref.forward.indptr
+        )
+        np.testing.assert_array_equal(
+            mp_graph.forward.indices, ref.forward.indices
+        )
+        np.testing.assert_array_equal(
+            mp_graph.reverse.indices, ref.reverse.indices
+        )
+
+    def test_build_graph_work_counters_match_sequential(self):
+        """Satellite parity fix: the fanned-out build must count
+        ``moves_generated`` (all legal moves) and ``exit_lookups`` exactly
+        as :func:`build_database_graph` does."""
+        from repro.core.graph import build_database_graph
+
+        game = AwariCaptureGame()
+        seq, _ = SequentialSolver(game).solve(5)
+        lower = {n: seq[n] for n in range(6)}
+        ref = build_database_graph(game, 6, lower)
+        for use_shm in (True, False):
+            solver = MultiprocessSolver(game, workers=2, use_shm=use_shm)
+            work = solver._build_graph(6, lower, chunk=1 << 12).work
+            assert work.positions_scanned == ref.work.positions_scanned
+            assert work.moves_generated == ref.work.moves_generated
+            assert work.edges_internal == ref.work.edges_internal
+            assert work.exit_lookups == ref.work.exit_lookups
+
+
+@pytest.mark.skipif(not shm_available(), reason="no POSIX shared memory")
+class TestShmFanout:
+    def test_shm_and_pickle_paths_bit_identical(self):
+        game = AwariCaptureGame()
+        m_shm, m_pkl = MetricsRegistry(), MetricsRegistry()
+        shm = MultiprocessSolver(
+            game, workers=2, metrics=m_shm, chunk=1 << 11
+        ).solve(5)
+        pkl = MultiprocessSolver(
+            game, workers=2, metrics=m_pkl, chunk=1 << 11, use_shm=False
+        ).solve(5)
+        for n in range(6):
+            np.testing.assert_array_equal(shm[n], pkl[n])
+        c_shm = m_shm.snapshot()["counters"]
+        c_pkl = m_pkl.snapshot()["counters"]
+        # The arena path ships zero array bytes through the pool; what it
+        # saved is exactly what the pickle path paid.
+        assert c_shm["multiproc.shm_segments"] > 0
+        assert c_shm["multiproc.ipc_bytes_saved"] > 0
+        assert "multiproc.ipc_bytes_pickled" not in c_shm
+        assert "multiproc.ipc_bytes_saved" not in c_pkl
+        assert (
+            c_pkl["multiproc.ipc_bytes_pickled"]
+            == c_shm["multiproc.ipc_bytes_saved"]
+        )
+
+    def test_replayed_kill_stays_bit_identical_with_shm(self, tmp_path):
+        """A SIGKILLed worker's partial arena writes are fully overwritten
+        by the replayed task: the database cannot tell the difference."""
+        from repro.resilience.faults import FaultPlan
+
+        game = AwariCaptureGame()
+        seq, _ = SequentialSolver(game).solve(5)
+        for spec in ("kill-worker:chunk=1", "kill-worker:threshold=2"):
+            plan = FaultPlan.from_specs(
+                [spec], state_dir=str(tmp_path / spec.replace(":", "_"))
+            )
+            m = MetricsRegistry()
+            vals = MultiprocessSolver(
+                game, workers=2, metrics=m, chunk=1 << 11, faults=plan
+            ).solve(5)
+            for n in range(6):
+                np.testing.assert_array_equal(vals[n], seq[n])
+            counters = m.snapshot()["counters"]
+            assert counters.get("resilience.pool_rebuilds", 0) >= 1
+            assert counters["multiproc.ipc_bytes_saved"] > 0
+
+    def test_arena_alloc_take_close(self):
+        arena = ShmArena()
+        a = arena.alloc("a", (8,), np.int16)
+        assert (a == 0).all()
+        a[:] = np.arange(8)
+        with pytest.raises(ValueError):
+            arena.alloc("a", (8,), np.int16)
+        assert arena.segments == 1 and arena.nbytes == 16
+        copied = arena.take("a")
+        del a
+        arena.close()
+        assert copied.tolist() == list(range(8))
+        arena.close()  # idempotent

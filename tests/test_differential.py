@@ -55,7 +55,22 @@ BACKENDS = {
     "multiproc-p4": lambda game, target: MultiprocessSolver(
         game, workers=4
     ).solve(target),
+    "multiproc-p4-no-shm": lambda game, target: MultiprocessSolver(
+        game, workers=4, use_shm=False
+    ).solve(target),
 }
+
+#: The deterministic work counters both capture-game backends must agree
+#: on, name for name (``sequential.X`` == ``multiproc.X``).
+WORK_COUNTERS = (
+    "positions_scanned",
+    "moves_generated",
+    "edges_internal",
+    "exit_lookups",
+    "thresholds",
+    "propagation_rounds",
+    "parent_notifications",
+)
 
 
 @pytest.fixture(scope="module", params=GAMES, ids=GAME_IDS)
@@ -79,6 +94,32 @@ def test_backend_bit_identical(workload, backend):
         np.testing.assert_array_equal(
             got, want, err_msg=f"{backend} diverges on db {db_id}"
         )
+
+
+@pytest.mark.parametrize("use_shm", [True, False], ids=["shm", "no-shm"])
+def test_work_counters_match_sequential(workload, use_shm):
+    """Sequential and multiprocess backends must report identical
+    deterministic work counters — the calibrated cost model consumes
+    them, so a silent divergence (e.g. ``moves_generated`` counting only
+    internal edges, or ``exit_lookups`` never counted) would skew every
+    cross-backend comparison built on ``total_ops``."""
+    from repro.core.sequential import SequentialSolver as Seq
+    from repro.obs import MetricsRegistry
+
+    game, target, _ = workload
+    m_seq, m_mp = MetricsRegistry(), MetricsRegistry()
+    Seq(game, metrics=m_seq).solve(target)
+    MultiprocessSolver(
+        game, workers=2, chunk=1 << 11, metrics=m_mp, use_shm=use_shm
+    ).solve(target)
+    seq = m_seq.snapshot()["counters"]
+    mp_ = m_mp.snapshot()["counters"]
+    for name in WORK_COUNTERS:
+        assert seq[f"sequential.{name}"] == mp_[f"multiproc.{name}"], (
+            f"{name} diverges: sequential={seq[f'sequential.{name}']} "
+            f"multiproc={mp_[f'multiproc.{name}']}"
+        )
+    assert seq["sequential.databases"] == mp_["multiproc.databases"]
 
 
 def test_reference_is_nontrivial(workload):
