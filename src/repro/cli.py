@@ -85,6 +85,12 @@ def _build_parser() -> argparse.ArgumentParser:
              "without POSIX shared memory)",
     )
     solve.add_argument(
+        "--shm-debug", action="store_true",
+        help="enable the ShmArena race detector for --workers fan-outs: "
+             "workers record their claimed regions and the parent "
+             "raises on any overlap (also: REPRO_SHM_DEBUG=1)",
+    )
+    solve.add_argument(
         "--inject-fault", action="append", default=[], metavar="SPEC",
         help="deterministic fault injection, e.g. kill-worker:chunk=2, "
              "kill-worker:threshold=3, corrupt-checkpoint:db=4 "
@@ -166,6 +172,14 @@ def _build_parser() -> argparse.ArgumentParser:
                             "for the best move")
     probe.add_argument("--stats", action="store_true",
                        help="print server/cache statistics")
+
+    staticcheck = sub.add_parser(
+        "staticcheck",
+        help="run the repo's invariant checkers (docs/STATICCHECK.md)",
+    )
+    from .staticcheck.cli import add_arguments as _staticcheck_arguments
+
+    _staticcheck_arguments(staticcheck)
     return parser
 
 
@@ -265,6 +279,7 @@ def _solve_resilient(args, game, metrics, faults) -> int:
         workers=args.workers if args.workers > 1 else None,
         scan_chunk=args.scan_chunk,
         use_shm=False if args.no_shm else None,
+        shm_debug=True if args.shm_debug else None,
         faults=faults,
     )
     runner = PipelineRunner(game, config, metrics=metrics)
@@ -300,6 +315,7 @@ def _solve_resilient(args, game, metrics, faults) -> int:
                 "checkpoint_dir": args.checkpoint_dir,
                 "scan_chunk": args.scan_chunk,
                 "no_shm": bool(args.no_shm),
+                "shm_debug": bool(args.shm_debug),
                 "inject_fault": list(args.inject_fault),
             },
         )
@@ -551,7 +567,10 @@ def _cmd_serve(args) -> int:
         describe += f" [chaos: drop {' '.join(p for p in parts if p)}]"
     print(f"serving {describe} on {server.host}:{server.port}", flush=True)
     if args.ready_file:
-        Path(args.ready_file).write_text(f"{server.host} {server.port}\n")
+        # Atomic so a watcher never reads a half-written host/port line.
+        from .resilience.checkpoint import atomic_write_text
+
+        atomic_write_text(Path(args.ready_file), f"{server.host} {server.port}\n")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -560,6 +579,12 @@ def _cmd_serve(args) -> int:
     service.close()
     print("server stopped")
     return 0
+
+
+def _cmd_staticcheck(args) -> int:
+    from .staticcheck.cli import run
+
+    return run(args)
 
 
 def _cmd_probe(args) -> int:
@@ -612,6 +637,7 @@ def main(argv=None) -> int:
         "page": _cmd_page,
         "serve": _cmd_serve,
         "probe": _cmd_probe,
+        "staticcheck": _cmd_staticcheck,
     }[args.command]
     return handler(args)
 

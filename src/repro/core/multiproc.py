@@ -39,11 +39,11 @@ import time
 import numpy as np
 
 from ..games.base import CaptureGame
-from ..obs import NULL_METRICS
+from ..obs import NULL_METRICS, names
 from ..resilience import RetryPolicy, SupervisedPool
 from .graph import build_database_graph, scan_chunk_to_parts
 from .kernel import solve_kernel, threshold_init
-from .shm import ShmArena, shm_available
+from .shm import ShmArena, shm_available, shm_debug_requested
 from .values import LOSS, NO_EXIT, WIN, assemble_values
 
 __all__ = ["MultiprocessSolver"]
@@ -71,6 +71,8 @@ def _solve_one_threshold(task):
     stats = (result.rounds, result.parent_notifications)
     if _ARENA is None:
         return t, result.status, stats, time.perf_counter() - t0
+    n = _GRAPH.size
+    _ARENA.claim("status", row * n, (row + 1) * n, slot=row, owner=t)
     _ARENA["status"][row] = result.status
     return t, None, stats, time.perf_counter() - t0
 
@@ -97,9 +99,15 @@ def _scan_range(task):
         payload = (parts.best_exit, parts.out_degree, parts.src, parts.dst)
         return (chunk_no, start, parts.n_edges, counts, payload,
                 time.perf_counter() - t0)
+    span = chunk_no * _EDGE_CAP
+    _ARENA.claim("best_exit", start, stop, slot=chunk_no, owner=chunk_no)
+    _ARENA.claim("out_degree", start, stop, slot=chunk_no, owner=chunk_no)
+    _ARENA.claim("src", span, span + parts.n_edges,
+                 slot=chunk_no, owner=chunk_no)
+    _ARENA.claim("dst", span, span + parts.n_edges,
+                 slot=chunk_no, owner=chunk_no)
     _ARENA["best_exit"][start:stop] = parts.best_exit
     _ARENA["out_degree"][start:stop] = parts.out_degree
-    span = chunk_no * _EDGE_CAP
     _ARENA["src"][span:span + parts.n_edges] = parts.src
     _ARENA["dst"][span:span + parts.n_edges] = parts.dst
     return (chunk_no, start, parts.n_edges, counts, None,
@@ -118,6 +126,7 @@ class MultiprocessSolver:
         faults=None,
         chunk: int = 1 << 15,
         use_shm: bool | None = None,
+        shm_debug: bool | None = None,
     ):
         self.game = game
         self.workers = workers or mp.cpu_count()
@@ -138,6 +147,12 @@ class MultiprocessSolver:
         if use_shm is None:
             use_shm = shm_available()
         self.use_shm = bool(use_shm) and shm_available()
+        #: Arena race detector (the claims ledger).  ``None`` defers to
+        #: the ``REPRO_SHM_DEBUG`` environment variable; the CLI exposes
+        #: it as ``--shm-debug``.
+        if shm_debug is None:
+            shm_debug = shm_debug_requested()
+        self.shm_debug = bool(shm_debug)
         try:
             self._context = mp.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
@@ -151,17 +166,17 @@ class MultiprocessSolver:
         m = self.metrics
         t_db = time.perf_counter()
         graph = self._build_graph(db_id, lower_values)
-        m.inc("multiproc.databases")
-        m.inc("multiproc.positions_scanned", graph.work.positions_scanned)
-        m.inc("multiproc.moves_generated", graph.work.moves_generated)
-        m.inc("multiproc.edges_internal", graph.work.edges_internal)
-        m.inc("multiproc.exit_lookups", graph.work.exit_lookups)
+        m.inc(names.MULTIPROC_DATABASES)
+        m.inc(names.MULTIPROC_POSITIONS_SCANNED, graph.work.positions_scanned)
+        m.inc(names.MULTIPROC_MOVES_GENERATED, graph.work.moves_generated)
+        m.inc(names.MULTIPROC_EDGES_INTERNAL, graph.work.edges_internal)
+        m.inc(names.MULTIPROC_EXIT_LOOKUPS, graph.work.exit_lookups)
         bound = self.game.value_bound(db_id)
         if bound == 0:
             values = graph.best_exit.astype(np.int16)
             values[values == np.int16(NO_EXIT)] = 0
             m.observe_seconds(
-                "multiproc.solve_database", time.perf_counter() - t_db
+                names.MULTIPROC_SOLVE_DATABASE, time.perf_counter() - t_db
             )
             return values
         thresholds = list(range(1, bound + 1))
@@ -171,14 +186,14 @@ class MultiprocessSolver:
                 t: s for t, s in round_store.load().items() if t in thresholds
             }
             if statuses:
-                m.inc("resilience.rounds_resumed", len(statuses))
+                m.inc(names.RESILIENCE_ROUNDS_RESUMED, len(statuses))
         todo = [t for t in thresholds if t not in statuses]
 
         def record(t, status, kernel_stats, child_s):
             statuses[t] = status
-            m.inc("multiproc.propagation_rounds", kernel_stats[0])
-            m.inc("multiproc.parent_notifications", kernel_stats[1])
-            m.observe_seconds("multiproc.threshold_seconds", child_s)
+            m.inc(names.MULTIPROC_PROPAGATION_ROUNDS, kernel_stats[0])
+            m.inc(names.MULTIPROC_PARENT_NOTIFICATIONS, kernel_stats[1])
+            m.observe_seconds(names.MULTIPROC_THRESHOLD_SECONDS, child_s)
             if round_store is not None:
                 round_store.put(t, status)
 
@@ -197,9 +212,10 @@ class MultiprocessSolver:
             _FAULTS = self.faults
             arena = None
             if self.use_shm:
-                arena = ShmArena()
+                arena = ShmArena(debug=self.shm_debug)
                 arena.alloc("status", (len(todo), graph.size), np.uint8)
-                m.inc("multiproc.shm_segments", arena.segments)
+                arena.enable_claims(len(todo))
+                m.inc(names.MULTIPROC_SHM_SEGMENTS, arena.segments)
             _ARENA = arena
 
             def on_result(i, out):
@@ -208,9 +224,9 @@ class MultiprocessSolver:
                     # Copy the worker's row out of the arena: a local
                     # memcpy instead of a cross-process pickle.
                     status = np.array(arena["status"][i], copy=True)
-                    m.inc("multiproc.ipc_bytes_saved", status.nbytes)
+                    m.inc(names.MULTIPROC_IPC_BYTES_SAVED, status.nbytes)
                 else:
-                    m.inc("multiproc.ipc_bytes_pickled", status.nbytes)
+                    m.inc(names.MULTIPROC_IPC_BYTES_PICKLED, status.nbytes)
                 record(t, status, kernel_stats, child_s)
 
             try:
@@ -226,17 +242,23 @@ class MultiprocessSolver:
                         list(enumerate(todo)),
                         on_result=on_result,
                     )
+                if arena is not None and arena.debug:
+                    # Guarded: the counter must not appear (even at 0)
+                    # in non-debug runs, or cross-path counter-parity
+                    # assertions would see a phantom key.
+                    m.inc(names.MULTIPROC_SHM_CLAIMS_CHECKED,
+                          arena.check_claims())
             finally:
                 _GRAPH = None
                 _FAULTS = None
                 _ARENA = None
                 if arena is not None:
                     arena.close()
-        m.inc("multiproc.thresholds", len(thresholds))
+        m.inc(names.MULTIPROC_THRESHOLDS, len(thresholds))
         win_sets = [statuses[t] == WIN for t in thresholds]
         loss_sets = [statuses[t] == LOSS for t in thresholds]
         values = assemble_values(win_sets, loss_sets)
-        m.observe_seconds("multiproc.solve_database", time.perf_counter() - t_db)
+        m.observe_seconds(names.MULTIPROC_SOLVE_DATABASE, time.perf_counter() - t_db)
         return values
 
     def solve(self, target) -> dict:
@@ -270,12 +292,13 @@ class MultiprocessSolver:
             # slot, so chunk * slots bounds any chunk's edge count.
             slots = int(self.game.scan_chunk(db_id, 0, 1).legal.shape[1])
             edge_cap = chunk * slots
-            arena = ShmArena()
+            arena = ShmArena(debug=self.shm_debug)
             arena.alloc("best_exit", (size,), np.int16)
             arena.alloc("out_degree", (size,), np.int32)
             arena.alloc("src", (n_chunks * edge_cap,), np.int64)
             arena.alloc("dst", (n_chunks * edge_cap,), np.int64)
-            self.metrics.inc("multiproc.shm_segments", arena.segments)
+            arena.enable_claims(n_chunks)
+            self.metrics.inc(names.MULTIPROC_SHM_SEGMENTS, arena.segments)
         _SCAN = (self.game, db_id, lower_values)
         _FAULTS = self.faults
         _ARENA, _EDGE_CAP = arena, edge_cap
@@ -288,6 +311,9 @@ class MultiprocessSolver:
                 metrics=self.metrics,
             ) as pool:
                 scanned = pool.map(tasks)
+            if arena is not None and arena.debug:
+                self.metrics.inc(names.MULTIPROC_SHM_CLAIMS_CHECKED,
+                                 arena.check_claims())
             best_exit, out_degree, src, dst = self._collect_scan(
                 scanned, arena, chunk, edge_cap, size, work
             )
@@ -328,8 +354,8 @@ class MultiprocessSolver:
         for chunk_no, start, n_edges, counts, payload, child_s in scanned:
             work.moves_generated += counts[0]
             work.exit_lookups += counts[1]
-            m.inc("multiproc.scan_chunks")
-            m.observe_seconds("multiproc.scan_seconds", child_s)
+            m.inc(names.MULTIPROC_SCAN_CHUNKS)
+            m.observe_seconds(names.MULTIPROC_SCAN_SECONDS, child_s)
             if payload is None:
                 span = chunk_no * edge_cap
                 srcs.append(
@@ -340,7 +366,7 @@ class MultiprocessSolver:
                 )
                 stop = min(start + chunk, size)
                 m.inc(
-                    "multiproc.ipc_bytes_saved",
+                    names.MULTIPROC_IPC_BYTES_SAVED,
                     (stop - start) * (2 + 4) + 16 * n_edges,
                 )
             else:
@@ -351,7 +377,7 @@ class MultiprocessSolver:
                 srcs.append(src)
                 dsts.append(dst)
                 m.inc(
-                    "multiproc.ipc_bytes_pickled",
+                    names.MULTIPROC_IPC_BYTES_PICKLED,
                     be.nbytes + deg.nbytes + src.nbytes + dst.nbytes,
                 )
         src = np.concatenate(srcs) if srcs else np.zeros(0, dtype=np.int64)

@@ -31,7 +31,7 @@ from pathlib import Path
 import numpy as np
 
 from ..games.base import CaptureGame
-from ..obs import MetricsRegistry, NULL_METRICS
+from ..obs import MetricsRegistry, NULL_METRICS, names
 from ..resilience import (
     CheckpointCorruptError,
     RetryPolicy,
@@ -68,6 +68,9 @@ class PipelineConfig:
     #: (``None`` = wherever the platform supports it, ``False`` = the
     #: ``--no-shm`` pickling path).
     use_shm: bool | None = None
+    #: Arena race detector for ``multiproc`` shm fan-outs (``None`` =
+    #: follow the ``REPRO_SHM_DEBUG`` environment variable).
+    shm_debug: bool | None = None
     #: Retry/rebuild bounds for supervised pools (``multiproc``).
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     #: Checkpoint individual threshold runs of ``multiproc`` builds for
@@ -163,7 +166,7 @@ class PipelineRunner:
             if loaded is not None:
                 values[db_id] = loaded
                 status.resumed.append(db_id)
-                self.metrics.inc("pipeline.databases_resumed")
+                self.metrics.inc(names.PIPELINE_DATABASES_RESUMED)
                 continue
             t_db = time.perf_counter()
             round_store = self._round_store(db_id)
@@ -171,7 +174,7 @@ class PipelineRunner:
                 db_id, values, round_store
             )
             status.solved.append(db_id)
-            self.metrics.inc("pipeline.databases_solved")
+            self.metrics.inc(names.PIPELINE_DATABASES_SOLVED)
             record = {
                 "backend": self.config.backend,
                 "positions": int(values[db_id].shape[0]),
@@ -204,7 +207,7 @@ class PipelineRunner:
             except CheckpointCorruptError:
                 # Damaged on disk after a clean write: drop the record
                 # and rebuild rather than trusting (or dying on) it.
-                self.metrics.inc("resilience.checkpoints_rejected")
+                self.metrics.inc(names.RESILIENCE_CHECKPOINTS_REJECTED)
                 del manifest["databases"][key]
                 self._save_manifest(manifest)
                 return None
@@ -246,6 +249,7 @@ class PipelineRunner:
                 faults=self.config.faults,
                 chunk=self.config.scan_chunk,
                 use_shm=self.config.use_shm,
+                shm_debug=self.config.shm_debug,
             )
             out = solver.solve_database(db_id, values, round_store=round_store)
             return out, build.snapshot()
@@ -256,17 +260,17 @@ class PipelineRunner:
             from .bounds import solve_bounds
             from .values import NO_EXIT
 
-            with build.phase("bounds.solve_database"):
+            with build.phase(names.BOUNDS_SOLVE_DATABASE):
                 graph = build_database_graph(self.game, db_id, values)
                 bound = self.game.value_bound(db_id)
-                build.inc("bounds.databases")
-                build.inc("bounds.positions_scanned", graph.size)
+                build.inc(names.BOUNDS_DATABASES)
+                build.inc(names.BOUNDS_POSITIONS_SCANNED, graph.size)
                 if bound == 0:
                     vals = graph.best_exit.astype(np.int16)
                     vals[vals == np.int16(NO_EXIT)] = 0
                     return vals, build.snapshot()
                 result = solve_bounds(graph, bound)
-                build.inc("bounds.sweeps", result.sweeps)
+                build.inc(names.BOUNDS_SWEEPS, result.sweeps)
             return result.values, build.snapshot()
         solver = ParallelSolver(self.game, self.config.parallel, metrics=build)
         out, _ = solver.solve_database(db_id, values)
@@ -288,4 +292,4 @@ class PipelineRunner:
             # Chaos hook: damage the freshly written checkpoint so the
             # next resume exercises CRC detection and rebuild.
             corrupt_file(path)
-            self.metrics.inc("faults.checkpoints_corrupted")
+            self.metrics.inc(names.FAULTS_CHECKPOINTS_CORRUPTED)

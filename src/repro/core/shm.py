@@ -30,6 +30,8 @@ gate on :func:`shm_available` (the CLI exposes this as ``--no-shm``).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 try:  # Python >= 3.8 on POSIX/Windows; guarded for exotic platforms.
@@ -37,12 +39,25 @@ try:  # Python >= 3.8 on POSIX/Windows; guarded for exotic platforms.
 except ImportError:  # pragma: no cover - no shm on this platform
     _shared_memory = None
 
-__all__ = ["shm_available", "ShmArena"]
+__all__ = ["shm_available", "shm_debug_requested", "ShmArena", "ShmRaceError"]
 
 
 def shm_available() -> bool:
     """True when ``multiprocessing.shared_memory`` is usable here."""
     return _shared_memory is not None
+
+
+def shm_debug_requested() -> bool:
+    """True when ``REPRO_SHM_DEBUG`` asks for the claims ledger."""
+    return os.environ.get("REPRO_SHM_DEBUG", "").lower() in (
+        "1", "true", "yes", "on"
+    )
+
+
+class ShmRaceError(RuntimeError):
+    """Two tasks claimed overlapping arena regions (or one claimed out
+    of bounds) — the disjointness invariant the zero-copy fan-out rests
+    on is broken."""
 
 
 class ShmArena:
@@ -55,13 +70,20 @@ class ShmArena:
     task's slice; they never allocate, close, or unlink.
     """
 
-    def __init__(self):
+    def __init__(self, debug: bool = False):
         if _shared_memory is None:  # pragma: no cover - platform gate
             raise RuntimeError("shared memory is unavailable on this platform")
         self._segments: dict[str, object] = {}
         self._arrays: dict[str, np.ndarray] = {}
         #: Total bytes allocated across all segments.
         self.nbytes = 0
+        #: Race-detector mode: :meth:`claim` records each task's region
+        #: in a shared ledger that :meth:`check_claims` validates.
+        self.debug = bool(debug)
+        self._claims_segment = None
+        self._claims: np.ndarray | None = None
+        self._claim_slots = 0
+        self._claim_index: dict[str, int] = {}
 
     # ------------------------------------------------------------ lifecycle
 
@@ -83,8 +105,13 @@ class ShmArena:
     def close(self) -> None:
         """Drop all views and unlink every segment (idempotent)."""
         self._arrays.clear()
-        segments, self._segments = self._segments, {}
-        for segment in segments.values():
+        self._claims = None
+        segments = list(self._segments.values())
+        self._segments = {}
+        if self._claims_segment is not None:
+            segments.append(self._claims_segment)
+            self._claims_segment = None
+        for segment in segments:
             segment.close()
             try:
                 segment.unlink()
@@ -110,3 +137,88 @@ class ShmArena:
     def take(self, name: str) -> np.ndarray:
         """Copy an array out of its segment (safe to keep after close)."""
         return np.array(self._arrays[name], copy=True)
+
+    # ----------------------------------------------- debug claims ledger
+    #
+    # The zero-copy fan-out is only correct because every task writes a
+    # *disjoint* region of each array.  In debug mode the ledger makes
+    # that checkable at runtime: each worker records the flat
+    # ``[start, stop)`` range it is about to write, into a ledger row
+    # determined by its (task slot, array) pair — so a task replayed
+    # after a SIGKILL overwrites its own earlier claim instead of
+    # raising a false positive — and the parent validates all claims
+    # for overlap before consuming the results.
+
+    _LEDGER_FIELDS = 3  # start, stop, owner (used-flag: stop >= start >= 0)
+
+    def enable_claims(self, n_slots: int) -> None:
+        """Allocate the ledger for ``n_slots`` tasks (call after every
+        :meth:`alloc`, before the pool forks).  No-op unless ``debug``."""
+        if not self.debug:
+            return
+        if self._claims_segment is not None:
+            raise ValueError("claims ledger already enabled")
+        self._claim_slots = int(n_slots)
+        self._claim_index = {n: i for i, n in enumerate(self._arrays)}
+        rows = max(self._claim_slots * len(self._claim_index), 1)
+        nbytes = rows * self._LEDGER_FIELDS * 8
+        # Deliberately not in self._segments/self.nbytes: the ledger is
+        # instrumentation, and must not shift the shm_segments counter
+        # or the byte accounting that debug and production runs share.
+        self._claims_segment = _shared_memory.SharedMemory(
+            create=True, size=nbytes
+        )
+        ledger = np.ndarray((rows, self._LEDGER_FIELDS), dtype=np.int64,
+                            buffer=self._claims_segment.buf)
+        ledger[...] = -1  # start == -1 marks an unused row
+        self._claims = ledger
+
+    def claim(self, name: str, start: int, stop: int, slot: int,
+              owner: int = 0) -> None:
+        """Record (from a worker) that task ``slot`` is about to write
+        ``array[start:stop]`` (flat indices).  Free when debug is off;
+        raises :class:`ShmRaceError` immediately on an out-of-bounds or
+        out-of-slot claim."""
+        if self._claims is None:
+            return
+        size = self._arrays[name].size
+        if not 0 <= start <= stop <= size:
+            raise ShmRaceError(
+                f"task {slot} (owner {owner}) claims {name!r}[{start}:"
+                f"{stop}] outside the array's {size} elements"
+            )
+        if not 0 <= slot < self._claim_slots:
+            raise ShmRaceError(
+                f"claim on {name!r} names task slot {slot}, but the "
+                f"ledger holds {self._claim_slots} slots"
+            )
+        row = slot * len(self._claim_index) + self._claim_index[name]
+        self._claims[row] = (start, stop, owner)
+
+    def check_claims(self) -> int:
+        """Validate (in the parent) that all recorded claims are
+        pairwise disjoint per array; returns the number of claims
+        checked.  Raises :class:`ShmRaceError` on the first overlap."""
+        if self._claims is None:
+            return 0
+        n_arrays = len(self._claim_index)
+        names = {i: n for n, i in self._claim_index.items()}
+        checked = 0
+        for arr_idx in range(n_arrays):
+            rows = self._claims[arr_idx::n_arrays]
+            used = [
+                (int(s), int(e), int(o), slot)
+                for slot, (s, e, o) in enumerate(rows)
+                if s >= 0 and e > s  # empty claims cannot overlap
+            ]
+            checked += sum(1 for row in rows if row[0] >= 0)
+            used.sort()
+            for (s1, e1, o1, t1), (s2, e2, o2, t2) in zip(used, used[1:]):
+                if e1 > s2:
+                    name = names[arr_idx]
+                    raise ShmRaceError(
+                        f"overlapping claims on {name!r}: task {t1} "
+                        f"(owner {o1}) wrote [{s1}:{e1}) and task {t2} "
+                        f"(owner {o2}) wrote [{s2}:{e2})"
+                    )
+        return checked

@@ -90,7 +90,13 @@ class DatabaseSet:
             }
         )
         arrays[_META_KEY] = np.frombuffer(meta.encode(), dtype=np.uint8)
-        np.savez_compressed(path, **arrays)
+        # np.savez would append .npz itself; the atomic helper writes the
+        # exact path it is given, so mirror that naming rule here.
+        if path.suffix != ".npz":
+            path = path.with_name(path.name + ".npz")
+        from ..resilience.checkpoint import atomic_savez_compressed
+
+        atomic_savez_compressed(path, **arrays)
 
     @staticmethod
     def _parse_id(text: str):

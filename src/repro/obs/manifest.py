@@ -78,8 +78,12 @@ class RunManifest:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
 
     def save(self, path) -> Path:
+        # Deferred import: obs must stay importable while resilience
+        # (whose pool reports through obs) is still loading.
+        from ..resilience.checkpoint import atomic_write_text
+
         path = Path(path)
-        path.write_text(self.to_json() + "\n")
+        atomic_write_text(path, self.to_json() + "\n")
         return path
 
     @classmethod

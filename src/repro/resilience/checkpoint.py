@@ -33,6 +33,7 @@ __all__ = [
     "atomic_write_text",
     "atomic_write_json",
     "atomic_save_array",
+    "atomic_savez_compressed",
     "crc32_of_file",
     "load_array_verified",
     "RoundStore",
@@ -72,6 +73,16 @@ def atomic_save_array(path, array: np.ndarray) -> int:
     of the file's bytes (record it in a manifest for verified loads)."""
     buffer = io.BytesIO()
     np.save(buffer, np.ascontiguousarray(array))
+    data = buffer.getvalue()
+    atomic_write_bytes(path, data)
+    return zlib.crc32(data)
+
+
+def atomic_savez_compressed(path, **arrays) -> int:
+    """Atomically write ``arrays`` in ``.npz`` (compressed) format;
+    returns the CRC32 of the file's bytes."""
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
     data = buffer.getvalue()
     atomic_write_bytes(path, data)
     return zlib.crc32(data)

@@ -27,7 +27,7 @@ import time
 import numpy as np
 
 from ..db.store import DatabaseSet
-from ..obs import NULL_METRICS
+from ..obs import NULL_METRICS, names
 from ..resilience import ReconnectPolicy
 from .protocol import ProtocolError, recv_message, send_message
 
@@ -78,7 +78,7 @@ class ProbeClient:
                 last = exc
                 self._sock = None
                 if attempt < attempts:
-                    self.metrics.inc("resilience.connect_retries")
+                    self.metrics.inc(names.RESILIENCE_CONNECT_RETRIES)
                     time.sleep(self.policy.backoff(attempt))
         raise ProbeError(
             f"cannot connect to {self.host}:{self.port} after "
@@ -89,7 +89,7 @@ class ProbeClient:
         if self._sock is not None:
             try:
                 self._sock.close()
-            except OSError:
+            except OSError:  # staticcheck: disable=RA004 -- best-effort close of an already-failed socket; the caller counts the drop (reconnects / the raised ProbeError), closing twice has no signal to record
                 pass
             self._sock = None
 
@@ -114,7 +114,7 @@ class ProbeClient:
                 if self._sock is None:
                     self._connect()
                     self.reconnects += 1
-                    self.metrics.inc("resilience.reconnects")
+                    self.metrics.inc(names.RESILIENCE_RECONNECTS)
                 send_message(self._sock, message)
                 response = recv_message(self._sock)
                 if response is None:

@@ -159,7 +159,10 @@ class ProbeServer:
                     self._metrics.inc("faults.connections_severed")
                     break
         except OSError:
-            pass  # client went away mid-response
+            # Client went away mid-response: expected under chaos and
+            # abrupt disconnects, but never silent — operators watching
+            # a long-running server need the rate.
+            self._metrics.inc("client_disconnects")
         finally:
             conn.close()
 

@@ -1,0 +1,36 @@
+"""repro.staticcheck — AST-based enforcement of the repo's invariants.
+
+The concurrency and durability contracts accumulated by PRs 1–4
+(atomic checkpoint writes, fork-safe pool fan-out, cataloged metric
+names, accounted exception handling, documented CLI flags) are checked
+mechanically here instead of by convention.  ``repro staticcheck
+src/ tests/ scripts/`` runs every rule; see docs/STATICCHECK.md for
+the rule catalog and the suppression syntax.
+"""
+
+from .framework import (
+    Checker,
+    FileContext,
+    Finding,
+    Project,
+    Report,
+    all_checkers,
+    check_source,
+    register,
+    run_paths,
+)
+from .reporters import render_json, render_text
+
+__all__ = [
+    "Checker",
+    "FileContext",
+    "Finding",
+    "Project",
+    "Report",
+    "all_checkers",
+    "check_source",
+    "register",
+    "run_paths",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,64 @@
+"""Text and JSON rendering of a checker :class:`Report`."""
+
+from __future__ import annotations
+
+import json
+
+from .framework import Report
+
+__all__ = ["render_text", "render_json"]
+
+#: Bumped when the JSON shape changes; CI parses this artifact.
+JSON_SCHEMA = "repro/staticcheck-report/v1"
+
+
+def render_text(report: Report, verbose: bool = False) -> str:
+    """Human-readable findings, one ``path:line:col RULE message`` per
+    line, with a summary footer."""
+    lines = []
+    for finding in report.findings:
+        lines.append(f"{finding.location()} {finding.rule} "
+                     f"{finding.message}")
+    if verbose:
+        for finding in report.suppressed:
+            lines.append(f"{finding.location()} {finding.rule} "
+                         f"suppressed: {finding.justification}")
+    counts = report.by_rule()
+    if counts:
+        per_rule = ", ".join(f"{rule}×{n}" for rule, n in
+                             sorted(counts.items()))
+        lines.append(f"{len(report.findings)} finding(s) "
+                     f"({per_rule}) in {report.files_scanned} file(s); "
+                     f"{len(report.suppressed)} suppressed")
+    else:
+        lines.append(f"clean: {report.files_scanned} file(s), "
+                     f"{len(report.suppressed)} suppression(s)")
+    return "\n".join(lines)
+
+
+def _finding_dict(finding) -> dict:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "suppressed": finding.suppressed,
+        "justification": finding.justification,
+    }
+
+
+def render_json(report: Report) -> str:
+    """Machine-readable report (the CI artifact)."""
+    return json.dumps(
+        {
+            "schema": JSON_SCHEMA,
+            "files_scanned": report.files_scanned,
+            "findings": [_finding_dict(f) for f in report.findings],
+            "suppressed": [_finding_dict(f) for f in report.suppressed],
+            "counts": report.by_rule(),
+            "exit_code": report.exit_code,
+        },
+        indent=2,
+        sort_keys=True,
+    ) + "\n"

@@ -1,0 +1,108 @@
+"""RA001 — atomic-write discipline for persistent files.
+
+A checkpoint, manifest, paged database or ready-file that is half
+written when the process dies must never be mistaken for a complete
+one.  The repo's answer (docs/RESILIENCE.md) is a single pattern —
+write to a temp file, fsync, ``os.replace`` — implemented once in
+``resilience/checkpoint.py`` (and, for the paged format with its own
+trailer validation, ``serve/pagedstore.py``).  Library code therefore
+must not open files for writing directly: route every durable write
+through the blessed helpers.
+
+Flagged calls (library code under ``src/repro/`` only — tests and
+scripts write scratch files at will):
+
+* ``open(path, "w" / "wb" / "a" / ...)`` — any truncating/appending
+  text or binary mode
+* ``np.save`` / ``np.savez`` / ``np.savez_compressed``
+* ``json.dump`` / ``pickle.dump``
+* ``<path>.write_text(...)`` / ``<path>.write_bytes(...)``
+
+``"r"``/``"r+b"`` opens are untouched (the fault injector patches
+checkpoint bytes in place on purpose).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .framework import Checker, register
+
+#: Modules that implement the atomic pattern and may write directly.
+_BLESSED = (
+    "src/repro/resilience/checkpoint.py",
+    "src/repro/serve/pagedstore.py",
+)
+
+_NUMPY_SAVERS = {"save", "savez", "savez_compressed"}
+_STREAM_DUMPERS = {"json", "pickle", "marshal"}
+_PATH_WRITERS = {"write_text", "write_bytes"}
+
+
+def _write_mode(call: ast.Call):
+    """The literal mode argument of an ``open`` call if it writes."""
+    mode = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if mode is None:
+        return None  # default "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        if any(ch in mode.value for ch in "wax"):
+            return mode.value
+    return None
+
+
+@register
+class AtomicWriteChecker(Checker):
+    """Flag direct persistent writes in library code (see module doc)."""
+
+    rule_id = "RA001"
+    title = "persistent writes must go through the atomic helpers"
+    rationale = (
+        "Bare open(.., 'w'), np.save, json.dump and Path.write_text "
+        "leave torn files behind on a crash; library code must use "
+        "atomic_write_bytes/text/json, atomic_save_array or "
+        "atomic_savez_compressed from resilience/checkpoint.py (or the "
+        "paged-store writer), which write tmp+fsync+os.replace."
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return (
+            relpath.startswith("src/repro/")
+            and relpath not in _BLESSED
+        )
+
+    def check_file(self, ctx):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                mode = _write_mode(node)
+                if mode is not None:
+                    yield (node.lineno, node.col_offset,
+                           f"bare open(..., {mode!r}) writes "
+                           f"non-atomically; use the atomic_write_* "
+                           f"helpers in resilience/checkpoint.py")
+            elif isinstance(func, ast.Attribute):
+                recv = func.value
+                if (isinstance(recv, ast.Name)
+                        and recv.id in ("np", "numpy")
+                        and func.attr in _NUMPY_SAVERS):
+                    yield (node.lineno, node.col_offset,
+                           f"np.{func.attr} writes non-atomically; use "
+                           f"atomic_save_array / atomic_savez_compressed")
+                elif (isinstance(recv, ast.Name)
+                        and recv.id in _STREAM_DUMPERS
+                        and func.attr == "dump"):
+                    yield (node.lineno, node.col_offset,
+                           f"{recv.id}.dump to a file handle writes "
+                           f"non-atomically; serialize to a string/bytes "
+                           f"and use atomic_write_text/bytes")
+                elif func.attr in _PATH_WRITERS:
+                    yield (node.lineno, node.col_offset,
+                           f".{func.attr}() writes non-atomically; use "
+                           f"atomic_write_text/bytes")

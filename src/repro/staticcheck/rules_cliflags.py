@@ -1,0 +1,62 @@
+"""RA005 — every CLI flag must be mentioned in the documentation.
+
+The CLI is the repo's operational surface: a flag that exists only in
+``add_argument`` is invisible to anyone reading README/docs, and a doc
+that describes a removed flag is worse.  This rule walks every
+``add_argument("--flag", ...)`` call in the CLI modules (any file named
+``cli.py`` or ``*_cli.py``) and requires the flag string to appear
+somewhere in ``README.md`` or ``docs/*.md``.
+
+A flag counts as documented if its literal spelling (``--shm-debug``)
+occurs anywhere in that corpus — prose, tables and fenced examples all
+qualify.  Positional argument names are not checked (they appear in
+usage strings naturally); short aliases pass if the long spelling of
+the same ``add_argument`` call is documented.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .framework import Checker, register
+
+
+def _option_strings(call: ast.Call):
+    for arg in call.args:
+        if (isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+                and arg.value.startswith("-")):
+            yield arg.value
+
+
+@register
+class CliFlagDocChecker(Checker):
+    """Flag CLI options missing from README/docs (see module doc)."""
+
+    rule_id = "RA005"
+    title = "CLI flags must appear in README or docs/"
+    rationale = (
+        "add_argument flags that no document mentions are dead "
+        "operational surface; each flag's literal spelling must occur "
+        "in README.md or docs/*.md."
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        name = relpath.rsplit("/", 1)[-1]
+        return name == "cli.py" or name.endswith("_cli.py")
+
+    def check_file(self, ctx):
+        corpus = ctx.project.flag_documentation()
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "add_argument"):
+                continue
+            flags = list(_option_strings(node))
+            if not flags:
+                continue  # positional argument
+            if any(flag in corpus for flag in flags):
+                continue
+            longest = max(flags, key=len)
+            yield (node.lineno, node.col_offset,
+                   f"flag {longest!r} is not mentioned in README.md or "
+                   f"docs/; document it (or remove it)")

@@ -1,0 +1,152 @@
+"""RA002 — functions fanned out to worker processes must be fork-safe.
+
+``SupervisedPool`` (and the ``ProcessPoolExecutor`` under it) runs the
+submitted callable in a forked child.  A lambda or nested function
+fails to pickle at best, and at worst captures parent-process state —
+a held lock, a connected socket, an open file, a ``ShmArena`` handle —
+that is meaningless or deadlock-prone on the other side of the fork.
+The repo's convention (docs/RESILIENCE.md) is that every fanned-out
+callable is a plain module-level function taking picklable arguments,
+with shared arrays reaching the child only through the fork-inherited
+module globals that ``ShmArena`` publishes.
+
+Checked call shapes: ``SupervisedPool(fn, ...)`` and anything of the
+form ``<pool>.submit(fn, ...)``.  ``fn`` is flagged when it is a
+lambda, a bound method (``self.x`` / ``obj.x``), or a name that
+resolves to a function defined inside another function; a module-level
+function is additionally flagged if it reads a module global bound to
+a lock, socket, open file or arena at import time.  Names that cannot
+be resolved within the module (parameters, imports) are left alone —
+the rule is a linter, not a prover.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .framework import Checker, register
+
+#: The pool implementation itself hands self._fn to the executor.
+_EXEMPT = ("src/repro/resilience/pool.py",)
+
+#: Constructor names whose module-level results are fork-hostile.
+_HOSTILE_CTORS = {
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+    "socket", "open", "ShmArena", "SharedMemory", "connect",
+    "create_connection",
+}
+
+
+def _ctor_name(call: ast.Call):
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class _ModuleIndex:
+    """Where every function in the module is defined, and which module
+    globals hold fork-hostile objects."""
+
+    def __init__(self, tree: ast.Module):
+        self.module_defs: dict = {}
+        self.nested_defs: set = set()
+        self.hostile_globals: dict = {}
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.module_defs[node.name] = node
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Call
+            ):
+                ctor = _ctor_name(node.value)
+                if ctor in _HOSTILE_CTORS:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            self.hostile_globals[target.id] = ctor
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for inner in ast.walk(node):
+                    if inner is node:
+                        continue
+                    if isinstance(inner,
+                                  (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self.nested_defs.add(inner.name)
+
+    def hostile_reads(self, fn: ast.FunctionDef):
+        for node in ast.walk(fn):
+            if (isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id in self.hostile_globals):
+                yield node.id, self.hostile_globals[node.id]
+
+
+def _submitted_callable(call: ast.Call):
+    """The callable argument of a pool fan-out call, if this is one."""
+    func = call.func
+    if isinstance(func, ast.Name) and func.id == "SupervisedPool":
+        pass
+    elif isinstance(func, ast.Attribute) and func.attr == "SupervisedPool":
+        pass
+    elif isinstance(func, ast.Attribute) and func.attr == "submit":
+        pass
+    else:
+        return None
+    if call.args:
+        return call.args[0]
+    for kw in call.keywords:
+        if kw.arg == "fn":
+            return kw.value
+    return None
+
+
+@register
+class ForkSafetyChecker(Checker):
+    """Flag fork-hostile callables handed to worker pools (module doc)."""
+
+    rule_id = "RA002"
+    title = "pool-submitted callables must be module-level and fork-safe"
+    rationale = (
+        "Callables handed to SupervisedPool / executor.submit run in "
+        "forked children: lambdas and nested functions don't pickle, "
+        "and captured locks/sockets/files/ShmArena handles are invalid "
+        "across the fork. Fan out plain module-level functions with "
+        "picklable arguments."
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath not in _EXEMPT
+
+    def check_file(self, ctx):
+        index = None
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _submitted_callable(node)
+            if target is None:
+                continue
+            if index is None:
+                index = _ModuleIndex(ctx.tree)
+            if isinstance(target, ast.Lambda):
+                yield (target.lineno, target.col_offset,
+                       "lambda submitted to a worker pool; define a "
+                       "module-level function instead")
+            elif isinstance(target, ast.Attribute):
+                yield (target.lineno, target.col_offset,
+                       f"bound method '{ast.unparse(target)}' submitted "
+                       f"to a worker pool; its instance state does not "
+                       f"survive the fork — use a module-level function")
+            elif isinstance(target, ast.Name):
+                if target.id in index.module_defs:
+                    fn = index.module_defs[target.id]
+                    for name, ctor in index.hostile_reads(fn):
+                        yield (target.lineno, target.col_offset,
+                               f"'{target.id}' reads module global "
+                               f"'{name}' (a {ctor}() result), which is "
+                               f"not valid in a forked worker")
+                elif target.id in index.nested_defs:
+                    yield (target.lineno, target.col_offset,
+                           f"'{target.id}' is defined inside another "
+                           f"function; pool workers need module-level "
+                           f"functions")

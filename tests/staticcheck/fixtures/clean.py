@@ -1,0 +1,15 @@
+"""Clean fixture: nothing for any rule to find."""
+from pathlib import Path
+
+from repro.obs import names
+from repro.resilience.checkpoint import atomic_write_text
+
+
+def persist(path: Path, text: str, metrics) -> None:
+    atomic_write_text(path, text)
+    metrics.inc(names.PIPELINE_DATABASES_SOLVED)
+
+
+def read_back(path: Path) -> str:
+    with open(path) as handle:
+        return handle.read()

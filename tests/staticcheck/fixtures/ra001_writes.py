@@ -1,0 +1,11 @@
+"""RA001 fixture: every persistent write here is non-atomic."""
+import json
+
+import numpy as np
+
+
+def save_report(path, payload):
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+    np.save(path, payload["array"])
+    path.write_text("done")

@@ -1,0 +1,26 @@
+"""RA002 fixture: every fan-out here is fork-hostile."""
+import threading
+
+from repro.resilience import SupervisedPool
+
+_LOCK = threading.Lock()
+
+
+def _locked_worker(task):
+    with _LOCK:
+        return task
+
+
+def run(tasks, handler):
+    pool = SupervisedPool(lambda t: t, max_workers=2)
+    pool.submit(handler.on_task, 0)
+    with SupervisedPool(_locked_worker, max_workers=2) as workers:
+        return workers.map(tasks)
+
+
+def outer(tasks):
+    def inner(task):
+        return task
+
+    with SupervisedPool(inner, max_workers=2) as workers:
+        return workers.map(tasks)

@@ -1,0 +1,9 @@
+"""RA003 fixture: metric names the catalog does not know."""
+
+
+def report(metrics, tag):
+    metrics.inc("multiproc.positions_scanned_typo")
+    metrics.set_gauge("serve.cache.warmth", 1.0)
+    metrics.inc(f"mystery.{tag}")
+    name = "multiproc.thresholds"
+    metrics.inc(name)

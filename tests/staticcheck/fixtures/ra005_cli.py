@@ -1,0 +1,9 @@
+"""RA005 fixture: a flag no document mentions."""
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--fixture-only-flag", action="store_true")
+    parser.add_argument("paths", nargs="*")
+    return parser

@@ -1,0 +1,8 @@
+"""Suppression fixture: justified, unjustified, unknown-rule, malformed."""
+
+
+def save(path, data):
+    path.write_text(data)  # staticcheck: disable=RA001 -- fixture: a justified suppression
+    path.write_bytes(data)  # staticcheck: disable=RA001
+    path.write_text(data)  # staticcheck: disable=RA999 -- there is no such rule
+    path.write_text(data)  # staticcheck: ignore=RA001 -- wrong verb

@@ -1,0 +1,35 @@
+"""The generated metric-name catalog: freshness, uniqueness, doc drift."""
+
+from pathlib import Path
+
+from repro.obs import names
+from repro.staticcheck import catalog
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestCatalog:
+    def test_committed_names_module_is_fresh(self):
+        assert catalog.names_path().read_text() == catalog.generate_source()
+
+    def test_observability_doc_has_no_drift(self):
+        doc = (ROOT / "docs" / "OBSERVABILITY.md").read_text()
+        assert catalog.doc_drift(doc) == []
+
+    def test_catalog_names_are_unique_and_exported(self):
+        declared = [entry.name for entry in catalog.CATALOG]
+        assert len(declared) == len(set(declared))
+        assert set(declared) == set(names.NAMES)
+
+    def test_dynamic_families_are_dotted_prefixes(self):
+        for entry in catalog.DYNAMIC:
+            assert entry.prefix.endswith(".")
+            for example in entry.examples:
+                assert example.startswith(entry.prefix)
+        assert tuple(e.prefix for e in catalog.DYNAMIC) == \
+            names.DYNAMIC_PREFIXES
+
+    def test_debug_counter_is_declared(self):
+        # The shm race detector's one observable counter must stay
+        # cataloged, or RA003 would reject the guarded inc call.
+        assert "multiproc.shm_claims_checked" in names.NAMES

@@ -1,0 +1,127 @@
+"""Framework mechanics: suppression parsing, walking, report shape.
+
+Suppression-comment *text* is assembled at runtime (``MARK``) so that
+the checker, which scans this test file too, never mistakes a test
+string for a real suppression attempt.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import Project, all_checkers, check_source, run_paths
+
+ROOT = Path(__file__).resolve().parents[2]
+HERE = Path(__file__).resolve().parent
+FIXTURES = HERE / "fixtures"
+
+#: The suppression marker, assembled at runtime so the scanner never
+#: sees it spelled out in this file.
+MARK = "# static" "check:"
+
+
+def _check(source, rules=("RA001",)):
+    checkers = {rule: all_checkers()[rule]() for rule in rules}
+    return check_source(source, "fixture.py", Project(root=ROOT), checkers,
+                        enforce_scope=False)
+
+
+class TestSuppressions:
+    def test_justified_line_suppression(self):
+        report = _check(
+            f"path.write_text(x)  {MARK} disable=RA001 -- scratch file\n"
+        )
+        assert report.findings == []
+        [finding] = report.suppressed
+        assert finding.rule == "RA001"
+        assert finding.suppressed
+        assert finding.justification == "scratch file"
+
+    def test_em_dash_justification(self):
+        report = _check(
+            f"path.write_text(x)  {MARK} disable=RA001 — scratch file\n"
+        )
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+    def test_unjustified_suppression_does_not_suppress(self):
+        report = _check(f"path.write_text(x)  {MARK} disable=RA001\n")
+        assert sorted(f.rule for f in report.findings) == ["RA000", "RA001"]
+        assert report.suppressed == []
+
+    def test_unknown_rule_is_reported(self):
+        report = _check(
+            f"path.write_text(x)  {MARK} disable=RA999 -- because\n"
+        )
+        assert sorted(f.rule for f in report.findings) == ["RA000", "RA001"]
+        assert report.suppressed == []
+
+    def test_malformed_comment_is_reported(self):
+        report = _check(f"x = 1  {MARK} ignore=RA001 -- wrong verb\n")
+        [finding] = report.findings
+        assert finding.rule == "RA000"
+        assert "malformed" in finding.message
+
+    def test_disable_file_suppresses_everything(self):
+        source = (
+            f"{MARK} disable-file=RA001 -- fixture writes scratch files\n"
+            "def save(path, a, b):\n"
+            "    path.write_text(a)\n"
+            "    path.write_bytes(b)\n"
+        )
+        report = _check(source)
+        assert report.findings == []
+        assert [f.line for f in report.suppressed] == [3, 4]
+
+    def test_multiple_rules_in_one_comment(self):
+        report = _check(
+            f"path.write_text(x)  {MARK} disable=RA001,RA002 -- scratch\n",
+            rules=("RA001", "RA002"),
+        )
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+    def test_ra000_cannot_be_suppressed(self):
+        source = (
+            f"{MARK} disable-file=RA000 -- nice try\n"
+            f"x = 1  {MARK} ignore=RA001 -- still malformed\n"
+        )
+        report = _check(source)
+        assert [f.rule for f in report.findings] == ["RA000"]
+        assert report.findings[0].line == 2
+
+    def test_syntax_error_is_an_ra000_finding(self):
+        report = _check("def broken(:\n")
+        [finding] = report.findings
+        assert finding.rule == "RA000"
+        assert "does not parse" in finding.message
+
+
+class TestWalking:
+    def test_fixture_dirs_are_skipped_on_walks(self):
+        report = run_paths([str(HERE)], root=ROOT)
+        assert all("fixtures" not in f.path for f in report.findings)
+        assert all("fixtures" not in f.path for f in report.suppressed)
+
+    def test_direct_fixture_path_is_still_checked(self):
+        report = run_paths([str(FIXTURES / "ra002_forksafe.py")], root=ROOT)
+        assert {f.rule for f in report.findings} == {"RA002"}
+
+    def test_unknown_rule_selection_raises(self):
+        with pytest.raises(ValueError, match="RA999"):
+            run_paths([str(FIXTURES / "clean.py")], root=ROOT,
+                      rules=["RA999"])
+
+
+class TestReport:
+    def test_exit_code_and_by_rule(self):
+        report = run_paths([str(FIXTURES / "ra001_writes.py")], root=ROOT,
+                           rules=["RA001"], enforce_scope=False)
+        assert report.exit_code == 1
+        assert report.by_rule() == {"RA001": 4}
+        assert report.files_scanned == 1
+
+    def test_clean_report_exits_zero(self):
+        report = run_paths([str(FIXTURES / "clean.py")], root=ROOT)
+        assert report.exit_code == 0
+        assert report.findings == []
