@@ -20,6 +20,10 @@ serve
     Serve a database (paged or ``.npz``) over TCP.
 probe
     Query a running probe server (value, best move, stats).
+cluster
+    Sharded serving: split a store into per-shard page files, launch
+    shard servers plus replicas, probe through the scatter-gather
+    router (see docs/CLUSTER.md).
 """
 
 from __future__ import annotations
@@ -172,6 +176,15 @@ def _build_parser() -> argparse.ArgumentParser:
                             "for the best move")
     probe.add_argument("--stats", action="store_true",
                        help="print server/cache statistics")
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="sharded serving cluster: split | up | probe "
+             "(docs/CLUSTER.md)",
+    )
+    from .cluster.cli import add_arguments as _cluster_arguments
+
+    _cluster_arguments(cluster)
 
     staticcheck = sub.add_parser(
         "staticcheck",
@@ -581,6 +594,12 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    from .cluster.cli import run
+
+    return run(args)
+
+
 def _cmd_staticcheck(args) -> int:
     from .staticcheck.cli import run
 
@@ -637,6 +656,7 @@ def main(argv=None) -> int:
         "page": _cmd_page,
         "serve": _cmd_serve,
         "probe": _cmd_probe,
+        "cluster": _cmd_cluster,
         "staticcheck": _cmd_staticcheck,
     }[args.command]
     return handler(args)

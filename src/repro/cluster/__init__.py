@@ -1,0 +1,32 @@
+"""Sharded serving cluster: split, launch, and route.
+
+The paper's core claim is that distributing the endgame database over
+many machines' memories makes interactive probing feasible at database
+sizes no single machine can hold.  This package is that claim's serving
+shape:
+
+* :mod:`repro.cluster.manifest` — split one paged store into per-shard
+  page files through a :class:`~repro.core.partition.Partition`, and
+  the shard manifest that records the split;
+* :mod:`repro.cluster.launch` — run N shard :class:`ProbeServer`
+  processes (plus optional replicas) and publish their addresses as a
+  topology file;
+* :mod:`repro.cluster.router` — the :class:`ShardRouter` that hashes
+  positions through the recorded partition, scatter-gathers batched
+  probes across shards, and fails over to replicas.
+
+See docs/CLUSTER.md for the operational story and the ``repro cluster``
+CLI (``split`` | ``up`` | ``probe``).
+"""
+
+from .manifest import ShardManifest, split_store
+from .router import ShardRouter
+from .topology import ClusterTopology, ShardEndpoint
+
+__all__ = [
+    "ShardManifest",
+    "split_store",
+    "ShardRouter",
+    "ClusterTopology",
+    "ShardEndpoint",
+]

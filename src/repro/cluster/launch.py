@@ -1,0 +1,170 @@
+"""Launch shard server processes and publish the cluster topology.
+
+``launch_cluster`` starts one ``repro serve`` subprocess per shard file
+(plus ``replicas`` extra processes per shard, serving the *same* shard
+file), waits for every server's ready file, and returns a
+:class:`ClusterSupervisor` holding the live
+:class:`~repro.cluster.topology.ClusterTopology` — including child
+process ids, so chaos tooling can SIGKILL one precise endpoint and
+watch the router reroute.
+
+Real processes, not threads, on purpose: a shard that dies takes only
+its own memory and sockets with it (the paper's machines fail
+independently), and the supervisor's shutdown path must tolerate
+children that are already gone.
+"""
+
+from __future__ import annotations
+
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from .manifest import ShardManifest
+from .topology import ClusterTopology, ShardEndpoint
+
+__all__ = ["ClusterLaunchError", "ClusterSupervisor", "launch_cluster"]
+
+#: How long one shard server may take to write its ready file.
+READY_TIMEOUT_SECONDS = 30.0
+
+
+class ClusterLaunchError(RuntimeError):
+    """A shard server failed to come up within the ready timeout."""
+
+
+class ClusterSupervisor:
+    """Owns the shard server processes of one launched cluster.
+
+    ``processes[shard]`` mirrors ``topology.endpoints[shard]``: primary
+    first, replicas after.  :meth:`shutdown` interrupts every child that
+    is still alive and escalates to SIGKILL after a grace period —
+    idempotent, and unbothered by children that already died (that is
+    the failure mode the cluster exists to absorb).
+    """
+
+    def __init__(self, topology: ClusterTopology, processes: list):
+        self.topology = topology
+        self._processes = processes
+
+    def process(self, shard: int, endpoint: int = 0) -> subprocess.Popen:
+        """The child serving one endpoint (0 = primary)."""
+        return self._processes[shard][endpoint]
+
+    def alive(self) -> int:
+        """How many shard server processes are currently running."""
+        return sum(
+            1
+            for group in self._processes
+            for proc in group
+            if proc.poll() is None
+        )
+
+    def shutdown(self, grace_seconds: float = 10.0) -> None:
+        """Stop every child: SIGINT, wait up to the grace period, then
+        SIGKILL stragglers.  Safe to call repeatedly."""
+        for group in self._processes:
+            for proc in group:
+                if proc.poll() is None:
+                    proc.send_signal(signal.SIGINT)
+        deadline = time.monotonic() + grace_seconds
+        for group in self._processes:
+            for proc in group:
+                remaining = max(deadline - time.monotonic(), 0.1)
+                try:
+                    proc.wait(timeout=remaining)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+
+    def __enter__(self) -> "ClusterSupervisor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def _wait_ready(path: Path, proc: subprocess.Popen,
+                timeout: float) -> tuple:
+    """(host, port) from a server's ready file, polling the child."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if path.exists():
+            text = path.read_text().strip()
+            if text:
+                host, port = text.split()
+                return host, int(port)
+        if proc.poll() is not None:
+            raise ClusterLaunchError(
+                f"shard server exited with {proc.returncode} before ready"
+            )
+        time.sleep(0.02)
+    raise ClusterLaunchError(f"no ready file at {path} after {timeout}s")
+
+
+def launch_cluster(
+    cluster_dir,
+    replicas: int = 0,
+    host: str = "127.0.0.1",
+    cache_kb: int = 65536,
+    ready_timeout: float = READY_TIMEOUT_SECONDS,
+) -> ClusterSupervisor:
+    """Start every shard server of a split cluster directory.
+
+    Each shard gets ``1 + replicas`` ``repro serve`` processes over its
+    shard file, all on ephemeral ports.  Returns a supervisor whose
+    topology lists each shard's endpoints (primary first) with child
+    pids; callers persist it with ``supervisor.topology.save(...)``.
+    On any startup failure the already-started children are shut down
+    before the error propagates.
+    """
+    if replicas < 0:
+        raise ValueError("replicas must be >= 0")
+    cluster_dir = Path(cluster_dir).resolve()
+    manifest = ShardManifest.load(cluster_dir)
+    ready_dir = Path(tempfile.mkdtemp(prefix="repro-cluster-ready-"))
+    processes: list = []
+    endpoints: list = []
+    try:
+        for shard, shard_file in enumerate(manifest.shard_files):
+            group_procs = []
+            group_ready = []
+            for copy in range(1 + replicas):
+                ready = ready_dir / f"shard{shard}-copy{copy}"
+                proc = subprocess.Popen(
+                    [
+                        sys.executable, "-m", "repro", "serve",
+                        str(cluster_dir / shard_file),
+                        "--host", host, "--port", "0",
+                        "--cache-kb", str(cache_kb),
+                        "--ready-file", str(ready),
+                    ],
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL,
+                )
+                group_procs.append(proc)
+                group_ready.append(ready)
+            processes.append(group_procs)
+            endpoints.append(list(zip(group_procs, group_ready)))
+        resolved = []
+        for group in endpoints:
+            group_eps = []
+            for proc, ready in group:
+                ep_host, ep_port = _wait_ready(ready, proc, ready_timeout)
+                group_eps.append(
+                    ShardEndpoint(host=ep_host, port=ep_port, pid=proc.pid)
+                )
+            resolved.append(group_eps)
+    except Exception:
+        for group_procs in processes:
+            for proc in group_procs:
+                if proc.poll() is None:
+                    proc.kill()
+        raise
+    topology = ClusterTopology(
+        cluster_dir=str(cluster_dir), endpoints=resolved
+    )
+    return ClusterSupervisor(topology, processes)

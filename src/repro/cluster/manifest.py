@@ -1,0 +1,249 @@
+"""The shard manifest: how one database set was split across shards.
+
+``split_store`` partitions every database of a source store (a
+``DatabaseSet`` archive or a paged store) through one
+:class:`~repro.core.partition.Partition` per database — same kind and
+shard count everywhere, sized to each database — and writes one
+*ordinary* paged file per shard holding only the positions that shard
+owns, stored densely in local-slot order.  A shard server is therefore
+just ``repro serve shard_00.pgdb``: the cluster layer needs no new
+storage format and no shard-aware server.
+
+The :class:`ShardManifest` (``cluster.json``, schema
+``repro/cluster-manifest/v1``) records the split: game, rules, shard
+file names, and the serialized partition spec per database
+(:meth:`~repro.core.partition.Partition.spec`).  The router rebuilds
+the exact bijection from the manifest, so global position ``(db, i)``
+deterministically maps to ``(shard, local slot)`` on both sides of the
+split — the whole correctness argument of scatter-gather routing rests
+on this file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.partition import Partition, make_partition, partition_from_spec
+from ..db.store import DatabaseSet
+from ..serve.pagedstore import DEFAULT_BLOCK_POSITIONS, PagedStore, write_paged
+
+__all__ = ["SCHEMA", "MANIFEST_NAME", "ShardManifest", "split_store"]
+
+SCHEMA = "repro/cluster-manifest/v1"
+
+#: File name of the manifest inside a cluster directory.
+MANIFEST_NAME = "cluster.json"
+
+
+def _shard_file(rank: int) -> str:
+    return f"shard_{rank:02d}.pgdb"
+
+
+@dataclass
+class ShardManifest:
+    """Decoded ``cluster.json``: the contract between split and route.
+
+    ``databases`` maps database id to its serialized partition spec;
+    ``partition_for`` rebuilds (and memoizes) the live
+    :class:`~repro.core.partition.Partition` objects on demand.
+    """
+
+    game: str
+    rules: str
+    partition: str
+    n_shards: int
+    block_positions: int
+    databases: dict
+    shard_files: list
+    _partitions: dict = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------- routing
+
+    def ids(self) -> list:
+        """Database ids of the split store, sorted."""
+        return sorted(self.databases)
+
+    def __contains__(self, db_id) -> bool:
+        return db_id in self.databases
+
+    def positions(self, db_id) -> int:
+        """Global position count of one database."""
+        return int(self._spec(db_id)["size"])
+
+    @property
+    def total_positions(self) -> int:
+        """Global position count across all databases."""
+        return sum(self.positions(i) for i in self.ids())
+
+    def partition_for(self, db_id) -> Partition:
+        """The (memoized) partition of one database."""
+        if db_id not in self._partitions:
+            self._partitions[db_id] = partition_from_spec(self._spec(db_id))
+        return self._partitions[db_id]
+
+    def _spec(self, db_id) -> dict:
+        try:
+            return self.databases[db_id]
+        except KeyError:
+            raise KeyError(
+                f"database {db_id!r} not present; have {self.ids()}"
+            ) from None
+
+    # ------------------------------------------------------------------ io
+
+    def save(self, directory) -> Path:
+        """Write ``cluster.json`` atomically into ``directory``."""
+        from ..resilience.checkpoint import atomic_write_text
+
+        path = Path(directory) / MANIFEST_NAME
+        payload = json.dumps(
+            {
+                "schema": SCHEMA,
+                "game": self.game,
+                "rules": self.rules,
+                "partition": self.partition,
+                "n_shards": self.n_shards,
+                "block_positions": self.block_positions,
+                "databases": {
+                    str(db_id): spec for db_id, spec in self.databases.items()
+                },
+                "shard_files": list(self.shard_files),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        atomic_write_text(path, payload + "\n")
+        return path
+
+    @classmethod
+    def load(cls, directory) -> "ShardManifest":
+        """Read and validate a manifest from a cluster directory (or the
+        manifest path itself)."""
+        path = Path(directory)
+        if path.is_dir():
+            path = path / MANIFEST_NAME
+        try:
+            raw = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"cannot read shard manifest {path}: {exc}") from exc
+        if raw.get("schema") != SCHEMA:
+            raise ValueError(
+                f"unsupported shard-manifest schema {raw.get('schema')!r}"
+            )
+        n_shards = int(raw["n_shards"])
+        shard_files = list(raw["shard_files"])
+        if n_shards < 1 or len(shard_files) != n_shards:
+            raise ValueError(
+                f"manifest lists {len(shard_files)} shard files for "
+                f"{n_shards} shards"
+            )
+        databases = {
+            DatabaseSet._parse_id(key): dict(spec)
+            for key, spec in raw["databases"].items()
+        }
+        for db_id, spec in databases.items():
+            if int(spec.get("n_parts", -1)) != n_shards:
+                raise ValueError(
+                    f"db {db_id!r} partition spec disagrees with the "
+                    f"manifest shard count ({spec!r} vs {n_shards})"
+                )
+        return cls(
+            game=raw["game"],
+            rules=raw["rules"],
+            partition=raw["partition"],
+            n_shards=n_shards,
+            block_positions=int(raw["block_positions"]),
+            databases=databases,
+            shard_files=shard_files,
+        )
+
+
+def _load_source(source) -> DatabaseSet:
+    """A :class:`DatabaseSet` from an archive path, a paged-store path,
+    or a live ``DatabaseSet`` — whatever the caller has."""
+    if isinstance(source, DatabaseSet):
+        return source
+    path = Path(source)
+    if path.suffix == ".npz":
+        return DatabaseSet.load(path)
+    with PagedStore(path) as store:
+        values = {db_id: store.read_all(db_id) for db_id in store.ids()}
+        return DatabaseSet(
+            game_name=store.game_name, values=values, rules=store.rules
+        )
+
+
+def split_store(
+    source,
+    out_dir,
+    n_shards: int,
+    partition: str = "cyclic",
+    block_positions: int = DEFAULT_BLOCK_POSITIONS,
+    level: int = 6,
+) -> dict:
+    """Split a store into ``n_shards`` per-shard paged files + manifest.
+
+    Each database is partitioned independently (``make_partition(kind,
+    positions, n_shards)``); shard ``r`` receives the values at
+    ``partition.local_indices(r)``, written densely so the shard file is
+    a self-contained paged store of local slots.  Every shard file lists
+    every database id (possibly with zero positions) so shard servers
+    present a uniform catalog.
+
+    Returns a summary dict (shards, databases, positions, bytes per
+    shard) and writes ``cluster.json`` atomically last, so a directory
+    with a manifest is always a complete split.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    dbs = _load_source(source)
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    specs: dict = {}
+    parts: dict = {}
+    for db_id in dbs.ids():
+        part = make_partition(partition, int(dbs[db_id].shape[0]), n_shards)
+        parts[db_id] = part
+        specs[db_id] = part.spec()
+    shard_files = [_shard_file(r) for r in range(n_shards)]
+    shard_bytes = []
+    for rank, name in enumerate(shard_files):
+        local_values = {
+            db_id: np.ascontiguousarray(
+                dbs[db_id][parts[db_id].local_indices(rank)]
+            )
+            for db_id in dbs.ids()
+        }
+        shard_set = DatabaseSet(
+            game_name=dbs.game_name, values=local_values, rules=dbs.rules
+        )
+        summary = write_paged(
+            shard_set,
+            out_dir / name,
+            block_positions=block_positions,
+            level=level,
+        )
+        shard_bytes.append(int(summary["file_bytes"]))
+    manifest = ShardManifest(
+        game=dbs.game_name,
+        rules=dbs.rules,
+        partition=partition,
+        n_shards=n_shards,
+        block_positions=block_positions,
+        databases=specs,
+        shard_files=shard_files,
+    )
+    manifest.save(out_dir)
+    return {
+        "shards": n_shards,
+        "databases": len(specs),
+        "positions": dbs.total_positions,
+        "partition": partition,
+        "shard_files": shard_files,
+        "shard_bytes": shard_bytes,
+        "manifest": str(out_dir / MANIFEST_NAME),
+    }

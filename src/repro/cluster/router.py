@@ -1,0 +1,332 @@
+"""Scatter-gather routing of probes across a sharded serving cluster.
+
+A :class:`ShardRouter` owns one reconnecting
+:class:`~repro.serve.client.ProbeClient` per shard and speaks the same
+probe protocol as :class:`~repro.serve.service.ProbeService` (``probe``
+/ ``probe_many`` / ``best_moves`` / ``__contains__`` / ``depth_of``),
+so ``repro.db.query`` and ``repro.db.search`` run over a whole cluster
+exactly as they run over one server or an in-memory array.
+
+Routing is owner-computes, like the solver itself: every global
+position ``(db, index)`` has exactly one owning shard under the
+partition recorded in the shard manifest, and the router sends each
+probe only to its owner (``partition.owner_of``), translated to the
+owner's dense local slot (``partition.to_local``).  A batch is split
+into per-shard sub-batches, each sorted by storage locality (database,
+then paged block of the local slot) so the shard's block cache is
+touched sequentially, dispatched concurrently across shards, and merged
+back in request order.
+
+Failure handling: each shard has an ordered endpoint list — primary
+first, replicas after (:class:`~repro.cluster.topology.ClusterTopology`).
+Transport failures inside one endpoint are absorbed by the client's own
+reconnect machinery; when that is exhausted
+(:class:`~repro.serve.client.ProbeTransportError`), the router rotates
+the shard to its next endpoint, counts ``cluster.failovers``, and
+replays the sub-batch there — safe because every probe operation is an
+idempotent pure lookup.  Application rejections (``ok: false``) are
+re-raised unrotated: a replica holds the same data and would reject
+identically.
+
+One router instance is not safe for concurrent calls from multiple
+threads (per-shard clients are plain blocking sockets); the concurrency
+*inside* one ``probe_many`` call is safe because each shard's client is
+driven by exactly one scatter thread.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..obs import NULL_METRICS, names
+from ..serve.client import ProbeClient, ProbeError, ProbeTransportError
+from .manifest import ShardManifest
+from .topology import ClusterTopology, ShardEndpoint
+
+__all__ = ["ShardRouter"]
+
+
+def _normalize_endpoints(endpoints) -> list:
+    """Per-shard endpoint lists from a topology or raw address tuples."""
+    if isinstance(endpoints, ClusterTopology):
+        endpoints = endpoints.endpoints
+    groups = []
+    for group in endpoints:
+        normalized = []
+        for e in group:
+            if isinstance(e, ShardEndpoint):
+                normalized.append(e)
+            else:
+                host, port = e[0], e[1]
+                normalized.append(ShardEndpoint(host=str(host), port=int(port)))
+        if not normalized:
+            raise ValueError("every shard needs at least one endpoint")
+        groups.append(normalized)
+    return groups
+
+
+class ShardRouter:
+    """Route probes to their owning shards; fail over to replicas.
+
+    ``client_factory(host, port)`` defaults to a reconnecting
+    :class:`~repro.serve.client.ProbeClient`; tests inject fakes here to
+    pin routing decisions without sockets.
+    """
+
+    def __init__(self, manifest: ShardManifest, endpoints, metrics=None,
+                 policy=None, timeout: float = 30.0, client_factory=None):
+        self.manifest = manifest
+        self._endpoints = _normalize_endpoints(endpoints)
+        if len(self._endpoints) != manifest.n_shards:
+            raise ValueError(
+                f"topology has {len(self._endpoints)} shards, manifest "
+                f"expects {manifest.n_shards}"
+            )
+        self._metrics = NULL_METRICS if metrics is None else metrics
+        self._policy = policy
+        self._timeout = timeout
+        self._factory = client_factory or self._default_factory
+        self._active = [0] * manifest.n_shards
+        self._clients: list = [None] * manifest.n_shards
+        self._game = None
+        self._metrics.set_gauge(names.CLUSTER_SHARDS, manifest.n_shards)
+        self._metrics.set_gauge(
+            names.CLUSTER_ENDPOINTS,
+            sum(len(group) for group in self._endpoints),
+        )
+
+    @classmethod
+    def from_topology(cls, topology, manifest=None, **kwargs) -> "ShardRouter":
+        """Build a router from a topology file/object; the manifest is
+        loaded from the topology's recorded cluster directory unless
+        passed explicitly."""
+        if not isinstance(topology, ClusterTopology):
+            topology = ClusterTopology.load(topology)
+        if manifest is None:
+            manifest = ShardManifest.load(topology.cluster_dir)
+        return cls(manifest, topology, **kwargs)
+
+    def _default_factory(self, host: str, port: int):
+        return ProbeClient(
+            host, port, timeout=self._timeout,
+            policy=self._policy, metrics=self._metrics,
+        )
+
+    # ------------------------------------------------------------ endpoints
+
+    @property
+    def n_shards(self) -> int:
+        """Shard count of the routed cluster."""
+        return self.manifest.n_shards
+
+    def active_endpoint(self, shard: int) -> ShardEndpoint:
+        """The endpoint currently serving one shard."""
+        return self._endpoints[shard][self._active[shard]]
+
+    def _client(self, shard: int):
+        if self._clients[shard] is None:
+            endpoint = self.active_endpoint(shard)
+            self._clients[shard] = self._factory(endpoint.host, endpoint.port)
+        return self._clients[shard]
+
+    def _rotate(self, shard: int) -> None:
+        """Advance one shard to its next endpoint (wrapping), dropping
+        the dead client."""
+        client = self._clients[shard]
+        self._clients[shard] = None
+        if client is not None:
+            client.close()
+        self._active[shard] = (
+            self._active[shard] + 1
+        ) % len(self._endpoints[shard])
+        self._metrics.inc(names.CLUSTER_FAILOVERS)
+
+    def _on_shard(self, shard: int, op):
+        """Run ``op(client)`` against a shard, rotating through its
+        endpoint list on transport failure.  Each endpoint (including
+        the one we started from, after wrapping) is tried at most once
+        per call."""
+        attempts = len(self._endpoints[shard])
+        last: ProbeTransportError | None = None
+        for attempt in range(attempts):
+            try:
+                return op(self._client(shard))
+            except ProbeTransportError as exc:
+                last = exc
+                self._metrics.inc(names.CLUSTER_SHARD_ERRORS)
+                if attempt < attempts - 1:
+                    self._rotate(shard)
+        raise ProbeError(
+            f"shard {shard}: all {attempts} endpoints failed "
+            f"(last: {last})"
+        ) from last
+
+    # ------------------------------------------------------------- metadata
+
+    @property
+    def game_name(self) -> str:
+        """Game of the routed cluster (from the manifest)."""
+        return self.manifest.game
+
+    @property
+    def rules(self) -> str:
+        """Rule string of the routed cluster (from the manifest)."""
+        return self.manifest.rules
+
+    def ids(self) -> list:
+        """Database ids of the routed cluster."""
+        return self.manifest.ids()
+
+    def __contains__(self, db_id) -> bool:
+        return db_id in self.manifest
+
+    def positions(self, db_id) -> int:
+        """Global position count of one database."""
+        return self.manifest.positions(db_id)
+
+    def stats(self) -> dict:
+        """Topology plus the active endpoint's stats per shard."""
+        per_shard = []
+        for shard in range(self.n_shards):
+            endpoint = self.active_endpoint(shard)
+            stats = self._on_shard(shard, lambda c: c.stats())
+            per_shard.append(
+                {"endpoint": f"{endpoint.host}:{endpoint.port}", **stats}
+            )
+        return {
+            "shards": self.n_shards,
+            "endpoints": sum(len(g) for g in self._endpoints),
+            "per_shard": per_shard,
+        }
+
+    # ---------------------------------------------------------------- probes
+
+    def _route(self, db_id, index: int) -> tuple:
+        """(owning shard, local slot) of one global position."""
+        n = self.manifest.positions(db_id)
+        index = int(index)
+        if not (0 <= index < n):
+            raise IndexError(
+                f"index {index} out of range for db {db_id!r} ({n} positions)"
+            )
+        part = self.manifest.partition_for(db_id)
+        return int(part.owner_of(index)), int(part.to_local(index))
+
+    def probe(self, db_id, index: int) -> int:
+        """Exact value of global position ``index`` of ``db_id``."""
+        self._metrics.inc(names.CLUSTER_PROBES)
+        shard, local = self._route(db_id, index)
+        return int(
+            self._on_shard(shard, lambda c: c.probe(db_id, local))
+        )
+
+    def probe_many(self, positions) -> np.ndarray:
+        """Values for ``[(db_id, index), ...]`` in request order.
+
+        Scatter: probes are grouped by owning shard, each group sorted
+        by the shard's storage locality, and the groups are dispatched
+        concurrently (one thread per shard when more than one shard is
+        involved).  Gather: each shard's answers land in the output at
+        their original request slots.
+        """
+        positions = list(positions)
+        self._metrics.inc(names.CLUSTER_BATCHES)
+        self._metrics.inc(names.CLUSTER_PROBES, len(positions))
+        out = np.empty(len(positions), dtype=np.int16)
+        if not positions:
+            return out
+        block = self.manifest.block_positions
+        by_shard: dict = {}
+        for slot, (db_id, index) in enumerate(positions):
+            shard, local = self._route(db_id, index)
+            by_shard.setdefault(shard, []).append((slot, db_id, local))
+        for entries in by_shard.values():
+            entries.sort(key=lambda e: (str(e[1]), e[2] // block))
+
+        def fetch(shard, entries):
+            pairs = [(db_id, local) for _, db_id, local in entries]
+            self._metrics.inc(names.CLUSTER_FANOUTS)
+            values = self._on_shard(shard, lambda c: c.probe_many(pairs))
+            slots = np.fromiter(
+                (slot for slot, _, _ in entries), dtype=np.int64,
+                count=len(entries),
+            )
+            out[slots] = values
+
+        if len(by_shard) == 1:
+            ((shard, entries),) = by_shard.items()
+            fetch(shard, entries)
+            return out
+        failures: list = []
+
+        def worker(shard, entries):
+            try:
+                fetch(shard, entries)
+            except Exception as exc:  # noqa: BLE001 — gathered and
+                # re-raised on the caller's thread below; a scatter
+                # thread must never die silently.
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(
+                target=worker, args=(shard, entries),
+                name=f"shard-router-{shard}", daemon=True,
+            )
+            for shard, entries in by_shard.items()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failures:
+            raise failures[0]
+        return out
+
+    def depth_of(self, db_id, index: int):
+        """Distances are not served over the wire; always ``None`` —
+        same contract as :class:`~repro.serve.client.ProbeClient`."""
+        return None
+
+    # ------------------------------------------------------------ best move
+
+    @property
+    def game(self):
+        """The capture game, reconstructed from manifest metadata."""
+        if self._game is None:
+            from ..games.registry import capture_game_for
+
+            self._game = capture_game_for(self)
+        return self._game
+
+    def evaluate_moves(self, board: np.ndarray):
+        """Exact evaluation of every legal move (probes are batched and
+        scatter-gathered like any other batch)."""
+        from ..db.query import evaluate_moves
+
+        self._metrics.inc(names.CLUSTER_BEST_MOVE_QUERIES)
+        return evaluate_moves(self.game, self, board)
+
+    def best_moves(self, board: np.ndarray):
+        """(position value, optimal moves) over the cluster — the same
+        logic as the in-memory path, probing through the router."""
+        from ..db.query import best_moves
+
+        self._metrics.inc(names.CLUSTER_BEST_MOVE_QUERIES)
+        return best_moves(self.game, self, board)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Close every shard client; safe to call repeatedly."""
+        for shard, client in enumerate(self._clients):
+            if client is not None:
+                client.close()
+                self._clients[shard] = None
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

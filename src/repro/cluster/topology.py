@@ -1,0 +1,125 @@
+"""The live topology: which endpoints serve which shard right now.
+
+The manifest (:mod:`repro.cluster.manifest`) is immutable — it records
+how the data was split.  The topology (``topology.json``, schema
+``repro/cluster-topology/v1``) is operational — it records where each
+shard is reachable: one ordered endpoint list per shard, primary first,
+replicas after.  ``repro cluster up`` writes it (with the child process
+ids, so chaos tooling can SIGKILL a specific endpoint); the
+:class:`~repro.cluster.router.ShardRouter` reads it and walks each
+shard's list on failover.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["SCHEMA", "TOPOLOGY_NAME", "ShardEndpoint", "ClusterTopology"]
+
+SCHEMA = "repro/cluster-topology/v1"
+
+#: Default file name of the topology inside a cluster directory.
+TOPOLOGY_NAME = "topology.json"
+
+
+@dataclass(frozen=True)
+class ShardEndpoint:
+    """One reachable server of one shard; ``pid`` is the serving
+    process when the endpoint was launched locally (``None`` for a
+    remote or hand-written topology)."""
+
+    host: str
+    port: int
+    pid: int | None = None
+
+    @property
+    def address(self) -> tuple:
+        """``(host, port)`` — what a client connects to."""
+        return (self.host, self.port)
+
+
+@dataclass
+class ClusterTopology:
+    """Endpoint lists per shard: ``endpoints[shard][0]`` is the primary,
+    the rest are replicas in failover order."""
+
+    cluster_dir: str
+    endpoints: list
+
+    @property
+    def n_shards(self) -> int:
+        """Shard count of the topology."""
+        return len(self.endpoints)
+
+    @property
+    def n_endpoints(self) -> int:
+        """Total endpoints across shards (primaries plus replicas)."""
+        return sum(len(group) for group in self.endpoints)
+
+    def shard_endpoints(self, shard: int) -> list:
+        """The ordered endpoint list of one shard."""
+        return list(self.endpoints[shard])
+
+    # ------------------------------------------------------------------ io
+
+    def save(self, path) -> Path:
+        """Write the topology atomically to ``path`` (a file path or a
+        cluster directory)."""
+        from ..resilience.checkpoint import atomic_write_text
+
+        path = Path(path)
+        if path.is_dir():
+            path = path / TOPOLOGY_NAME
+        payload = json.dumps(
+            {
+                "schema": SCHEMA,
+                "cluster_dir": self.cluster_dir,
+                "shards": [
+                    [
+                        {"host": e.host, "port": e.port, "pid": e.pid}
+                        for e in group
+                    ]
+                    for group in self.endpoints
+                ],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        atomic_write_text(path, payload + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path) -> "ClusterTopology":
+        """Read and validate a topology file (or a cluster directory
+        containing one)."""
+        path = Path(path)
+        if path.is_dir():
+            path = path / TOPOLOGY_NAME
+        try:
+            raw = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"cannot read topology {path}: {exc}") from exc
+        if raw.get("schema") != SCHEMA:
+            raise ValueError(
+                f"unsupported topology schema {raw.get('schema')!r}"
+            )
+        shards = raw.get("shards")
+        if not isinstance(shards, list) or not shards:
+            raise ValueError(f"topology {path} lists no shards")
+        endpoints = []
+        for group in shards:
+            if not group:
+                raise ValueError(f"topology {path} has a shard with no endpoints")
+            endpoints.append(
+                [
+                    ShardEndpoint(
+                        host=str(e["host"]),
+                        port=int(e["port"]),
+                        pid=(int(e["pid"]) if e.get("pid") is not None else None),
+                    )
+                    for e in group
+                ]
+            )
+        return cls(cluster_dir=str(raw.get("cluster_dir", "")), endpoints=endpoints)

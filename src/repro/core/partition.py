@@ -21,6 +21,7 @@ __all__ = [
     "CyclicPartition",
     "HashPartition",
     "make_partition",
+    "partition_from_spec",
     "balance_report",
 ]
 
@@ -50,6 +51,17 @@ class Partition(abc.ABC):
 
     def local_count(self, rank: int) -> int:
         return int(self.local_indices(rank).shape[0])
+
+    def spec(self) -> dict:
+        """JSON-serializable description of this partition.
+
+        Every partition is deterministic in ``(kind, size, n_parts)``,
+        so these three fields are the whole state; the cluster shard
+        manifest (:mod:`repro.cluster.manifest`) stores one spec per
+        database and :func:`partition_from_spec` rebuilds the identical
+        bijection on the router side.
+        """
+        return {"kind": self.name, "size": self.size, "n_parts": self.n_parts}
 
 
 class BlockPartition(Partition):
@@ -147,6 +159,22 @@ def make_partition(kind: str, size: int, n_parts: int) -> Partition:
             f"unknown partition {kind!r}; choose from {sorted(_PARTITIONS)}"
         ) from None
     return cls(size, n_parts)
+
+
+def partition_from_spec(spec: dict) -> Partition:
+    """Rebuild a :class:`Partition` from :meth:`Partition.spec` output.
+
+    Raises :class:`ValueError` on missing fields or an unknown kind, so
+    a corrupted or hand-edited shard manifest fails loudly at load time
+    rather than silently misrouting probes.
+    """
+    try:
+        kind = spec["kind"]
+        size = int(spec["size"])
+        n_parts = int(spec["n_parts"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"bad partition spec {spec!r}: {exc}") from exc
+    return make_partition(kind, size, n_parts)
 
 
 def balance_report(partition: Partition) -> dict:

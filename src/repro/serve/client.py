@@ -31,13 +31,23 @@ from ..obs import NULL_METRICS, names
 from ..resilience import ReconnectPolicy
 from .protocol import ProtocolError, recv_message, send_message
 
-__all__ = ["ProbeError", "ProbeClient"]
+__all__ = ["ProbeError", "ProbeTransportError", "ProbeClient"]
 
 
 class ProbeError(RuntimeError):
     """A probe failed: the server rejected the request (``ok: false``)
     or the connection could not be (re-)established within the policy's
     bounds.  Every raw socket error surfaces as this type."""
+
+
+class ProbeTransportError(ProbeError):
+    """The *transport* failed: the connection could not be established,
+    or it dropped and the bounded replays ran out.  Distinct from an
+    application rejection (plain :class:`ProbeError` on ``ok: false``)
+    because retrying elsewhere can help — the cluster
+    :class:`~repro.cluster.router.ShardRouter` fails over to a replica
+    on this type only; an ``ok: false`` answer would be identical on
+    every replica and is re-raised as-is."""
 
 
 class ProbeClient:
@@ -80,7 +90,7 @@ class ProbeClient:
                 if attempt < attempts:
                     self.metrics.inc(names.RESILIENCE_CONNECT_RETRIES)
                     time.sleep(self.policy.backoff(attempt))
-        raise ProbeError(
+        raise ProbeTransportError(
             f"cannot connect to {self.host}:{self.port} after "
             f"{attempts} attempts: {last}"
         ) from last
@@ -124,7 +134,7 @@ class ProbeClient:
             except (OSError, ProtocolError) as exc:
                 self._drop_socket()
                 if attempt >= replays:
-                    raise ProbeError(
+                    raise ProbeTransportError(
                         f"request {message.get('op')!r} to "
                         f"{self.host}:{self.port} failed: {exc}"
                     ) from exc

@@ -1,0 +1,1 @@
+"""Cluster-grade test battery: differential identity and routing invariants."""

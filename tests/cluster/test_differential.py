@@ -1,0 +1,204 @@
+"""Differential cluster-identity suite.
+
+The cluster's whole correctness claim is *identity*: a sharded cluster
+is indistinguishable from the in-memory ``DatabaseSet`` it was split
+from.  For every game (awari, kalah, synthetic) and every topology
+(single server, two shards, four shards with a replica each), every
+position is probed through the router and must come back bit-identical
+to direct array indexing — values, depth contract, and best moves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.db.query import best_moves
+from repro.obs import MetricsRegistry
+
+from .conftest import LocalCluster, cluster_dir, solved_set
+
+
+class TestBitIdenticalValues:
+    def test_every_position_every_topology(self, solved, cluster):
+        """Exhaustive: all positions of all databases, request order =
+        global index order."""
+        name, game, dbs = solved
+        topo, local = cluster
+        with local.router() as router:
+            for db_id in dbs.ids():
+                n = dbs[db_id].shape[0]
+                got = router.probe_many([(db_id, i) for i in range(n)])
+                np.testing.assert_array_equal(
+                    got, dbs[db_id],
+                    err_msg=f"{topo} diverges on {name} db {db_id}",
+                )
+
+    def test_shuffled_cross_database_batch(self, solved, cluster):
+        """One batch mixing every database in scrambled order: locality
+        sorting and scatter-gather must not leak into result order."""
+        name, game, dbs = solved
+        topo, local = cluster
+        rng = np.random.default_rng(17)
+        pairs = [
+            (db_id, int(i))
+            for db_id in dbs.ids()
+            for i in rng.integers(0, dbs[db_id].shape[0], size=50)
+        ]
+        rng.shuffle(pairs)
+        expected = np.array([int(dbs[d][i]) for d, i in pairs], dtype=np.int16)
+        with local.router() as router:
+            np.testing.assert_array_equal(
+                router.probe_many(pairs), expected, err_msg=f"{name}/{topo}"
+            )
+
+    def test_single_probe_matches(self, solved, cluster):
+        name, game, dbs = solved
+        topo, local = cluster
+        with local.router() as router:
+            for db_id in dbs.ids():
+                n = dbs[db_id].shape[0]
+                for index in (0, n // 2, n - 1):
+                    assert router.probe(db_id, index) == int(
+                        dbs[db_id][index]
+                    ), f"{name}/{topo} db {db_id} index {index}"
+
+    def test_depth_contract(self, solved, cluster):
+        """Depths are not served over the wire: the router answers
+        ``None`` exactly like a single ProbeClient would."""
+        name, game, dbs = solved
+        topo, local = cluster
+        with local.router() as router:
+            assert router.depth_of(dbs.ids()[0], 0) is None
+
+
+class TestMetadataParity:
+    def test_catalog_matches_oracle(self, solved, cluster):
+        name, game, dbs = solved
+        topo, local = cluster
+        with local.router() as router:
+            assert router.game_name == dbs.game_name
+            assert router.rules == dbs.rules
+            assert router.ids() == dbs.ids()
+            for db_id in dbs.ids():
+                assert router.positions(db_id) == dbs[db_id].shape[0]
+                assert db_id in router
+            assert max(dbs.ids()) + 40 not in router
+
+    def test_out_of_range_and_missing_db(self, solved, cluster):
+        """Bad addresses fail at the router, before any socket traffic,
+        with the same exception types as ProbeService."""
+        name, game, dbs = solved
+        topo, local = cluster
+        top = dbs.ids()[-1]
+        with local.router() as router:
+            with pytest.raises(IndexError, match="out of range"):
+                router.probe(top, dbs[top].shape[0])
+            with pytest.raises(IndexError):
+                router.probe_many([(top, 0), (top, -1)])
+            with pytest.raises(KeyError):
+                router.probe(max(dbs.ids()) + 40, 0)
+
+    def test_empty_batch(self, solved, cluster):
+        name, game, dbs = solved
+        topo, local = cluster
+        with local.router() as router:
+            assert router.probe_many([]).shape == (0,)
+
+
+class TestBestMoves:
+    def test_best_moves_match_oracle(self, solved, cluster):
+        """Best-move answers over the cluster equal the in-memory query
+        path on a sample of boards (synthetic has no reconstructable
+        game, so no best-move surface to compare)."""
+        name, game, dbs = solved
+        if name == "synthetic":
+            pytest.skip("synthetic game is not board-based")
+        topo, local = cluster
+        target = max(dbs.ids())
+        indexer = game.engine.indexer(target)
+        rng = np.random.default_rng(23)
+        with local.router() as router:
+            if hasattr(game, "rules"):
+                assert router.game.rules.describe() == game.rules.describe()
+            for idx in rng.integers(0, indexer.count, size=8):
+                board = indexer.unrank(np.array([int(idx)]))[0]
+                want_value, want_moves = best_moves(game, dbs, board)
+                got_value, got_moves = router.best_moves(board)
+                assert got_value == want_value, f"{name}/{topo} idx {idx}"
+                assert [m.pit for m in got_moves] == [
+                    m.pit for m in want_moves
+                ], f"{name}/{topo} idx {idx}"
+
+
+class TestLiveFailover:
+    def test_dead_primary_changes_no_answer(self, tmp_path_factory):
+        """Kill a shard's primary under a live router: every later probe
+        still comes back bit-identical (via the replica) and the event
+        is visible on ``cluster.failovers``.  Uses its own cluster — the
+        kill must not leak into the shared topology fixtures."""
+        game, dbs = solved_set("awari")
+        directory = cluster_dir("awari", 2, tmp_path_factory)
+        local = LocalCluster(directory, replicas=1)
+        registry = MetricsRegistry()
+        top = dbs.ids()[-1]
+        n = dbs[top].shape[0]
+        pairs = [(db_id, i) for db_id in dbs.ids()
+                 for i in range(dbs[db_id].shape[0])]
+        expected = np.array(
+            [int(dbs[d][i]) for d, i in pairs], dtype=np.int16
+        )
+        try:
+            with local.router(metrics=registry) as router:
+                # Warm both shards' primaries, then kill one.
+                np.testing.assert_array_equal(
+                    router.probe_many([(top, i) for i in range(n)]),
+                    dbs[top],
+                )
+                local.kill(shard=0, endpoint=0)
+                np.testing.assert_array_equal(
+                    router.probe_many(pairs), expected,
+                    err_msg="answers changed after primary death",
+                )
+                assert router.probe(top, 0) == int(dbs[top][0])
+        finally:
+            local.close()
+        assert registry.counters["cluster.failovers"] >= 1
+        assert registry.counters["cluster.shard_errors"] >= 1
+
+    def test_shard_with_no_replica_fails_loudly(self, tmp_path_factory):
+        """With nothing to fail over to, the router reports exhaustion
+        as a ProbeError naming the shard — never a wrong answer."""
+        from repro.serve.client import ProbeError
+
+        solved_set("awari")
+        directory = cluster_dir("awari", 2, tmp_path_factory)
+        local = LocalCluster(directory, replicas=0)
+        try:
+            with local.router() as router:
+                local.kill(shard=1, endpoint=0)
+                with pytest.raises(ProbeError, match="shard 1"):
+                    router.probe_many(
+                        [(5, i) for i in range(20)]
+                    )
+        finally:
+            local.close()
+
+
+class TestRouterMetrics:
+    def test_counters_account_for_the_workload(self, solved, cluster):
+        name, game, dbs = solved
+        topo, local = cluster
+        registry = MetricsRegistry()
+        top = dbs.ids()[-1]
+        n = dbs[top].shape[0]
+        with local.router(metrics=registry) as router:
+            router.probe(top, 0)
+            router.probe_many([(top, i) for i in range(n)])
+        counters = registry.counters
+        assert counters["cluster.probes"] == 1 + n
+        assert counters["cluster.batches"] == 1
+        # One fan-out per shard that owns at least one probed position.
+        assert counters["cluster.fanouts"] == local.manifest.n_shards
+        assert registry.gauges["cluster.shards"] == local.manifest.n_shards
+        assert registry.gauges["cluster.endpoints"] == sum(
+            len(group) for group in local.endpoints
+        )

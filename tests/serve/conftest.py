@@ -1,45 +1,74 @@
-"""Shared workloads for the serving tests.
+"""Shared fixtures for the serving tests.
 
-One small solved `DatabaseSet` per game (awari, kalah, synthetic),
-memoized per session, plus paged conversions at a deliberately tiny
-block size so even the small test databases span many blocks.
+Built on :mod:`tests.workloads`: one solved ``DatabaseSet`` per game
+and one paged conversion per game, each computed once per *session* and
+reused by every test (and by the cluster suite) instead of re-solving
+or re-paging per test.  ``backend_service`` parametrizes a
+:class:`~repro.serve.service.ProbeService` over both storage backends
+— memory and paged-with-tiny-cache — so differential tests cover both
+without hand-rolled loops.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core.sequential import SequentialSolver
-from repro.db.store import DatabaseSet
-from repro.games.awari_db import AwariCaptureGame
-from repro.games.kalah import KalahCaptureGame
-from repro.games.synthetic import SyntheticCaptureGame
+from repro.serve.service import ProbeService
 
-#: Positions per block in the paged fixtures — tiny on purpose.
-BLOCK_POSITIONS = 64
+from tests.workloads import (  # noqa: F401 — re-exported for the suite
+    BLOCK_POSITIONS,
+    GAMES,
+    paged_store_path,
+    solved_set,
+)
 
-GAMES = {
-    "awari": (AwariCaptureGame, 5),
-    "kalah": (KalahCaptureGame, 4),
-    "synthetic": (lambda: SyntheticCaptureGame(levels=5, max_size=50, seed=7), 4),
-}
+#: Cache budget used in the differential sweeps: two blocks' worth of
+#: int16 values — far smaller than any solved database in the fixtures.
+SMALL_BUDGET = 2 * BLOCK_POSITIONS * 2
 
 
 @pytest.fixture(scope="session", params=sorted(GAMES), ids=sorted(GAMES))
 def solved(request):
     """(name, game, DatabaseSet) for one of the three games."""
     name = request.param
-    factory, target = GAMES[name]
-    game = factory()
-    values, _ = SequentialSolver(game).solve(target)
-    rules = game.rules.describe() if hasattr(game, "rules") else ""
-    return name, game, DatabaseSet(game_name=game.name, values=values, rules=rules)
+    game, dbs = solved_set(name)
+    return name, game, dbs
 
 
 @pytest.fixture(scope="session")
 def awari_solved():
-    game = AwariCaptureGame()
-    values, _ = SequentialSolver(game).solve(5)
-    return game, DatabaseSet(
-        game_name=game.name, values=values, rules=game.rules.describe()
+    """(game, DatabaseSet) for the awari workload (same solve as the
+    parametrized ``solved`` fixture — memoized, never re-run)."""
+    return solved_set("awari")
+
+
+@pytest.fixture(scope="session")
+def paged_path(solved, tmp_path_factory):
+    """Session-wide paged store of the parametrized game."""
+    name, _, _ = solved
+    return paged_store_path(name, tmp_path_factory)
+
+
+@pytest.fixture(scope="session")
+def awari_paged_path(tmp_path_factory):
+    """Session-wide paged store of the awari workload."""
+    return paged_store_path("awari", tmp_path_factory)
+
+
+def make_service(kind, dbs, paged, cache_bytes=SMALL_BUDGET, metrics=None):
+    """One ProbeService over the named backend; callers close it."""
+    if kind == "memory":
+        return ProbeService.from_database_set(dbs, metrics=metrics)
+    return ProbeService.from_paged(
+        paged, cache_bytes=cache_bytes, metrics=metrics
     )
+
+
+@pytest.fixture(params=["memory", "paged"])
+def backend_service(request, solved, paged_path):
+    """(backend kind, ProbeService) — every test using this fixture runs
+    against both storage backends over the session-wide stores."""
+    name, game, dbs = solved
+    service = make_service(request.param, dbs, paged_path)
+    yield request.param, service
+    service.close()

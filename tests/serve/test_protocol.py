@@ -1,0 +1,197 @@
+"""Protocol robustness: hostile and broken frames against a live server.
+
+Every case here attacks a running :class:`ProbeServer` with raw sockets
+— malformed JSON, truncated length prefixes, frames over the server's
+``max_message_bytes``, mid-frame disconnects — and asserts the contract
+of ``_serve_connection``: the client gets an ``ok: false`` response or
+a counted disconnect, the connection is torn down, and the server keeps
+answering *other* clients.  Never a hung connection, never an unhandled
+exception in a serving thread.
+"""
+
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serve.client import ProbeClient
+from repro.serve.protocol import recv_message, send_message
+from repro.serve.server import ProbeServer
+from repro.serve.service import ProbeService
+
+#: Socket timeout for the attacking side: long enough for a loopback
+#: round trip, short enough that a hung server fails the test quickly.
+ATTACK_TIMEOUT = 5.0
+
+
+@pytest.fixture()
+def hardened(awari_solved):
+    """A live server with a deliberately small frame cap, plus its
+    metrics registry and ground truth."""
+    game, dbs = awari_solved
+    registry = MetricsRegistry()
+    service = ProbeService.from_database_set(dbs)
+    server = ProbeServer(
+        service, metrics=registry.scoped("serve.server"),
+        max_message_bytes=4096,
+    ).start()
+    # Capture any exception that escapes a serving thread: the isolation
+    # contract says none ever may.
+    escaped = []
+    previous_hook = threading.excepthook
+
+    def hook(args):
+        escaped.append(args)
+        previous_hook(args)
+
+    threading.excepthook = hook
+    yield server, registry, dbs
+    threading.excepthook = previous_hook
+    server.shutdown()
+    service.close()
+    assert escaped == [], f"exception escaped a serving thread: {escaped}"
+
+
+def raw_connection(server) -> socket.socket:
+    """A plain TCP connection to the server, no protocol helpers."""
+    sock = socket.create_connection((server.host, server.port),
+                                    timeout=ATTACK_TIMEOUT)
+    return sock
+
+
+def server_still_answers(server, dbs) -> bool:
+    """A fresh well-behaved client gets a correct answer."""
+    with ProbeClient(server.host, server.port, timeout=ATTACK_TIMEOUT) as c:
+        return c.probe(5, 0) == int(dbs[5][0])
+
+
+def wait_for_count(registry, names, minimum=1, timeout=ATTACK_TIMEOUT):
+    """Poll until the summed counters reach ``minimum``.
+
+    The serving thread bumps its counters asynchronously with respect to
+    the attacking socket, so counter assertions must poll rather than
+    read once.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        total = sum(registry.counters.get(n, 0) for n in names)
+        if total >= minimum:
+            return total
+        time.sleep(0.02)
+    raise AssertionError(
+        f"counters {names} never reached {minimum}: {registry.counters}"
+    )
+
+
+class TestMalformedFrames:
+    def test_bad_json_gets_ok_false_then_close(self, hardened):
+        server, registry, dbs = hardened
+        with raw_connection(server) as sock:
+            payload = b"\xff\xfe{not json"
+            sock.sendall(len(payload).to_bytes(4, "big") + payload)
+            response = recv_message(sock)
+            assert response["ok"] is False
+            assert "bad JSON" in response["error"]
+            # After a bad frame the stream cannot be re-synchronized:
+            # the server must close, not hang.
+            assert recv_message(sock) is None
+        wait_for_count(registry, ["serve.server.errors"])
+        assert server_still_answers(server, dbs)
+
+    def test_non_object_json_rejected(self, hardened):
+        server, registry, dbs = hardened
+        with raw_connection(server) as sock:
+            payload = b"[1, 2, 3]"
+            sock.sendall(len(payload).to_bytes(4, "big") + payload)
+            response = recv_message(sock)
+            assert response["ok"] is False
+            assert "JSON object" in response["error"]
+        assert server_still_answers(server, dbs)
+
+    def test_oversized_frame_rejected_from_prefix(self, hardened):
+        """A declared length over the server's cap is rejected from the
+        4-byte prefix alone — no payload needs to be sent at all."""
+        server, registry, dbs = hardened
+        with raw_connection(server) as sock:
+            sock.sendall((4097).to_bytes(4, "big"))
+            response = recv_message(sock)
+            assert response["ok"] is False
+            assert "exceeds limit" in response["error"]
+        wait_for_count(registry, ["serve.server.errors"])
+        assert server_still_answers(server, dbs)
+
+    def test_valid_json_unknown_op_keeps_connection(self, hardened):
+        """A well-framed nonsense request is an application error: the
+        connection survives and keeps serving."""
+        server, registry, dbs = hardened
+        with raw_connection(server) as sock:
+            send_message(sock, {"op": "detonate"})
+            response = recv_message(sock)
+            assert response["ok"] is False and "unknown op" in response["error"]
+            send_message(sock, {"op": "ping"})
+            assert recv_message(sock)["pong"] is True
+
+
+class TestTornConnections:
+    def test_truncated_length_prefix_then_close(self, hardened):
+        """Two bytes of a length prefix, then EOF: treated as a clean
+        disconnect, not an error loop."""
+        server, registry, dbs = hardened
+        sock = raw_connection(server)
+        sock.sendall(b"\x00\x00")
+        sock.close()
+        assert server_still_answers(server, dbs)
+
+    def test_mid_frame_disconnect_is_counted(self, hardened):
+        """A frame that promises 100 bytes and delivers 10 before EOF
+        must produce an answered error or a counted disconnect."""
+        server, registry, dbs = hardened
+        sock = raw_connection(server)
+        sock.sendall((100).to_bytes(4, "big") + b"0123456789")
+        sock.close()
+        assert server_still_answers(server, dbs)
+        wait_for_count(
+            registry,
+            ["serve.server.errors", "serve.server.client_disconnects"],
+        )
+
+    def test_client_vanishes_between_requests(self, hardened):
+        """An abrupt RST between frames never wedges the serving
+        thread."""
+        server, registry, dbs = hardened
+        sock = raw_connection(server)
+        send_message(sock, {"op": "ping"})
+        assert recv_message(sock)["pong"] is True
+        # Force an RST instead of a graceful FIN.
+        sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+        sock.close()
+        assert server_still_answers(server, dbs)
+
+    def test_hostile_clients_leave_no_stuck_threads(self, hardened):
+        """After a burst of torn connections, shutdown-visible serving
+        threads drain (no thread is parked on a dead socket)."""
+        server, registry, dbs = hardened
+        for _ in range(8):
+            sock = raw_connection(server)
+            sock.sendall((64).to_bytes(4, "big") + b"x")
+            sock.close()
+        assert server_still_answers(server, dbs)
+        # The accept loop prunes dead threads on the next accept; every
+        # connection above must eventually leave _serve_connection.
+        deadline = time.monotonic() + ATTACK_TIMEOUT
+        while time.monotonic() < deadline:
+            alive = [t for t in threading.enumerate()
+                     if t.name == f"probe-server-{server.port}-conn"
+                     and t.is_alive()]
+            if not alive:
+                break
+            time.sleep(0.1)
+        else:
+            raise AssertionError(
+                f"serving threads stuck on dead sockets: {alive}"
+            )

@@ -9,7 +9,6 @@ import pytest
 from repro.db.query import best_moves, optimal_line
 from repro.obs import MetricsRegistry
 from repro.serve.client import ProbeClient, ProbeError
-from repro.serve.pagedstore import write_paged
 from repro.serve.protocol import (
     MAX_MESSAGE_BYTES,
     ProtocolError,
@@ -19,16 +18,13 @@ from repro.serve.protocol import (
 from repro.serve.server import ProbeServer
 from repro.serve.service import ProbeService
 
-from .conftest import BLOCK_POSITIONS
-
 
 @pytest.fixture(scope="module")
-def served(awari_solved, tmp_path_factory):
-    """A running paged-backed server plus the ground-truth DatabaseSet."""
+def served(awari_solved, awari_paged_path):
+    """A running paged-backed server plus the ground-truth DatabaseSet
+    (session-wide store; nothing is re-solved or re-paged here)."""
     game, dbs = awari_solved
-    path = tmp_path_factory.mktemp("served") / "awari.pgdb"
-    write_paged(dbs, path, block_positions=BLOCK_POSITIONS)
-    service = ProbeService.from_paged(path, cache_bytes=64 * 1024)
+    service = ProbeService.from_paged(awari_paged_path, cache_bytes=64 * 1024)
     server = ProbeServer(service).start()
     yield game, dbs, server
     server.shutdown()

@@ -4,6 +4,8 @@ The load-bearing one is the differential suite: for every game
 (awari, kalah, synthetic), probing every position through both backends
 — in-memory and paged, the latter with a cache budget smaller than one
 database — must return values bit-identical to direct array indexing.
+All stores come from the session-wide workloads in
+:mod:`tests.workloads` (solved once, paged once).
 """
 
 import numpy as np
@@ -16,33 +18,17 @@ from repro.serve.cache import BlockCache
 from repro.serve.pagedstore import PagedStore, write_paged
 from repro.serve.service import MemoryBackend, PagedBackend, ProbeService
 
-from .conftest import BLOCK_POSITIONS
-
-#: Cache budget used in the differential sweeps: two blocks' worth of
-#: int16 values — far smaller than any solved database in the fixtures.
-SMALL_BUDGET = 2 * BLOCK_POSITIONS * 2
-
-
-def _services(dbs, tmp_path, cache_bytes=SMALL_BUDGET, metrics=None):
-    path = tmp_path / "store.pgdb"
-    write_paged(dbs, path, block_positions=BLOCK_POSITIONS)
-    return {
-        "memory": ProbeService.from_database_set(dbs),
-        "paged": ProbeService.from_paged(
-            path, cache_bytes=cache_bytes, metrics=metrics
-        ),
-    }
+from .conftest import BLOCK_POSITIONS, SMALL_BUDGET, make_service
 
 
 class TestDifferential:
-    def test_every_position_bit_identical(self, solved, tmp_path):
+    def test_every_position_bit_identical(self, solved, paged_path):
         name, game, dbs = solved
         largest = max(dbs[i].nbytes for i in dbs.ids())
         budget = min(SMALL_BUDGET, largest // 2)
         assert budget < largest, "cache budget must not fit one database"
-        for kind, service in _services(
-            dbs, tmp_path, cache_bytes=budget
-        ).items():
+        for kind in ("memory", "paged"):
+            service = make_service(kind, dbs, paged_path, cache_bytes=budget)
             for db_id in dbs.ids():
                 n = dbs[db_id].shape[0]
                 got = service.probe_many([(db_id, i) for i in range(n)])
@@ -52,9 +38,10 @@ class TestDifferential:
                 )
             service.close()
 
-    def test_shuffled_batch_order_preserved(self, solved, tmp_path):
+    def test_shuffled_batch_order_preserved(self, solved, backend_service):
         """Locality sorting must not leak into the result order."""
         name, game, dbs = solved
+        kind, service = backend_service
         rng = np.random.default_rng(3)
         pairs = [
             (db_id, int(i))
@@ -63,32 +50,29 @@ class TestDifferential:
         ]
         rng.shuffle(pairs)
         expected = np.array([int(dbs[d][i]) for d, i in pairs], dtype=np.int16)
-        for kind, service in _services(dbs, tmp_path).items():
-            np.testing.assert_array_equal(
-                service.probe_many(pairs), expected, err_msg=kind
-            )
-            service.close()
+        np.testing.assert_array_equal(
+            service.probe_many(pairs), expected, err_msg=kind
+        )
 
-    def test_single_probe_matches(self, solved, tmp_path):
+    def test_single_probe_matches(self, solved, backend_service):
         name, game, dbs = solved
+        kind, service = backend_service
         top = dbs.ids()[-1]
         mid = dbs[top].shape[0] // 2
-        for kind, service in _services(dbs, tmp_path).items():
-            assert service.probe(top, mid) == int(dbs[top][mid]), kind
-            service.close()
+        assert service.probe(top, mid) == int(dbs[top][mid]), kind
 
 
 class TestResidentBytes:
     def test_probe_sweep_stays_under_budget_plus_one_block(
-        self, awari_solved, tmp_path
+        self, awari_solved, awari_paged_path
     ):
         """Acceptance: a full probe sweep through the paged backend keeps
         the cache's own resident-bytes gauge under budget + one block."""
         game, dbs = awari_solved
         registry = MetricsRegistry()
-        service = _services(
-            dbs, tmp_path, metrics=registry.scoped("serve")
-        )["paged"]
+        service = make_service(
+            "paged", dbs, awari_paged_path, metrics=registry.scoped("serve")
+        )
         block_bytes = BLOCK_POSITIONS * 2  # int16
         rng = np.random.default_rng(11)
         for db_id in dbs.ids():
@@ -107,16 +91,18 @@ class TestResidentBytes:
         assert gauges["serve.cache.resident_bytes"] <= SMALL_BUDGET
         service.close()
 
-    def test_locality_sort_bounds_block_loads(self, awari_solved, tmp_path):
+    def test_locality_sort_bounds_block_loads(
+        self, awari_solved, awari_paged_path
+    ):
         """A batch confined to one database loads each block at most
         once, no matter how scrambled the request order is."""
         game, dbs = awari_solved
         top = dbs.ids()[-1]
         n = dbs[top].shape[0]
-        path = tmp_path / "locality.pgdb"
-        write_paged(dbs, path, block_positions=BLOCK_POSITIONS)
         cache = BlockCache(2 * BLOCK_POSITIONS * 2)  # two blocks only
-        service = ProbeService(PagedBackend(PagedStore(path), cache))
+        service = ProbeService(
+            PagedBackend(PagedStore(awari_paged_path), cache)
+        )
         rng = np.random.default_rng(5)
         order = rng.permutation(n)
         service.probe_many([(top, int(i)) for i in order])
@@ -127,11 +113,14 @@ class TestResidentBytes:
 
 
 class TestBestMoves:
-    def test_paths_cannot_disagree(self, awari_solved, tmp_path):
+    def test_paths_cannot_disagree(self, awari_solved, awari_paged_path):
         """Serving best-move answers equal the in-memory query path on a
         sample of boards (shared successor resolution + shared logic)."""
         game, dbs = awari_solved
-        services = _services(dbs, tmp_path)
+        services = {
+            kind: make_service(kind, dbs, awari_paged_path)
+            for kind in ("memory", "paged")
+        }
         indexer = game.engine.indexer(5)
         rng = np.random.default_rng(2)
         for idx in rng.integers(0, indexer.count, size=25):
@@ -146,15 +135,19 @@ class TestBestMoves:
         for service in services.values():
             service.close()
 
-    def test_game_reconstructed_from_metadata(self, awari_solved, tmp_path):
+    def test_game_reconstructed_from_metadata(
+        self, awari_solved, awari_paged_path
+    ):
         game, dbs = awari_solved
-        service = _services(dbs, tmp_path)["paged"]
+        service = make_service("paged", dbs, awari_paged_path)
         assert service.game.rules.describe() == game.rules.describe()
         service.close()
 
-    def test_optimal_line_over_probe_service(self, awari_solved, tmp_path):
+    def test_optimal_line_over_probe_service(
+        self, awari_solved, awari_paged_path
+    ):
         game, dbs = awari_solved
-        service = _services(dbs, tmp_path)["paged"]
+        service = make_service("paged", dbs, awari_paged_path)
         indexer = game.engine.indexer(5)
         rng = np.random.default_rng(9)
         for idx in rng.integers(0, indexer.count, size=5):
@@ -163,11 +156,11 @@ class TestBestMoves:
             assert realized == int(dbs[5][int(idx)])
         service.close()
 
-    def test_evaluate_moves_depths(self, awari_solved, tmp_path):
+    def test_evaluate_moves_depths(self, awari_solved, awari_paged_path):
         """The paged path reports no depths (not served), the memory path
         keeps whatever the DatabaseSet holds."""
         game, dbs = awari_solved
-        service = _services(dbs, tmp_path)["paged"]
+        service = make_service("paged", dbs, awari_paged_path)
         board = np.array([0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 1, 0], dtype=np.int16)
         for ev in service.evaluate_moves(board):
             assert ev.successor_depth in (None, 0)
@@ -207,26 +200,28 @@ class TestSearchIntegration:
 
 
 class TestErrors:
-    def test_index_out_of_range(self, awari_solved, tmp_path):
+    def test_index_out_of_range(self, awari_solved, awari_paged_path):
         game, dbs = awari_solved
-        for kind, service in _services(dbs, tmp_path).items():
+        for kind in ("memory", "paged"):
+            service = make_service(kind, dbs, awari_paged_path)
             with pytest.raises(IndexError, match="out of range"):
                 service.probe(5, dbs[5].shape[0])
             with pytest.raises(IndexError):
                 service.probe_many([(5, 0), (5, -1)])
             service.close()
 
-    def test_missing_database(self, awari_solved, tmp_path):
+    def test_missing_database(self, awari_solved, awari_paged_path):
         game, dbs = awari_solved
-        for kind, service in _services(dbs, tmp_path).items():
+        for kind in ("memory", "paged"):
+            service = make_service(kind, dbs, awari_paged_path)
             assert 99 not in service
             with pytest.raises(KeyError):
                 service.probe(99, 0)
             service.close()
 
-    def test_empty_batch(self, awari_solved, tmp_path):
+    def test_empty_batch(self, awari_solved, awari_paged_path):
         game, dbs = awari_solved
-        service = _services(dbs, tmp_path)["memory"]
+        service = make_service("memory", dbs, awari_paged_path)
         assert service.probe_many([]).shape == (0,)
         service.close()
 

@@ -1,0 +1,78 @@
+"""Session-wide solved workloads shared by the serving and cluster suites.
+
+Solving and paging are the expensive parts of every serving test, and
+they are pure functions of (game, target stones, block size) — so they
+are computed once per test session and shared.  ``solved_set`` memoizes
+the solve per game (the awari set is used by both the parametrized
+``solved`` fixture and the dedicated ``awari_solved`` fixture, and must
+not be solved twice); ``paged_store_path`` memoizes the paged
+conversion; ``cluster_dir`` memoizes splits per (game, shards,
+partition).  The conftests build fixtures on top of these helpers.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.manifest import split_store
+from repro.core.sequential import SequentialSolver
+from repro.db.store import DatabaseSet
+from repro.games.awari_db import AwariCaptureGame
+from repro.games.kalah import KalahCaptureGame
+from repro.games.synthetic import SyntheticCaptureGame
+from repro.serve.pagedstore import write_paged
+
+#: Positions per block in the paged fixtures — tiny on purpose, so even
+#: the small test databases span many blocks.
+BLOCK_POSITIONS = 64
+
+GAMES = {
+    "awari": (AwariCaptureGame, 5),
+    "kalah": (KalahCaptureGame, 4),
+    "synthetic": (lambda: SyntheticCaptureGame(levels=5, max_size=50, seed=7), 4),
+}
+
+_SOLVED: dict = {}
+_PAGED: dict = {}
+_CLUSTERS: dict = {}
+
+
+def solved_set(name):
+    """(game, DatabaseSet) for one named workload, solved once per
+    session."""
+    if name not in _SOLVED:
+        factory, target = GAMES[name]
+        game = factory()
+        values, _ = SequentialSolver(game).solve(target)
+        rules = game.rules.describe() if hasattr(game, "rules") else ""
+        _SOLVED[name] = (
+            game,
+            DatabaseSet(game_name=game.name, values=values, rules=rules),
+        )
+    return _SOLVED[name]
+
+
+def paged_store_path(name, tmp_path_factory):
+    """Path of the paged conversion of one workload, written once per
+    session at :data:`BLOCK_POSITIONS` granularity."""
+    if name not in _PAGED:
+        _, dbs = solved_set(name)
+        path = tmp_path_factory.mktemp(f"paged-{name}") / f"{name}.pgdb"
+        write_paged(dbs, path, block_positions=BLOCK_POSITIONS)
+        _PAGED[name] = path
+    return _PAGED[name]
+
+
+def cluster_dir(name, n_shards, tmp_path_factory, partition="cyclic"):
+    """Directory of a split cluster for one workload, one split per
+    (game, shards, partition) per session."""
+    key = (name, n_shards, partition)
+    if key not in _CLUSTERS:
+        _, dbs = solved_set(name)
+        out = tmp_path_factory.mktemp(
+            f"cluster-{name}-{n_shards}{partition}"
+        )
+        split_store(
+            dbs, out, n_shards=n_shards, partition=partition,
+            block_positions=BLOCK_POSITIONS,
+        )
+        _CLUSTERS[key] = out
+    return _CLUSTERS[key]
