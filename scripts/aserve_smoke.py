@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""End-to-end binary-serving smoke test, used by the CI ``aserve-smoke`` job.
+
+The full ``repro.aserve`` lifecycle against a real server subprocess:
+
+1. solve — a fault-free reference database set
+2. ``repro page`` — a zlib paged store plus a ``--codec raw`` twin for
+   the mmap path
+3. ``repro serve --protocol binary`` — the asyncio server as a
+   subprocess, readiness via ``--ready-file``
+4. 1,000 verified probes through one pipelined
+   :class:`~repro.aserve.client.BinaryProbeClient` connection —
+   every batch in flight at once, every answer checked
+5. a legacy JSON :class:`~repro.serve.client.ProbeClient` on the SAME
+   port — the version-byte fallback, plus a deliberate garbage frame
+   that must come back as a well-formed ``ok: false``
+6. :class:`~repro.aserve.local.LocalProbeClient` over the raw store —
+   the zero-copy mmap path, verified against the same oracle
+7. ``repro probe --endpoint`` — the CLI front door for both the TCP
+   and the local endpoint forms
+8. SIGINT — the server drains and exits 0 printing ``server stopped``
+
+Exits non-zero on any mismatch or unclean shutdown; writes an
+``aserve-smoke.json`` artifact with the run's numbers.
+
+Run:  PYTHONPATH=src python scripts/aserve_smoke.py [artifact.json]
+"""
+
+import json
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+STONES = 6
+N_PROBES = 1_000
+BATCH = 64
+PIPELINE_DEPTH = 16
+
+
+def wait_for(path: Path, timeout: float = 60.0) -> str:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if path.exists() and path.read_text().strip():
+            return path.read_text().strip()
+        time.sleep(0.05)
+    raise TimeoutError(f"server did not become ready within {timeout}s")
+
+
+def cli(*args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=300,
+    )
+    if result.returncode != 0:
+        raise RuntimeError(
+            f"repro {' '.join(args)} failed ({result.returncode}):\n"
+            f"{result.stdout}{result.stderr}"
+        )
+    return result.stdout
+
+
+def garbage_frame_rejected(host: str, port: int) -> bool:
+    """Send a garbage first frame; the reply must be well-formed
+    ``ok: false`` JSON and the connection must close — never a hang."""
+    with socket.create_connection((host, port), timeout=10.0) as sock:
+        sock.sendall(struct.pack(">I", 4) + b"\x00\xde\xad\xbf")
+        head = b""
+        while len(head) < 4:
+            chunk = sock.recv(4 - len(head))
+            if not chunk:
+                return False
+            head += chunk
+        (length,) = struct.unpack(">I", head)
+        payload = b""
+        while len(payload) < length:
+            chunk = sock.recv(length - len(payload))
+            if not chunk:
+                return False
+            payload += chunk
+        response = json.loads(payload.decode())
+        closed = sock.recv(1) == b""
+    return response.get("ok") is False and closed
+
+
+def main() -> int:
+    from repro.aserve.client import BinaryProbeClient
+    from repro.aserve.local import LocalProbeClient
+    from repro.db.store import DatabaseSet
+    from repro.serve.client import ProbeClient
+
+    artifact = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        "aserve-smoke.json"
+    )
+    tmp = Path(tempfile.mkdtemp(prefix="aserve-smoke-"))
+    reference = tmp / "reference.npz"
+    zlib_store = tmp / "store-zlib.pgdb"
+    raw_store = tmp / "store-raw.pgdb"
+    ready = tmp / "ready"
+
+    print(f"== reference: fault-free {STONES}-stone solve")
+    cli("solve", "--stones", str(STONES), "--out", str(reference))
+    dbs = DatabaseSet.load(reference)
+
+    print("== page: zlib store + raw twin for the mmap path")
+    cli("page", str(reference), str(zlib_store), "--block-positions", "256")
+    cli("page", str(reference), str(raw_store), "--block-positions", "256",
+        "--codec", "raw")
+
+    rng = np.random.default_rng(2026)
+    ids = dbs.ids()
+    pairs = [
+        (int(d), int(rng.integers(0, dbs[int(d)].shape[0])))
+        for d in rng.choice(ids, size=N_PROBES)
+    ]
+    expected = np.array([int(dbs[d][i]) for d, i in pairs], dtype=np.int16)
+    batches = [pairs[k:k + BATCH] for k in range(0, N_PROBES, BATCH)]
+
+    print("== serve --protocol binary (subprocess)")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", str(zlib_store),
+         "--protocol", "binary", "--cache-kb", "64",
+         "--ready-file", str(ready)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        host, port = wait_for(ready).split()
+        port = int(port)
+        print(f"   listening on {host}:{port}")
+
+        print(f"== {N_PROBES} pipelined binary probes "
+              f"(depth {PIPELINE_DEPTH}) on one connection")
+        with BinaryProbeClient(host, port) as client:
+            got: list = []
+            for first in range(0, len(batches), PIPELINE_DEPTH):
+                got.extend(np.concatenate(
+                    client.pipeline(batches[first:first + PIPELINE_DEPTH])
+                ))
+            binary_mismatches = int(
+                (np.asarray(got, dtype=np.int16) != expected).sum()
+            )
+            stats = client.stats()
+        print(f"   {binary_mismatches} mismatches "
+              f"(backend {stats['backend']})")
+        if binary_mismatches:
+            print("FAIL: binary answers diverged", file=sys.stderr)
+            return 1
+
+        print("== legacy JSON client on the same port")
+        with ProbeClient(host, port) as client:
+            json_got = np.concatenate(
+                [client.probe_many(b) for b in batches]
+            )
+        json_mismatches = int((json_got != expected).sum())
+        print(f"   {json_mismatches} mismatches")
+        if json_mismatches:
+            print("FAIL: JSON fallback diverged", file=sys.stderr)
+            return 1
+
+        print("== garbage first frame -> well-formed ok:false")
+        if not garbage_frame_rejected(host, port):
+            print("FAIL: garbage frame was not cleanly rejected",
+                  file=sys.stderr)
+            return 1
+        print("   rejected and closed")
+
+        print("== zero-copy mmap local path (raw codec)")
+        with LocalProbeClient(raw_store) as client:
+            local_got = np.concatenate(
+                [client.probe_many(b) for b in batches]
+            )
+        local_mismatches = int((local_got != expected).sum())
+        print(f"   {local_mismatches} mismatches")
+        if local_mismatches:
+            print("FAIL: mmap local path diverged", file=sys.stderr)
+            return 1
+
+        print("== CLI probe: TCP endpoint and local endpoint")
+        top, want = ids[-1], f"value {int(dbs[ids[-1]][0]):+d}"
+        for endpoint in (f"{host}:{port}", str(raw_store)):
+            out = cli("probe", "--endpoint", endpoint,
+                      "--db", str(top), "--index", "0")
+            first = out.strip().splitlines()[0]
+            print(f"   {endpoint} -> {first}")
+            if want not in first:
+                print(f"FAIL: CLI probe answered {first!r}, "
+                      f"wanted {want!r}", file=sys.stderr)
+                return 1
+
+        print("== SIGINT -> graceful shutdown")
+        server.send_signal(signal.SIGINT)
+        output, _ = server.communicate(timeout=30)
+        if server.returncode != 0 or "server stopped" not in output:
+            print(
+                f"unclean shutdown (rc={server.returncode}):\n{output}",
+                file=sys.stderr,
+            )
+            return 1
+
+        artifact.write_text(json.dumps({
+            "stones": STONES,
+            "probes": N_PROBES,
+            "pipeline_depth": PIPELINE_DEPTH,
+            "binary_mismatches": binary_mismatches,
+            "json_mismatches": json_mismatches,
+            "local_mismatches": local_mismatches,
+        }, indent=2, sort_keys=True) + "\n")
+        print(f"== aserve smoke OK (artifact: {artifact})")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,250 @@
+"""Zero-copy local fast path: probe an mmapped paged store in-process.
+
+When the "endpoint" is a paged file on the local filesystem, a socket —
+even a loopback one — buys nothing and costs two copies and two context
+switches per batch.  :class:`LocalProbeClient` maps the store read-only
+with ``mmap`` and answers probes directly from the mapping:
+
+* ``codec="raw"`` stores are served **zero-copy**: each database is one
+  ``np.frombuffer`` view straight into the mapping (blocks are written
+  contiguously), so a gather is a single fancy-index over pages the OS
+  cache shares with every other process mapping the same file;
+* ``codec="zlib"`` stores decompress per block through a
+  :class:`~repro.serve.cache.BlockCache`, same policy as the server's
+  paged backend.
+
+The client satisfies the duck-typed probe protocol of
+:class:`~repro.serve.client.ProbeClient` (``probe`` / ``probe_many`` /
+``best_move`` / ``depth_of`` / ``__contains__`` / …), so query and
+search code cannot tell it apart from a TCP client — only the latency
+can.  :func:`repro.aserve.connect` selects it automatically when the
+endpoint string is an existing local path.
+"""
+
+from __future__ import annotations
+
+import mmap
+import threading
+
+import numpy as np
+
+from ..obs import NULL_METRICS
+from ..serve.cache import BlockCache
+from ..serve.pagedstore import PagedStore
+from ..serve.service import DEFAULT_CACHE_BYTES
+
+__all__ = ["LocalProbeClient"]
+
+
+class LocalProbeClient:
+    """In-process probe client over an mmapped paged store.
+
+    Thread-safe (a lock covers the zlib block cache; raw-codec reads are
+    lock-free numpy views).  ``metrics`` is typically
+    ``registry.scoped("aserve.local")``.
+    """
+
+    def __init__(self, path, cache_bytes: int = DEFAULT_CACHE_BYTES,
+                 metrics=None):
+        self._store = PagedStore(path)
+        self.path = self._store.path
+        self._metrics = NULL_METRICS if metrics is None else metrics
+        with open(self.path, "rb") as fh:
+            self._mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        self._metrics.set_gauge("mmap_bytes", len(self._mm))
+        self._lock = threading.Lock()
+        self._game = None
+        self._closed = False
+        if self._store.codec == "raw":
+            self._cache = None
+            self._arrays = {
+                db_id: self._raw_view(db_id) for db_id in self._store.ids()
+            }
+        else:
+            self._cache = BlockCache(cache_bytes)
+            self._arrays = None
+
+    def _raw_view(self, db_id) -> np.ndarray:
+        """One zero-copy int16 view over a whole database's blocks."""
+        store = self._store
+        n_blocks = store.n_blocks(db_id)
+        positions = store.positions(db_id)
+        if n_blocks == 0 or positions == 0:
+            return np.zeros(0, dtype=store.dtype)
+        first_offset, _, _ = store.block_span(db_id, 0)
+        expected = first_offset
+        for block_no in range(n_blocks):
+            offset, clen, count = store.block_span(db_id, block_no)
+            if offset != expected or clen != count * store.dtype.itemsize:
+                raise ValueError(
+                    f"db {db_id!r} blocks are not contiguous raw int16 "
+                    f"runs; cannot map zero-copy"
+                )
+            expected = offset + clen
+        return np.frombuffer(
+            self._mm, dtype=store.dtype, count=positions,
+            offset=store.data_start + first_offset,
+        )
+
+    # ------------------------------------------------------------- metadata
+
+    @property
+    def game_name(self) -> str:
+        """Game of the mapped store."""
+        return self._store.game_name
+
+    @property
+    def rules(self) -> str:
+        """Rule string of the mapped store."""
+        return self._store.rules
+
+    def ids(self) -> list:
+        """Database ids of the mapped store."""
+        return self._store.ids()
+
+    def __contains__(self, db_id) -> bool:
+        return db_id in self._store
+
+    def positions(self, db_id) -> int:
+        """Position count of one database."""
+        return self._store.positions(db_id)
+
+    def ping(self) -> bool:
+        """Liveness: trivially true, there is no connection to lose."""
+        return True
+
+    def info(self) -> dict:
+        """Metadata in the same shape as ``ProbeClient.info()``."""
+        return {
+            "game": self.game_name,
+            "rules": self.rules,
+            "backend": "mmap",
+            "ids": self.ids(),
+            "positions": {str(i): self.positions(i) for i in self.ids()},
+        }
+
+    def stats(self) -> dict:
+        """Mapping and (for zlib stores) cache counters."""
+        stats = {
+            "backend": "mmap",
+            "codec": self._store.codec,
+            "mmap_bytes": len(self._mm),
+        }
+        if self._cache is not None:
+            stats.update(self._cache.stats())
+        return stats
+
+    # ---------------------------------------------------------------- probes
+
+    def _check_range(self, db_id, idx: np.ndarray) -> None:
+        n = self._store.positions(db_id)
+        if idx.size and (int(idx.min()) < 0 or int(idx.max()) >= n):
+            bad = int(idx[(idx < 0) | (idx >= n)][0])
+            raise IndexError(
+                f"index {bad} out of range for db {db_id!r} ({n} positions)"
+            )
+
+    def _gather(self, db_id, indices: np.ndarray) -> np.ndarray:
+        self._check_range(db_id, indices)
+        if self._arrays is not None:
+            return self._arrays[db_id][indices]
+        store = self._store
+        out = np.empty(indices.shape[0], dtype=np.int16)
+        blocks = indices // store.block_positions
+        base = blocks * store.block_positions
+        with self._lock:
+            for block_no in np.unique(blocks):
+                mask = blocks == block_no
+                values = self._cache.get(
+                    (db_id, int(block_no)),
+                    lambda b=int(block_no): store.read_block(db_id, b),
+                )
+                out[mask] = values[indices[mask] - base[mask]]
+        return out
+
+    def probe(self, db_id, index: int) -> int:
+        """Exact value of one position."""
+        self._metrics.inc("probes")
+        idx = np.asarray([index], dtype=np.int64)
+        return int(self._gather(db_id, idx)[0])
+
+    def probe_many(self, positions) -> np.ndarray:
+        """Values for ``[(db_id, index), ...]`` in request order."""
+        positions = list(positions)
+        self._metrics.inc("batches")
+        self._metrics.inc("probes", len(positions))
+        out = np.empty(len(positions), dtype=np.int16)
+        if not positions:
+            return out
+        by_db: dict = {}
+        for slot, (db_id, index) in enumerate(positions):
+            by_db.setdefault(db_id, []).append((slot, int(index)))
+        for db_id, entries in by_db.items():
+            slots = np.fromiter((s for s, _ in entries), dtype=np.int64,
+                                count=len(entries))
+            idx = np.fromiter((i for _, i in entries), dtype=np.int64,
+                              count=len(entries))
+            out[slots] = self._gather(db_id, idx)
+        return out
+
+    def probe_array(self, db_id, indices) -> np.ndarray:
+        """Vectorized single-database batch (the zero-copy fast lane:
+        for raw stores this is one fancy-index over the mapping)."""
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self._metrics.inc("batches")
+        self._metrics.inc("probes", int(indices.shape[0]))
+        return self._gather(db_id, indices)
+
+    def depth_of(self, db_id, index: int):
+        """Distances are not paged; always ``None`` (same contract as
+        the TCP clients)."""
+        return None
+
+    # ------------------------------------------------------------ best move
+
+    @property
+    def game(self):
+        """The capture game, reconstructed from store metadata."""
+        if self._game is None:
+            from ..games.registry import capture_game_for
+
+            self._game = capture_game_for(self)
+        return self._game
+
+    def best_moves(self, board):
+        """(position value, optimal moves) — the same
+        :func:`~repro.db.query.best_moves` logic, probing the mapping."""
+        from ..db.query import best_moves
+
+        self._metrics.inc("best_move_queries")
+        return best_moves(self.game, self, board)
+
+    def best_move(self, board) -> dict:
+        """Best move in the same shape as ``ProbeClient.best_move``:
+        ``{"value", "pits", "moves"}``."""
+        value, moves = self.best_moves(board)
+        return {
+            "value": int(value),
+            "pits": [m.pit for m in moves],
+            "moves": [
+                {"pit": m.pit, "captures": m.captures, "value": m.value}
+                for m in moves
+            ],
+        }
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Drop the views, unmap the file, close the store; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._arrays = None  # views into the mapping must die before it
+        self._mm.close()
+        self._store.close()
+
+    def __enter__(self) -> "LocalProbeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -144,6 +144,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     page.add_argument("--level", type=int, default=6,
                       help="zlib compression level (1-9)")
+    page.add_argument(
+        "--codec", choices=("zlib", "raw"), default="zlib",
+        help="per-block encoding: zlib compresses, raw stores bare "
+             "int16 for zero-copy mmap readers (docs/SERVING.md)",
+    )
 
     serve = sub.add_parser(
         "serve", help="serve a database over TCP (paged store or .npz)"
@@ -164,10 +169,33 @@ def _build_parser() -> argparse.ArgumentParser:
         help="deterministic fault injection, e.g. drop-conn:every=50 or "
              "drop-conn:after=100 (repeatable; see docs/RESILIENCE.md)",
     )
+    serve.add_argument(
+        "--protocol", choices=("json", "binary"), default="json",
+        help="wire protocol: json = thread-per-connection legacy server, "
+             "binary = asyncio server speaking the struct-packed frames "
+             "of docs/SERVING.md (JSON clients still work on the same "
+             "port via version-byte fallback)",
+    )
+    serve.add_argument(
+        "--max-connections", type=int, default=None, metavar="N",
+        help="reject connections beyond N with a well-formed "
+             "ok:false frame (default: unlimited)",
+    )
 
     probe = sub.add_parser("probe", help="query a running probe server")
     probe.add_argument("--host", default="127.0.0.1")
-    probe.add_argument("--port", type=int, required=True)
+    probe.add_argument("--port", type=int, default=None)
+    probe.add_argument(
+        "--binary", action="store_true",
+        help="speak the binary protocol (pipelined "
+             "BinaryProbeClient) instead of JSON",
+    )
+    probe.add_argument(
+        "--endpoint", default=None, metavar="HOST:PORT|PATH",
+        help="probe endpoint: host:port picks the binary TCP client, an "
+             "existing paged-store path picks the zero-copy mmap client "
+             "(alternative to --host/--port)",
+    )
     probe.add_argument("--db", default=None, help="database id to probe")
     probe.add_argument("--index", type=int, default=None,
                        help="position index to probe (with --db)")
@@ -530,11 +558,13 @@ def _cmd_page(args) -> int:
         print(f"cannot read archive: {exc}", file=sys.stderr)
         return 2
     summary = write_paged(
-        dbs, args.out, block_positions=block_positions, level=args.level
+        dbs, args.out, block_positions=block_positions, level=args.level,
+        codec=args.codec,
     )
     print(
         f"paged {summary['databases']} databases "
-        f"({summary['positions']:,} positions) to {args.out}"
+        f"({summary['positions']:,} positions, codec {args.codec}) "
+        f"to {args.out}"
     )
     print(
         f"  {format_bytes(summary['raw_bytes'])} raw -> "
@@ -556,6 +586,10 @@ def _cmd_serve(args) -> int:
     if args.inject_fault:
         from .resilience.faults import FaultPlan, FaultSpecError
 
+        if args.protocol == "binary":
+            print("--inject-fault is a JSON-server chaos hook; "
+                  "not supported with --protocol binary", file=sys.stderr)
+            return 2
         try:
             faults = FaultPlan.from_specs(args.inject_fault)
         except FaultSpecError as exc:
@@ -567,9 +601,17 @@ def _cmd_serve(args) -> int:
         service = ProbeService.from_paged(
             args.store, cache_bytes=args.cache_kb * 1024
         )
-    server = ProbeServer(service, host=args.host, port=args.port,
-                         faults=faults)
-    describe = f"{service.game_name} ({service.backend_kind}"
+    if args.protocol == "binary":
+        from .aserve.server import AsyncProbeServer
+
+        server = AsyncProbeServer(service, host=args.host, port=args.port,
+                                  max_connections=args.max_connections)
+    else:
+        server = ProbeServer(service, host=args.host, port=args.port,
+                             faults=faults,
+                             max_connections=args.max_connections)
+    describe = f"{service.game_name} ({args.protocol}, "
+    describe += f"{service.backend_kind}"
     if service.backend_kind == "paged":
         describe += f", cache {format_bytes(args.cache_kb * 1024)}"
     describe += ")"
@@ -606,8 +648,25 @@ def _cmd_staticcheck(args) -> int:
     return run(args)
 
 
+def _make_probe_client(args):
+    """Build the client `repro probe` asked for: mmap for a local-path
+    --endpoint, pipelined binary for host:port endpoints or --binary,
+    legacy JSON otherwise."""
+    from .serve.client import ProbeClient
+
+    if args.endpoint is not None:
+        from .aserve import connect
+
+        return connect(args.endpoint)
+    if args.binary:
+        from .aserve.client import BinaryProbeClient
+
+        return BinaryProbeClient(args.host, args.port)
+    return ProbeClient(args.host, args.port)
+
+
 def _cmd_probe(args) -> int:
-    from .serve.client import ProbeClient, ProbeError
+    from .serve.client import ProbeError
 
     asked = args.stats or args.board is not None or args.db is not None
     if not asked:
@@ -617,8 +676,12 @@ def _cmd_probe(args) -> int:
     if (args.db is None) != (args.index is None):
         print("--db and --index go together", file=sys.stderr)
         return 2
+    if args.endpoint is None and args.port is None:
+        print("pass --port (with optional --host/--binary) or --endpoint",
+              file=sys.stderr)
+        return 2
     try:
-        with ProbeClient(args.host, args.port) as client:
+        with _make_probe_client(args) as client:
             if args.db is not None:
                 db_id = DatabaseSet._parse_id(args.db)
                 value = client.probe(db_id, args.index)
@@ -637,7 +700,7 @@ def _cmd_probe(args) -> int:
                 stats = client.stats()
                 for key in sorted(stats):
                     print(f"  {key} = {stats[key]}")
-    except (ProbeError, OSError) as exc:
+    except (ProbeError, OSError, ValueError) as exc:
         print(f"probe failed: {exc}", file=sys.stderr)
         return 1
     return 0

@@ -71,6 +71,12 @@ def add_arguments(parser) -> None:
                             "cluster for the best move")
     probe.add_argument("--stats", action="store_true",
                        help="print per-shard endpoint statistics")
+    probe.add_argument(
+        "--transport", choices=("json", "binary"), default="json",
+        help="shard transport: json = one blocking client per shard, "
+             "binary = pipelined clients sharing one event loop "
+             "(docs/CLUSTER.md)",
+    )
 
 
 def _cmd_split(args) -> int:
@@ -156,7 +162,9 @@ def _cmd_probe(args) -> int:
         print("--db and --index go together", file=sys.stderr)
         return 2
     try:
-        with ShardRouter.from_topology(args.topology) as router:
+        with ShardRouter.from_topology(
+            args.topology, transport=args.transport
+        ) as router:
             if args.db is not None:
                 db_id = DatabaseSet._parse_id(args.db)
                 value = router.probe(db_id, args.index)

@@ -32,6 +32,13 @@ One router instance is not safe for concurrent calls from multiple
 threads (per-shard clients are plain blocking sockets); the concurrency
 *inside* one ``probe_many`` call is safe because each shard's client is
 driven by exactly one scatter thread.
+
+``transport="binary"`` swaps the per-shard clients for pipelined
+:class:`~repro.aserve.client.BinaryProbeClient` instances sharing **one**
+:class:`~repro.aserve.client.EventLoopThread`: a scatter then dispatches
+every shard's sub-batch as a concurrent future on that loop instead of
+spawning a thread per shard, and failover falls back to the same
+endpoint-rotation path on transport failure.
 """
 
 from __future__ import annotations
@@ -71,12 +78,22 @@ class ShardRouter:
     """Route probes to their owning shards; fail over to replicas.
 
     ``client_factory(host, port)`` defaults to a reconnecting
-    :class:`~repro.serve.client.ProbeClient`; tests inject fakes here to
-    pin routing decisions without sockets.
+    :class:`~repro.serve.client.ProbeClient` for ``transport="json"``
+    and a pipelined :class:`~repro.aserve.client.BinaryProbeClient` (all
+    shards sharing one event-loop thread) for ``transport="binary"``;
+    tests inject fakes here to pin routing decisions without sockets.  A
+    custom factory used with the binary transport must produce clients
+    with ``submit_probe_many``.
     """
 
     def __init__(self, manifest: ShardManifest, endpoints, metrics=None,
-                 policy=None, timeout: float = 30.0, client_factory=None):
+                 policy=None, timeout: float = 30.0, client_factory=None,
+                 transport: str = "json"):
+        if transport not in ("json", "binary"):
+            raise ValueError(
+                f"unknown transport {transport!r}; use 'json' or 'binary'"
+            )
+        self.transport = transport
         self.manifest = manifest
         self._endpoints = _normalize_endpoints(endpoints)
         if len(self._endpoints) != manifest.n_shards:
@@ -87,7 +104,11 @@ class ShardRouter:
         self._metrics = NULL_METRICS if metrics is None else metrics
         self._policy = policy
         self._timeout = timeout
-        self._factory = client_factory or self._default_factory
+        self._loop_thread = None
+        if client_factory is None:
+            client_factory = (self._binary_factory if transport == "binary"
+                              else self._default_factory)
+        self._factory = client_factory
         self._active = [0] * manifest.n_shards
         self._clients: list = [None] * manifest.n_shards
         self._game = None
@@ -112,6 +133,18 @@ class ShardRouter:
         return ProbeClient(
             host, port, timeout=self._timeout,
             policy=self._policy, metrics=self._metrics,
+        )
+
+    def _binary_factory(self, host: str, port: int):
+        """Pipelined binary client; every shard shares one event-loop
+        thread, so the router's fan-out needs no thread per shard."""
+        from ..aserve.client import BinaryProbeClient, EventLoopThread
+
+        if self._loop_thread is None:
+            self._loop_thread = EventLoopThread(name="shard-router-loop")
+        return BinaryProbeClient(
+            host, port, timeout=self._timeout, policy=self._policy,
+            metrics=self._metrics, loop_thread=self._loop_thread,
         )
 
     # ------------------------------------------------------------ endpoints
@@ -259,6 +292,9 @@ class ShardRouter:
             ((shard, entries),) = by_shard.items()
             fetch(shard, entries)
             return out
+        if self.transport == "binary":
+            self._scatter_async(by_shard, out)
+            return out
         failures: list = []
 
         def worker(shard, entries):
@@ -283,6 +319,45 @@ class ShardRouter:
         if failures:
             raise failures[0]
         return out
+
+    def _scatter_async(self, by_shard: dict, out: np.ndarray) -> None:
+        """Binary-transport scatter: every shard's sub-batch goes out as
+        a concurrent future on the shared event loop (no scatter
+        threads).  A shard whose future fails in transport is replayed
+        through :meth:`_on_shard`, which reconnects and then rotates
+        through the replica list — same failover semantics as the
+        threaded path."""
+        futures: dict = {}
+        pairs_of = {
+            shard: [(db_id, local) for _, db_id, local in entries]
+            for shard, entries in by_shard.items()
+        }
+        for shard, pairs in pairs_of.items():
+            self._metrics.inc(names.CLUSTER_FANOUTS)
+            try:
+                futures[shard] = self._client(shard).submit_probe_many(pairs)
+            except ProbeTransportError:
+                self._metrics.inc(names.CLUSTER_SHARD_ERRORS)
+                futures[shard] = None  # replayed blocking, below
+        for shard, entries in by_shard.items():
+            pairs, future = pairs_of[shard], futures[shard]
+            if future is None:
+                values = self._on_shard(
+                    shard, lambda c, p=pairs: c.probe_many(p)
+                )
+            else:
+                try:
+                    values = future.result()
+                except ProbeTransportError:
+                    self._metrics.inc(names.CLUSTER_SHARD_ERRORS)
+                    values = self._on_shard(
+                        shard, lambda c, p=pairs: c.probe_many(p)
+                    )
+            slots = np.fromiter(
+                (slot for slot, _, _ in entries), dtype=np.int64,
+                count=len(entries),
+            )
+            out[slots] = values
 
     def depth_of(self, db_id, index: int):
         """Distances are not served over the wire; always ``None`` —
@@ -319,11 +394,15 @@ class ShardRouter:
     # ------------------------------------------------------------ lifecycle
 
     def close(self) -> None:
-        """Close every shard client; safe to call repeatedly."""
+        """Close every shard client (and the shared binary event loop);
+        safe to call repeatedly."""
         for shard, client in enumerate(self._clients):
             if client is not None:
                 client.close()
                 self._clients[shard] = None
+        if self._loop_thread is not None:
+            self._loop_thread.close()
+            self._loop_thread = None
 
     def __enter__(self) -> "ShardRouter":
         return self

@@ -1,0 +1,86 @@
+"""Transport-independent JSON request handling for the probe servers.
+
+The threaded :class:`~repro.serve.server.ProbeServer` and the asyncio
+:class:`~repro.aserve.server.AsyncProbeServer` (whose version-byte
+fallback keeps legacy clients working) must answer JSON requests
+*identically* — same ops, same response shapes, same error contract.
+Both delegate to one :class:`JsonRequestHandler` so the two transports
+cannot drift.
+"""
+
+from __future__ import annotations
+
+from ..obs import NULL_METRICS
+
+__all__ = ["JsonRequestHandler"]
+
+
+class JsonRequestHandler:
+    """Map one decoded JSON request dict to a JSON response dict.
+
+    Pure request/response logic: no sockets, no threads.  Metrics land
+    in whatever scope the owning server passes (``serve.server`` for the
+    threaded server, ``aserve.server`` for the asyncio one).  Any
+    exception a handler raises is isolated to an ``ok: false`` response.
+    """
+
+    def __init__(self, service, metrics=None):
+        self.service = service
+        self._metrics = NULL_METRICS if metrics is None else metrics
+
+    def handle(self, request: dict) -> dict:
+        """Answer one request; never raises."""
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
+        if handler is None:
+            self._metrics.inc("errors")
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        self._metrics.inc("requests")
+        self._metrics.inc(f"op.{op}")
+        try:
+            return handler(request)
+        except Exception as exc:  # noqa: BLE001 — isolation: one bad
+            # request must answer ok:false, never kill the connection.
+            self._metrics.inc("errors")
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    def _op_ping(self, request: dict) -> dict:
+        return {"ok": True, "pong": True}
+
+    def _op_info(self, request: dict) -> dict:
+        service = self.service
+        return {
+            "ok": True,
+            "game": service.game_name,
+            "rules": service.rules,
+            "backend": service.backend_kind,
+            "ids": service.ids(),
+            "positions": {str(i): service.positions(i) for i in service.ids()},
+        }
+
+    def _op_probe(self, request: dict) -> dict:
+        value = self.service.probe(request["db"], int(request["index"]))
+        return {"ok": True, "value": value}
+
+    def _op_probe_many(self, request: dict) -> dict:
+        positions = [(db, int(index)) for db, index in request["positions"]]
+        values = self.service.probe_many(positions)
+        return {"ok": True, "values": [int(v) for v in values]}
+
+    def _op_best_move(self, request: dict) -> dict:
+        board = request["board"]
+        if not isinstance(board, list) or len(board) != 12:
+            raise ValueError("board must be 12 pit counts")
+        value, moves = self.service.best_moves(board)
+        return {
+            "ok": True,
+            "value": int(value),
+            "pits": [m.pit for m in moves],
+            "moves": [
+                {"pit": m.pit, "captures": m.captures, "value": m.value}
+                for m in moves
+            ],
+        }
+
+    def _op_stats(self, request: dict) -> dict:
+        return {"ok": True, "stats": self.service.stats()}

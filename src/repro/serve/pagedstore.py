@@ -51,15 +51,25 @@ def write_paged(
     path,
     block_positions: int = DEFAULT_BLOCK_POSITIONS,
     level: int = 6,
+    codec: str = "zlib",
 ) -> dict:
     """Convert a :class:`DatabaseSet` to the paged format.
 
     Returns a summary dict (databases, positions, raw/compressed bytes).
     Only value arrays are paged; depth arrays, when present, stay in the
     ``.npz`` world (serving probes values).
+
+    ``codec`` selects the per-block encoding: ``"zlib"`` (the default,
+    and the implied value when the header predates the field) compresses
+    each block independently; ``"raw"`` stores blocks as bare int16
+    bytes, trading file size for true zero-copy reads — an mmap reader
+    (:class:`~repro.aserve.local.LocalProbeClient`) can serve values as
+    ``np.frombuffer`` views straight into the mapping.
     """
     if block_positions < 1:
         raise ValueError("block_positions must be >= 1")
+    if codec not in ("zlib", "raw"):
+        raise ValueError(f"unknown codec {codec!r}; use 'zlib' or 'raw'")
     path = Path(path)
     databases: dict[str, dict] = {}
     payloads: list[bytes] = []
@@ -73,7 +83,8 @@ def write_paged(
             chunk = values[start : start + block_positions]
             if chunk.shape[0] == 0 and start > 0:
                 break
-            payload = zlib.compress(chunk.tobytes(), level)
+            payload = (chunk.tobytes() if codec == "raw"
+                       else zlib.compress(chunk.tobytes(), level))
             blocks.append(
                 {"offset": offset, "clen": len(payload), "count": int(chunk.shape[0])}
             )
@@ -90,6 +101,7 @@ def write_paged(
             "rules": dbs.rules,
             "block_positions": int(block_positions),
             "dtype": _DTYPE,
+            "codec": codec,
             "databases": databases,
         },
         separators=(",", ":"),
@@ -156,6 +168,12 @@ class PagedStore:
         self.game_name: str = header["game"]
         self.rules: str = header["rules"]
         self.block_positions: int = int(header["block_positions"])
+        #: Per-block encoding; headers written before the field existed
+        #: are zlib by construction.
+        self.codec: str = header.get("codec", "zlib")
+        if self.codec not in ("zlib", "raw"):
+            self._file.close()
+            raise ValueError(f"unsupported paged-store codec {self.codec!r}")
         self._dtype = np.dtype(header["dtype"])
         self._data_start = len(_MAGIC) + 8 + header_len
         self._tables = {
@@ -189,6 +207,29 @@ class PagedStore:
     def file_bytes(self) -> int:
         return self.path.stat().st_size
 
+    @property
+    def data_start(self) -> int:
+        """File offset where block data begins (block offsets are
+        relative to this point) — what an mmap reader addresses from."""
+        return self._data_start
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Value dtype of every block."""
+        return self._dtype
+
+    def block_span(self, db_id, block_no: int) -> tuple:
+        """``(relative offset, stored length, position count)`` of one
+        block — the address an external (mmap) reader needs."""
+        table = self._table(db_id)
+        if not (0 <= block_no < table.n_blocks):
+            raise IndexError(
+                f"block {block_no} out of range for db {db_id!r} "
+                f"({table.n_blocks} blocks)"
+            )
+        return (table.offsets[block_no], table.clens[block_no],
+                table.counts[block_no])
+
     def _table(self, db_id) -> _BlockTable:
         try:
             return self._tables[db_id]
@@ -200,7 +241,8 @@ class PagedStore:
     # ---------------------------------------------------------------- reads
 
     def read_block(self, db_id, block_no: int) -> np.ndarray:
-        """Decompress one block: a seek and one zlib stream, O(block)."""
+        """Read one block: a seek plus one zlib stream (or a bare copy
+        for ``codec="raw"``), O(block)."""
         table = self._table(db_id)
         if not (0 <= block_no < table.n_blocks):
             raise IndexError(
@@ -214,7 +256,8 @@ class PagedStore:
             payload = self._file.read(clen)
         if len(payload) != clen:
             raise IOError(f"short read in {self.path} at offset {offset}")
-        values = np.frombuffer(zlib.decompress(payload), dtype=self._dtype)
+        raw = payload if self.codec == "raw" else zlib.decompress(payload)
+        values = np.frombuffer(raw, dtype=self._dtype)
         if values.shape[0] != table.counts[block_no]:
             raise IOError(
                 f"block {block_no} of db {db_id!r} decoded "

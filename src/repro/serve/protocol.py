@@ -29,6 +29,7 @@ import struct
 __all__ = [
     "ProtocolError",
     "OversizedFrameError",
+    "BINARY_VERSION",
     "MAX_MESSAGE_BYTES",
     "send_message",
     "recv_message",
@@ -36,6 +37,11 @@ __all__ = [
 
 #: Upper bound on one message; a 64 MiB batch is ~4M probes.
 MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+#: First payload byte of a binary-protocol frame (:mod:`repro.aserve`).
+#: 0xB1 can never open a JSON text frame (it is not valid UTF-8 as a
+#: leading byte), so one byte discriminates the two protocols per frame.
+BINARY_VERSION = 0xB1
 
 _LEN = struct.Struct(">I")
 
@@ -87,6 +93,12 @@ def recv_message(sock: socket.socket, stop=None,
     payload = _recv_exactly(sock, length, stop)
     if payload is None:
         raise ProtocolError("connection closed mid-message")
+    if payload[:1] == bytes([BINARY_VERSION]):
+        raise ProtocolError(
+            "binary-protocol frame (version 0xb1) on a JSON connection — "
+            "this endpoint speaks length-prefixed JSON only; serve with "
+            "--protocol binary or use a JSON client"
+        )
     try:
         message = json.loads(payload.decode())
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:

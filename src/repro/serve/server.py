@@ -18,6 +18,7 @@ import socket
 import threading
 
 from ..obs import NULL_METRICS
+from .ops import JsonRequestHandler
 from .protocol import (
     MAX_MESSAGE_BYTES,
     ProtocolError,
@@ -46,13 +47,22 @@ class ProbeServer:
     :class:`~repro.resilience.FaultPlan` whose connection-drop injector
     severs connections deterministically (chaos testing of reconnecting
     clients).
+
+    ``max_connections`` bounds the thread-per-connection model against
+    connect floods: beyond the cap, a new connection is answered with a
+    well-formed ``ok: false`` capacity rejection and closed immediately
+    (counted on ``connections_rejected``) instead of spawning a thread.
     """
 
     def __init__(self, service, host: str = "127.0.0.1", port: int = 0,
                  metrics=None, max_message_bytes: int = MAX_MESSAGE_BYTES,
-                 faults=None):
+                 faults=None, max_connections: int | None = None):
         self.service = service
         self._metrics = NULL_METRICS if metrics is None else metrics
+        self._handler = JsonRequestHandler(service, self._metrics)
+        self._max_connections = (
+            None if max_connections is None else int(max_connections)
+        )
         self._max_message_bytes = int(max_message_bytes)
         self._drop = getattr(faults, "connection_drop", None)
         self._stop = threading.Event()
@@ -122,12 +132,32 @@ class ProbeServer:
                 self._metrics.inc("faults.connections_dropped")
                 conn.close()
                 continue
+            with self._lock:
+                self._threads = [t for t in self._threads if t.is_alive()]
+                at_capacity = (
+                    self._max_connections is not None
+                    and len(self._threads) >= self._max_connections
+                )
+            if at_capacity:
+                # Reject with a well-formed response rather than spawning
+                # an unbounded thread; the client sees an application
+                # error, never a hang.
+                self._metrics.inc("connections_rejected")
+                try:
+                    send_message(conn, {
+                        "ok": False,
+                        "error": "server at capacity "
+                                 f"({self._max_connections} connections)",
+                    })
+                except OSError:
+                    self._metrics.inc("client_disconnects")
+                conn.close()
+                continue
             thread = threading.Thread(
                 target=self._serve_connection, args=(conn,),
                 name=f"probe-server-{self.port}-conn", daemon=True,
             )
             with self._lock:
-                self._threads = [t for t in self._threads if t.is_alive()]
                 self._threads.append(thread)
             thread.start()
 
@@ -169,57 +199,6 @@ class ProbeServer:
     # ------------------------------------------------------------- requests
 
     def _handle(self, request: dict) -> dict:
-        op = request.get("op")
-        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
-        if handler is None:
-            self._metrics.inc("errors")
-            return {"ok": False, "error": f"unknown op {op!r}"}
-        self._metrics.inc("requests")
-        self._metrics.inc(f"op.{op}")
-        try:
-            return handler(request)
-        except Exception as exc:  # noqa: BLE001 — isolation: one bad
-            # request must answer ok:false, never kill the thread.
-            self._metrics.inc("errors")
-            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
-
-    def _op_ping(self, request: dict) -> dict:
-        return {"ok": True, "pong": True}
-
-    def _op_info(self, request: dict) -> dict:
-        service = self.service
-        return {
-            "ok": True,
-            "game": service.game_name,
-            "rules": service.rules,
-            "backend": service.backend_kind,
-            "ids": service.ids(),
-            "positions": {str(i): service.positions(i) for i in service.ids()},
-        }
-
-    def _op_probe(self, request: dict) -> dict:
-        value = self.service.probe(request["db"], int(request["index"]))
-        return {"ok": True, "value": value}
-
-    def _op_probe_many(self, request: dict) -> dict:
-        positions = [(db, int(index)) for db, index in request["positions"]]
-        values = self.service.probe_many(positions)
-        return {"ok": True, "values": [int(v) for v in values]}
-
-    def _op_best_move(self, request: dict) -> dict:
-        board = request["board"]
-        if not isinstance(board, list) or len(board) != 12:
-            raise ValueError("board must be 12 pit counts")
-        value, moves = self.service.best_moves(board)
-        return {
-            "ok": True,
-            "value": int(value),
-            "pits": [m.pit for m in moves],
-            "moves": [
-                {"pit": m.pit, "captures": m.captures, "value": m.value}
-                for m in moves
-            ],
-        }
-
-    def _op_stats(self, request: dict) -> dict:
-        return {"ok": True, "stats": self.service.stats()}
+        # Request semantics live in the transport-independent handler,
+        # shared with the asyncio server's JSON fallback (serve/ops.py).
+        return self._handler.handle(request)

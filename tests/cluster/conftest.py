@@ -19,6 +19,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.aserve.server import AsyncProbeServer
 from repro.cluster.manifest import ShardManifest
 from repro.cluster.router import ShardRouter
 from repro.resilience import ReconnectPolicy
@@ -56,11 +57,13 @@ class LocalCluster:
     failure a router can meet short of a SIGKILLed subprocess.
     """
 
-    def __init__(self, directory, replicas: int = 0):
+    def __init__(self, directory, replicas: int = 0,
+                 protocol: str = "json"):
         self.directory = Path(directory)
         self.manifest = ShardManifest.load(self.directory)
-        self.servers: list[list[ProbeServer]] = []
+        self.servers: list = []
         self.services: list[list[ProbeService]] = []
+        server_cls = AsyncProbeServer if protocol == "binary" else ProbeServer
         for shard_file in self.manifest.shard_files:
             shard_servers, shard_services = [], []
             for _ in range(1 + replicas):
@@ -69,7 +72,7 @@ class LocalCluster:
                     cache_bytes=SHARD_CACHE_BYTES,
                 )
                 shard_services.append(service)
-                shard_servers.append(ProbeServer(service).start())
+                shard_servers.append(server_cls(service).start())
             self.servers.append(shard_servers)
             self.services.append(shard_services)
         self._dead: set = set()
@@ -90,10 +93,12 @@ class LocalCluster:
         self.servers[shard][endpoint].shutdown()
         self.services[shard][endpoint].close()
 
-    def router(self, metrics=None, policy=FAST_POLICY) -> ShardRouter:
+    def router(self, metrics=None, policy=FAST_POLICY,
+               transport: str = "json") -> ShardRouter:
         """A fresh router over this cluster's current endpoints."""
         return ShardRouter(
-            self.manifest, self.endpoints, metrics=metrics, policy=policy
+            self.manifest, self.endpoints, metrics=metrics, policy=policy,
+            transport=transport,
         )
 
     def close(self) -> None:

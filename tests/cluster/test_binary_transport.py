@@ -1,0 +1,132 @@
+"""Router identity and failover over the binary transport.
+
+The exhaustive per-game binary differential lives in
+``tests/serve/test_aserve.py``; this module pins the *cluster* claims:
+a ``transport="binary"`` ShardRouter — pipelined clients sharing one
+event-loop thread, future-based scatter instead of a thread per shard —
+answers bit-identically to the oracle and to the JSON-transport router,
+and fails over to replicas when a shard's primary dies mid-session.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serve.client import ProbeError
+
+from .conftest import FAST_POLICY, LocalCluster, cluster_dir, solved_set
+
+
+@pytest.fixture(scope="module")
+def binary_cluster(tmp_path_factory):
+    """A three-shard awari cluster whose endpoints speak binary."""
+    game, dbs = solved_set("awari")
+    directory = cluster_dir("awari", 3, tmp_path_factory)
+    local = LocalCluster(directory, protocol="binary")
+    yield game, dbs, local
+    local.close()
+
+
+def all_pairs(dbs):
+    return [
+        (db_id, i)
+        for db_id in dbs.ids()
+        for i in range(dbs[db_id].shape[0])
+    ]
+
+
+class TestBinaryRouterIdentity:
+    def test_exhaustive_scatter_gather(self, binary_cluster):
+        """Every position through the async fan-out, shuffled across
+        databases so every batch crosses shards."""
+        game, dbs, local = binary_cluster
+        rng = np.random.default_rng(11)
+        pairs = all_pairs(dbs)
+        rng.shuffle(pairs)
+        expected = np.array(
+            [int(dbs[d][i]) for d, i in pairs], dtype=np.int16
+        )
+        with local.router(transport="binary") as router:
+            np.testing.assert_array_equal(
+                router.probe_many(pairs), expected
+            )
+
+    def test_matches_json_transport(self, binary_cluster):
+        """Both transports over the same live shards answer the same
+        bytes (binary shard servers accept JSON clients, so the JSON
+        router runs against the identical cluster)."""
+        game, dbs, local = binary_cluster
+        rng = np.random.default_rng(13)
+        pairs = all_pairs(dbs)
+        rng.shuffle(pairs)
+        pairs = pairs[:500]
+        with local.router(transport="binary") as binary_router, \
+                local.router(transport="json") as json_router:
+            np.testing.assert_array_equal(
+                binary_router.probe_many(pairs),
+                json_router.probe_many(pairs),
+            )
+
+    def test_single_probe_and_metadata(self, binary_cluster):
+        game, dbs, local = binary_cluster
+        with local.router(transport="binary") as router:
+            assert router.game_name == dbs.game_name
+            top = dbs.ids()[-1]
+            assert router.probe(top, 0) == int(dbs[top][0])
+            assert router.depth_of(top, 0) is None
+            stats = router.stats()
+            assert stats["shards"] == 3
+
+    def test_unknown_transport_rejected(self, binary_cluster):
+        game, dbs, local = binary_cluster
+        with pytest.raises(ValueError, match="transport"):
+            local.router(transport="carrier-pigeon")
+
+
+class TestBinaryRouterFailover:
+    def test_dead_primary_changes_no_answer(self, tmp_path_factory):
+        """Kill a shard primary under a live binary router: later
+        scatters still come back bit-identical via the replica and the
+        failover is counted — same contract as the threaded transport."""
+        game, dbs = solved_set("awari")
+        directory = cluster_dir("awari", 2, tmp_path_factory)
+        local = LocalCluster(directory, replicas=1, protocol="binary")
+        registry = MetricsRegistry()
+        pairs = all_pairs(dbs)
+        expected = np.array(
+            [int(dbs[d][i]) for d, i in pairs], dtype=np.int16
+        )
+        try:
+            with local.router(
+                metrics=registry, transport="binary"
+            ) as router:
+                np.testing.assert_array_equal(
+                    router.probe_many(pairs), expected
+                )
+                local.kill(shard=0, endpoint=0)
+                np.testing.assert_array_equal(
+                    router.probe_many(pairs), expected,
+                    err_msg="answers changed after primary death",
+                )
+        finally:
+            local.close()
+        assert registry.counters["cluster.shard_errors"] >= 1
+
+    def test_no_replica_fails_loudly(self, tmp_path_factory):
+        """With nothing to fail over to, exhaustion surfaces as a
+        ProbeError naming the shard — never a wrong answer."""
+        game, dbs = solved_set("awari")
+        directory = cluster_dir("awari", 2, tmp_path_factory)
+        local = LocalCluster(directory, replicas=0, protocol="binary")
+        pairs = all_pairs(dbs)
+        try:
+            with local.router(
+                transport="binary", policy=FAST_POLICY
+            ) as router:
+                assert router.probe_many(pairs[:50]).shape == (50,)
+                local.kill(shard=0, endpoint=0)
+                local.kill(shard=1, endpoint=0)
+                with pytest.raises(ProbeError, match="endpoints failed"):
+                    router.probe_many(pairs)
+        finally:
+            local.close()

@@ -16,8 +16,11 @@ import time
 
 import pytest
 
+from repro.aserve import frames
+from repro.aserve.client import BinaryProbeClient
+from repro.aserve.server import AsyncProbeServer
 from repro.obs import MetricsRegistry
-from repro.serve.client import ProbeClient
+from repro.serve.client import ProbeClient, ProbeError
 from repro.serve.protocol import recv_message, send_message
 from repro.serve.server import ProbeServer
 from repro.serve.service import ProbeService
@@ -195,3 +198,253 @@ class TestTornConnections:
             raise AssertionError(
                 f"serving threads stuck on dead sockets: {alive}"
             )
+
+
+class TestThreadedHardening:
+    def test_binary_frame_on_json_server_rejected_with_hint(self, hardened):
+        """A binary frame sent to the JSON-only threaded server gets a
+        well-formed ok:false naming the protocol mismatch — never a
+        hang, never a cryptic parse error."""
+        server, registry, dbs = hardened
+        with raw_connection(server) as sock:
+            sock.sendall(
+                frames.pack_frame(frames.encode_ping(1))
+            )
+            response = recv_message(sock)
+            assert response["ok"] is False
+            assert "binary-protocol frame" in response["error"]
+            assert recv_message(sock) is None
+        assert server_still_answers(server, dbs)
+
+    def test_max_connections_rejects_with_ok_false(self, awari_solved):
+        """Beyond the cap, a connection is answered with a capacity
+        rejection and closed instead of getting a thread."""
+        game, dbs = awari_solved
+        registry = MetricsRegistry()
+        service = ProbeService.from_database_set(dbs)
+        server = ProbeServer(
+            service, metrics=registry.scoped("serve.server"),
+            max_connections=1,
+        ).start()
+        try:
+            with ProbeClient(server.host, server.port,
+                             timeout=ATTACK_TIMEOUT) as held:
+                assert held.ping()
+                with raw_connection(server) as sock:
+                    response = recv_message(sock)
+                    assert response["ok"] is False
+                    assert "capacity" in response["error"]
+            wait_for_count(registry, ["serve.server.connections_rejected"])
+            # The held connection is gone; capacity frees up (the accept
+            # loop prunes dead threads lazily, so poll).
+            deadline = time.monotonic() + ATTACK_TIMEOUT
+            while time.monotonic() < deadline:
+                try:
+                    assert server_still_answers(server, dbs)
+                    break
+                except (ProbeError, OSError):
+                    time.sleep(0.05)
+            else:
+                raise AssertionError("capacity never freed after close")
+        finally:
+            server.shutdown()
+            service.close()
+
+
+@pytest.fixture()
+def hardened_binary(awari_solved):
+    """A live AsyncProbeServer with a small frame cap, plus metrics and
+    ground truth."""
+    game, dbs = awari_solved
+    registry = MetricsRegistry()
+    service = ProbeService.from_database_set(dbs)
+    server = AsyncProbeServer(
+        service, metrics=registry.scoped("aserve.server"),
+        max_message_bytes=4096,
+    ).start()
+    yield server, registry, dbs
+    server.shutdown()
+    service.close()
+
+
+def recv_frame(sock) -> bytes:
+    """One length-prefixed payload off a raw socket (b'' on EOF)."""
+    head = b""
+    while len(head) < 4:
+        chunk = sock.recv(4 - len(head))
+        if not chunk:
+            return b""
+        head += chunk
+    (length,) = struct.unpack(">I", head)
+    payload = b""
+    while len(payload) < length:
+        chunk = sock.recv(length - len(payload))
+        if not chunk:
+            return b""
+        payload += chunk
+    return payload
+
+
+def binary_still_answers(server, dbs) -> bool:
+    """A fresh pipelined client gets a correct answer."""
+    with BinaryProbeClient(server.host, server.port,
+                           timeout=ATTACK_TIMEOUT) as client:
+        return client.probe(5, 0) == int(dbs[5][0])
+
+
+class TestBinaryFuzz:
+    """Hostile binary frames against the asyncio server: every case must
+    end in an error frame or a counted disconnect with the event loop
+    intact — no escaped exceptions, no hangs, and a clean drain at
+    shutdown (the fixture's ``shutdown()`` would block forever on a
+    wedged handler)."""
+
+    def test_truncated_header_gets_error_frame(self, hardened_binary):
+        """A binary frame shorter than the 8-byte header is answered
+        with an error frame and the connection survives (the length
+        prefix kept the stream in sync)."""
+        server, registry, dbs = hardened_binary
+        with raw_connection(server) as sock:
+            sock.sendall(frames.pack_frame(bytes([frames.BINARY_VERSION, 3])))
+            response = frames.decode_response(recv_frame(sock))
+            assert response.error is not None
+            assert "shorter than" in response.error
+            # Same connection keeps serving well-formed frames.
+            sock.sendall(frames.pack_frame(frames.encode_ping(7)))
+            pong = frames.decode_response(recv_frame(sock))
+            assert pong.seq == 7 and pong.error is None
+        wait_for_count(registry, ["aserve.server.errors"])
+        assert binary_still_answers(server, dbs)
+
+    def test_bad_opcode_gets_error_frame(self, hardened_binary):
+        server, registry, dbs = hardened_binary
+        with raw_connection(server) as sock:
+            payload = struct.pack(
+                ">BBHI", frames.BINARY_VERSION, 99, 0, 42
+            )
+            sock.sendall(frames.pack_frame(payload))
+            response = frames.decode_response(recv_frame(sock))
+            assert response.error is not None and "opcode" in response.error
+            assert response.seq == 42  # error still carries the seq
+        assert binary_still_answers(server, dbs)
+
+    def test_oversized_from_prefix_rejected_then_closed(self,
+                                                        hardened_binary):
+        """A declared length over the cap is rejected from the 4-byte
+        prefix alone — no payload buffered, connection closed."""
+        server, registry, dbs = hardened_binary
+        with raw_connection(server) as sock:
+            sock.sendall((4097).to_bytes(4, "big"))
+            response = recv_message(sock)
+            assert response["ok"] is False
+            assert "exceeds limit" in response["error"]
+            assert recv_message(sock) is None
+        wait_for_count(registry, ["aserve.server.errors"])
+        assert binary_still_answers(server, dbs)
+
+    def test_mid_frame_disconnect_is_counted(self, hardened_binary):
+        """A frame promising 100 bytes that dies after 10 is a counted
+        disconnect, not an error loop."""
+        server, registry, dbs = hardened_binary
+        sock = raw_connection(server)
+        sock.sendall((100).to_bytes(4, "big") + b"\xb1" + b"x" * 9)
+        sock.close()
+        assert binary_still_answers(server, dbs)
+        wait_for_count(registry, ["aserve.server.client_disconnects"])
+
+    def test_unknown_version_byte_rejected(self, hardened_binary):
+        """Garbage that is neither 0xB1 nor JSON gets a well-formed
+        ok:false naming the byte, then close."""
+        server, registry, dbs = hardened_binary
+        with raw_connection(server) as sock:
+            payload = b"\x00\x01\x02\x03"
+            sock.sendall(len(payload).to_bytes(4, "big") + payload)
+            response = recv_message(sock)
+            assert response["ok"] is False
+            assert "unknown protocol version byte 0x00" in response["error"]
+            assert recv_message(sock) is None
+        assert binary_still_answers(server, dbs)
+
+    def test_empty_frame_rejected(self, hardened_binary):
+        server, registry, dbs = hardened_binary
+        with raw_connection(server) as sock:
+            sock.sendall((0).to_bytes(4, "big"))
+            response = recv_message(sock)
+            assert response["ok"] is False
+            assert "empty frame" in response["error"]
+        assert binary_still_answers(server, dbs)
+
+    def test_interleaved_json_on_binary_connection(self, hardened_binary):
+        """One connection freely mixing binary and JSON frames: dispatch
+        is per frame, so both protocols answer on the same socket."""
+        server, registry, dbs = hardened_binary
+        with raw_connection(server) as sock:
+            sock.sendall(frames.pack_frame(frames.encode_ping(1)))
+            assert frames.decode_response(recv_frame(sock)).seq == 1
+            send_message(sock, {"op": "ping"})
+            assert recv_message(sock)["pong"] is True
+            sock.sendall(frames.pack_frame(frames.encode_probe(2, 5, 0)))
+            response = frames.decode_response(recv_frame(sock))
+            assert response.seq == 2
+            assert response.value == int(dbs[5][0])
+        wait_for_count(registry, ["aserve.server.frames_json"])
+        wait_for_count(registry, ["aserve.server.frames_binary"], minimum=2)
+
+    def test_bad_json_on_binary_server_closes(self, hardened_binary):
+        """The JSON fallback keeps the threaded server's contract: a
+        malformed JSON frame answers ok:false and closes."""
+        server, registry, dbs = hardened_binary
+        with raw_connection(server) as sock:
+            payload = b"{not json"
+            sock.sendall(len(payload).to_bytes(4, "big") + payload)
+            response = recv_message(sock)
+            assert response["ok"] is False and "bad JSON" in response["error"]
+            assert recv_message(sock) is None
+        assert binary_still_answers(server, dbs)
+
+    def test_torn_burst_then_clean_drain(self, hardened_binary):
+        """A burst of torn connections leaves nothing wedged: the server
+        still answers, and the fixture's shutdown() — which waits for
+        every connection task — completes (a stuck handler would hang
+        the test)."""
+        server, registry, dbs = hardened_binary
+        for i in range(8):
+            sock = raw_connection(server)
+            if i % 2:
+                sock.sendall((64).to_bytes(4, "big") + b"\xb1")
+            else:
+                sock.sendall(b"\x00\x00")
+            sock.close()
+        assert binary_still_answers(server, dbs)
+
+    def test_max_connections_cap(self, awari_solved):
+        """Connections beyond the cap get the JSON capacity rejection;
+        closing one frees a slot."""
+        game, dbs = awari_solved
+        registry = MetricsRegistry()
+        service = ProbeService.from_database_set(dbs)
+        server = AsyncProbeServer(
+            service, metrics=registry.scoped("aserve.server"),
+            max_connections=2,
+        ).start()
+        try:
+            with BinaryProbeClient(server.host, server.port) as a, \
+                    BinaryProbeClient(server.host, server.port) as b:
+                assert a.ping() and b.ping()
+                with raw_connection(server) as sock:
+                    response = recv_message(sock)
+                    assert response["ok"] is False
+                    assert "capacity" in response["error"]
+            wait_for_count(registry, ["aserve.server.connections_rejected"])
+            deadline = time.monotonic() + ATTACK_TIMEOUT
+            while time.monotonic() < deadline:
+                try:
+                    assert binary_still_answers(server, dbs)
+                    break
+                except (ProbeError, OSError):
+                    time.sleep(0.05)
+            else:
+                raise AssertionError("capacity never freed after close")
+        finally:
+            server.shutdown()
+            service.close()
