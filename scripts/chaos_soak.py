@@ -1,0 +1,272 @@
+#!/usr/bin/env python
+"""Self-healing cluster soak, used by the CI ``chaos-soak`` job.
+
+Where ``cluster_smoke.py`` proves one failover, this soak proves the
+full heal loop — failure detection, auto-restart, breaker
+reinstatement — under sustained verified load:
+
+1. solve — a fault-free reference database set
+2. ``repro cluster split`` — two cyclic shards + ``cluster.json``
+3. ``repro cluster up --replicas 1 --auto-restart`` — four shard
+   servers plus the supervising monitor
+4. 10,000 verified probes through a :class:`ShardRouter`; at staggered
+   milestones *every* shard's primary is SIGKILLed in turn.  For each
+   kill the soak demands: zero wrong answers while degraded, a
+   ``cluster.failovers`` bump, and a supervisor respawn — same port,
+   new pid — visible in the re-saved ``topology.json``
+5. after the last respawn, the routers breakers must reinstate every
+   primary: ``health_snapshot()`` all-closed and the active endpoint
+   of each shard back on the primary port
+6. SIGINT — the supervisor drains, writes ``--metrics-out`` (restart
+   counters checked), and exits 0 with ``cluster stopped``
+
+Exits non-zero on any mismatch, missed restart, missed reinstatement,
+or unclean shutdown; writes a ``chaos-soak.json`` artifact.
+
+Run:  PYTHONPATH=src python scripts/chaos_soak.py [artifact.json]
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+STONES = 5
+N_SHARDS = 2
+N_PROBES = 10_000
+BATCH = 64
+#: Probe index at which shard K's primary is SIGKILLed.
+KILL_AT = {0: N_PROBES // 4, 1: N_PROBES // 2}
+#: Breaker reset used by the soak router — short, so reinstatement
+#: happens within the probe stream instead of after it.
+BREAKER_RESET_SECONDS = 1.0
+RESPAWN_TIMEOUT = 60.0
+
+
+def wait_for(path: Path, timeout: float = 60.0) -> str:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if path.exists() and path.read_text().strip():
+            return path.read_text().strip()
+        time.sleep(0.05)
+    raise TimeoutError(f"cluster did not become ready within {timeout}s")
+
+
+def cli(*args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=300,
+    )
+    if result.returncode != 0:
+        raise RuntimeError(
+            f"repro {' '.join(args)} failed ({result.returncode}):\n"
+            f"{result.stdout}{result.stderr}"
+        )
+    return result.stdout
+
+
+def wait_for_respawn(topology_path: str, shard: int, old_pid: int,
+                     port: int) -> int:
+    """Poll the re-saved topology until shard's primary has a new pid
+    on the *same* port; returns the new pid."""
+    from repro.cluster.topology import ClusterTopology
+
+    deadline = time.monotonic() + RESPAWN_TIMEOUT
+    while time.monotonic() < deadline:
+        try:
+            endpoint = ClusterTopology.load(topology_path).endpoints[shard][0]
+        except (OSError, ValueError, KeyError):
+            time.sleep(0.1)  # mid-rewrite; the save is atomic, retry
+            continue
+        if endpoint.pid not in (None, old_pid):
+            if endpoint.port != port:
+                raise RuntimeError(
+                    f"shard {shard} respawned on port {endpoint.port}, "
+                    f"expected its original port {port}"
+                )
+            return endpoint.pid
+        time.sleep(0.1)
+    raise TimeoutError(
+        f"shard {shard} primary (pid {old_pid}) was never respawned "
+        f"within {RESPAWN_TIMEOUT}s"
+    )
+
+
+def main() -> int:
+    from repro.cluster.router import ShardRouter
+    from repro.cluster.topology import ClusterTopology
+    from repro.db.store import DatabaseSet
+    from repro.obs import MetricsRegistry
+    from repro.resilience import ReconnectPolicy
+
+    artifact = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        "chaos-soak.json"
+    )
+    tmp = Path(tempfile.mkdtemp(prefix="chaos-soak-"))
+    reference = tmp / "reference.npz"
+    cluster_dir = tmp / "cluster"
+    ready = tmp / "ready"
+    metrics_out = tmp / "supervisor-metrics.json"
+
+    print(f"== reference: fault-free {STONES}-stone solve")
+    cli("solve", "--stones", str(STONES), "--out", str(reference))
+    dbs = DatabaseSet.load(reference)
+
+    print(f"== split into {N_SHARDS} cyclic shards")
+    out = cli("cluster", "split", str(reference), str(cluster_dir),
+              "--shards", str(N_SHARDS), "--block-positions", "256")
+    print("  ", out.strip().splitlines()[0])
+
+    print("== cluster up: --replicas 1 --auto-restart")
+    supervisor = subprocess.Popen(
+        [sys.executable, "-m", "repro", "cluster", "up", str(cluster_dir),
+         "--replicas", "1", "--cache-kb", "64",
+         "--auto-restart", "--health-interval", "0.25",
+         "--metrics-out", str(metrics_out),
+         "--ready-file", str(ready)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        topology_path = wait_for(ready)
+        topology = ClusterTopology.load(topology_path)
+        primaries = {
+            shard: topology.endpoints[shard][0]
+            for shard in range(topology.n_shards)
+        }
+        for shard, endpoint in primaries.items():
+            print(f"   shard {shard} primary pid {endpoint.pid} "
+                  f"({endpoint.host}:{endpoint.port})")
+
+        rng = np.random.default_rng(1995)
+        ids = dbs.ids()
+        pairs = [
+            (int(d), int(rng.integers(0, dbs[int(d)].shape[0])))
+            for d in rng.choice(ids, size=N_PROBES)
+        ]
+        expected = np.array([int(dbs[d][i]) for d, i in pairs],
+                            dtype=np.int16)
+
+        registry = MetricsRegistry()
+        policy = ReconnectPolicy(connect_attempts=2, request_replays=1,
+                                 backoff_seconds=0.05,
+                                 backoff_max_seconds=0.2)
+        got: list = []
+        killed: dict = {}
+        respawned: dict = {}
+        print(f"== {N_PROBES} probes; SIGKILL each primary in turn at "
+              + ", ".join(f"#{at}" for at in KILL_AT.values()))
+        with ShardRouter.from_topology(
+            topology, metrics=registry, policy=policy,
+            breaker_reset_seconds=BREAKER_RESET_SECONDS,
+        ) as router:
+            for start in range(0, N_PROBES, BATCH):
+                for shard, at in KILL_AT.items():
+                    if shard not in killed and start >= at:
+                        victim = primaries[shard]
+                        os.kill(victim.pid, signal.SIGKILL)
+                        killed[shard] = victim.pid
+                        print(f"   #{start}: SIGKILL shard {shard} "
+                              f"primary (pid {victim.pid})")
+                got.extend(router.probe_many(pairs[start:start + BATCH]))
+
+            mismatches = int(
+                (np.asarray(got, dtype=np.int16) != expected).sum()
+            )
+            counters = dict(registry.counters)
+            failovers = counters.get("cluster.failovers", 0)
+            print(f"   {mismatches} mismatches, {failovers} failovers, "
+                  f"{counters.get('cluster.shard_errors', 0)} shard "
+                  f"errors")
+            if mismatches:
+                print("FAIL: the cluster returned wrong answers",
+                      file=sys.stderr)
+                return 1
+            if len(killed) < N_SHARDS or failovers < N_SHARDS:
+                print(f"FAIL: {len(killed)} kills forced only "
+                      f"{failovers} failovers", file=sys.stderr)
+                return 1
+
+            print("== every killed primary must respawn: same port, "
+                  "new pid")
+            for shard, old_pid in killed.items():
+                new_pid = wait_for_respawn(
+                    topology_path, shard, old_pid, primaries[shard].port
+                )
+                respawned[shard] = new_pid
+                print(f"   shard {shard}: pid {old_pid} -> {new_pid} "
+                      f"on port {primaries[shard].port}")
+
+            print("== breakers must reinstate the respawned primaries")
+            time.sleep(BREAKER_RESET_SECONDS + 0.5)
+            reinstated = []
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                reinstated = list(router.probe_many(pairs[:BATCH]))
+                snapshot = router.health_snapshot()
+                if all(states[0] == "closed" for states in snapshot):
+                    break
+                time.sleep(0.5)
+            else:
+                print(f"FAIL: breakers never reclosed: {snapshot}",
+                      file=sys.stderr)
+                return 1
+            if list(reinstated) != [int(v) for v in expected[:BATCH]]:
+                print("FAIL: wrong answers after reinstatement",
+                      file=sys.stderr)
+                return 1
+            for shard, endpoint in primaries.items():
+                active = router.active_endpoint(shard)
+                if active.port != endpoint.port:
+                    print(f"FAIL: shard {shard} still routes to "
+                          f"port {active.port}, not its restored "
+                          f"primary {endpoint.port}", file=sys.stderr)
+                    return 1
+            counters = dict(registry.counters)
+            print(f"   all primaries reinstated "
+                  f"({counters.get('cluster.breaker.closes', 0)} "
+                  f"breaker closes)")
+
+        print("== SIGINT -> drain, metrics artifact, 'cluster stopped'")
+        supervisor.send_signal(signal.SIGINT)
+        output, _ = supervisor.communicate(timeout=60)
+        if supervisor.returncode != 0 or "cluster stopped" not in output:
+            print(
+                f"unclean shutdown (rc={supervisor.returncode}):\n{output}",
+                file=sys.stderr,
+            )
+            return 1
+        supervisor_metrics = json.loads(metrics_out.read_text())
+        restarts = (
+            supervisor_metrics.get("counters", {})
+            .get("cluster.supervisor.restarts", 0)
+        )
+        if restarts < N_SHARDS:
+            print(f"FAIL: supervisor counted only {restarts} restarts "
+                  f"for {N_SHARDS} kills", file=sys.stderr)
+            return 1
+
+        artifact.write_text(json.dumps({
+            "stones": STONES,
+            "shards": N_SHARDS,
+            "probes": N_PROBES,
+            "mismatches": mismatches,
+            "killed": {str(s): pid for s, pid in killed.items()},
+            "respawned": {str(s): pid for s, pid in respawned.items()},
+            "supervisor_restarts": restarts,
+            "router_counters": counters,
+        }, indent=2, sort_keys=True) + "\n")
+        print(f"== chaos soak OK (artifact: {artifact})")
+        return 0
+    finally:
+        if supervisor.poll() is None:
+            supervisor.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

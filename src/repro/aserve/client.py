@@ -35,7 +35,11 @@ import numpy as np
 from ..db.store import DatabaseSet
 from ..obs import NULL_METRICS
 from ..resilience import ReconnectPolicy
-from ..serve.client import ProbeError, ProbeTransportError
+from ..serve.client import (
+    ProbeError,
+    ProbeOverloadedError,
+    ProbeTransportError,
+)
 from ..serve.protocol import MAX_MESSAGE_BYTES
 from . import frames
 
@@ -165,7 +169,9 @@ class AsyncProbeClient:
                 future = self._pending.pop(response.seq, None)
                 if future is not None and not future.done():
                     if response.error is not None:
-                        future.set_exception(ProbeError(response.error))
+                        exc_type = (ProbeOverloadedError if response.overloaded
+                                    else ProbeError)
+                        future.set_exception(exc_type(response.error))
                     else:
                         future.set_result(response)
         except ProbeTransportError as exc:
@@ -384,6 +390,17 @@ class BinaryProbeClient:
             f"cannot connect to {self.host}:{self.port} after "
             f"{attempts} attempts: {last}"
         ) from last
+
+    def set_timeout(self, seconds: float) -> None:
+        """Adjust the per-request timeout, live connection included
+        (same contract as :meth:`ProbeClient.set_timeout` — the
+        router's deadline machinery drives this)."""
+        seconds = float(seconds)
+        if seconds <= 0:
+            raise ValueError("timeout must be positive")
+        self.timeout = seconds
+        if self._async is not None:
+            self._async.timeout = seconds
 
     def _drop(self) -> None:
         client, self._async = self._async, None

@@ -62,6 +62,7 @@ from ..serve.protocol import BINARY_VERSION, MAX_MESSAGE_BYTES, ProtocolError
 __all__ = [
     "BINARY_VERSION",
     "FLAG_ERROR",
+    "FLAG_OVERLOADED",
     "FrameError",
     "HEADER",
     "LENGTH",
@@ -96,6 +97,11 @@ VERSION_BYTE = bytes([BINARY_VERSION])
 
 #: Response flag bit 0: the body is a UTF-8 error message.
 FLAG_ERROR = 0x0001
+
+#: Response flag bit 1 (always with :data:`FLAG_ERROR`): the server
+#: shed this request under load — the request was well-formed, the
+#: connection survives, and a retry elsewhere (or later) can succeed.
+FLAG_OVERLOADED = 0x0002
 
 OP_PING = 1
 OP_INFO = 2
@@ -351,10 +357,12 @@ def _decode_probe_many(seq: int, body) -> Request:
 # ------------------------------------------------------------ responses
 
 
-def encode_error(seq: int, opcode: int, message: str) -> bytes:
-    """Error response payload: :data:`FLAG_ERROR` + UTF-8 message."""
+def encode_error(seq: int, opcode: int, message: str,
+                 flags: int = 0) -> bytes:
+    """Error response payload: :data:`FLAG_ERROR` (plus any extra
+    ``flags``, e.g. :data:`FLAG_OVERLOADED`) + UTF-8 message."""
     opcode = opcode if opcode in OP_NAMES else OP_PING
-    return _header(opcode, seq, FLAG_ERROR) + str(message).encode()
+    return _header(opcode, seq, FLAG_ERROR | flags) + str(message).encode()
 
 
 def encode_pong(seq: int) -> bytes:
@@ -402,10 +410,10 @@ class Response:
     """One decoded binary response; exactly one payload field is set."""
 
     __slots__ = ("opcode", "seq", "error", "value", "values", "depth",
-                 "obj", "moves")
+                 "obj", "moves", "overloaded")
 
     def __init__(self, opcode, seq, error=None, value=None, values=None,
-                 depth=None, obj=None, moves=None):
+                 depth=None, obj=None, moves=None, overloaded=False):
         self.opcode = opcode
         self.seq = seq
         self.error = error
@@ -414,6 +422,7 @@ class Response:
         self.depth = depth
         self.obj = obj
         self.moves = moves
+        self.overloaded = overloaded
 
 
 def decode_response(payload) -> Response:
@@ -430,7 +439,9 @@ def decode_response(payload) -> Response:
         raise FrameError(f"unknown binary version 0x{version:02x}")
     body = memoryview(payload)[HEADER.size:]
     if flags & FLAG_ERROR:
-        return Response(opcode, seq, error=bytes(body).decode(errors="replace"))
+        return Response(opcode, seq,
+                        error=bytes(body).decode(errors="replace"),
+                        overloaded=bool(flags & FLAG_OVERLOADED))
     try:
         if opcode == OP_PING:
             return Response(opcode, seq, value=True)

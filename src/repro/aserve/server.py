@@ -36,6 +36,7 @@ import threading
 from ..obs import NULL_METRICS
 from ..serve.ops import JsonRequestHandler
 from ..serve.protocol import MAX_MESSAGE_BYTES
+from ..serve.server import _overloaded
 from . import frames
 
 __all__ = ["AsyncProbeServer"]
@@ -57,13 +58,22 @@ class AsyncProbeServer:
     produces an error response (or a counted disconnect) for that client
     only.  ``max_connections`` caps concurrently served connections —
     beyond it, a connection is answered with an ``ok: false`` capacity
-    rejection and closed.  ``metrics`` is typically
-    ``registry.scoped("aserve.server")``.
+    rejection and closed.  ``max_inflight`` caps concurrently executing
+    requests across all connections — past it a request is shed with a
+    well-formed overload answer (JSON ``reason: "overloaded"``, binary
+    error frame carrying :data:`~repro.aserve.frames.FLAG_OVERLOADED`)
+    and the connection survives.  ``faults`` optionally carries a
+    :class:`~repro.resilience.FaultPlan`; the drop-conn, latency,
+    blackhole and crash-shard injectors all apply here exactly as on
+    the threaded server (latency is awaited, so injected delays overlap
+    across connections instead of blocking the loop).  ``metrics`` is
+    typically ``registry.scoped("aserve.server")``.
     """
 
     def __init__(self, service, host: str = "127.0.0.1", port: int = 0,
                  metrics=None, max_message_bytes: int = MAX_MESSAGE_BYTES,
-                 max_connections: int | None = None):
+                 max_connections: int | None = None, faults=None,
+                 max_inflight: int | None = None):
         self.service = service
         self._metrics = NULL_METRICS if metrics is None else metrics
         self._handler = JsonRequestHandler(service, self._metrics)
@@ -71,6 +81,14 @@ class AsyncProbeServer:
         self._max_connections = (
             None if max_connections is None else int(max_connections)
         )
+        self._max_inflight = (
+            None if max_inflight is None else int(max_inflight)
+        )
+        self._inflight = 0
+        self._drop = getattr(faults, "connection_drop", None)
+        self._latency = getattr(faults, "latency", None)
+        self._blackhole = getattr(faults, "blackhole", None)
+        self._crash = getattr(faults, "shard_crash", None)
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -173,6 +191,11 @@ class AsyncProbeServer:
 
     async def _serve_connection(self, reader, writer) -> None:
         self._metrics.inc("connections")
+        if self._drop is not None and self._drop.drop_on_accept():
+            # Injected fault: sever this connection before serving it.
+            self._metrics.inc("faults.connections_dropped")
+            writer.close()
+            return
         sock = writer.get_extra_info("socket")
         if sock is not None:
             # asyncio does not set NODELAY on sockets accepted from a
@@ -208,6 +231,10 @@ class AsyncProbeServer:
             writer.close()
 
     async def _connection_loop(self, reader, writer) -> None:
+        sever_after = (
+            self._drop.sever_after() if self._drop is not None else None
+        )
+        answered = 0
         while True:
             try:
                 head = await reader.readexactly(frames.LENGTH.size)
@@ -240,21 +267,66 @@ class AsyncProbeServer:
                 return
             if not keep:
                 return
+            answered += 1
+            if sever_after is not None and answered >= sever_after:
+                # Injected fault: hang up mid-session so pipelined
+                # clients exercise reconnect and replay.
+                self._metrics.inc("faults.connections_severed")
+                return
 
     async def _answer(self, payload: bytes, writer) -> bool:
         """Answer one frame; returns whether the connection survives."""
         first = payload[:1]
+        if self._blackhole is not None and self._blackhole.swallow():
+            # Injected fault: read the frame, never answer — the
+            # silence only a client timeout escapes.
+            self._metrics.inc("faults.requests_blackholed")
+            return True
+        if self._max_inflight is not None \
+                and self._inflight >= self._max_inflight:
+            self._metrics.inc("overloads")
+            await self._shed(payload, first, writer)
+            return True
+        self._inflight += 1
+        try:
+            if self._latency is not None:
+                delay = self._latency.delay_seconds()
+                if delay:
+                    self._metrics.inc("faults.latency_injected")
+                    await asyncio.sleep(delay)
+            if first == frames.VERSION_BYTE:
+                self._metrics.inc("frames_binary")
+                keep = await self._answer_binary(payload, writer)
+            elif first and first[0] in _JSON_OPENERS:
+                self._metrics.inc("frames_json")
+                keep = await self._answer_json(payload, writer)
+            else:
+                self._metrics.inc("errors")
+                message = (
+                    "empty frame" if not payload else
+                    f"unknown protocol version byte 0x{payload[0]:02x}"
+                )
+                await self._send_json(writer, {"ok": False, "error": message})
+                keep = False
+        finally:
+            self._inflight -= 1
+        if self._crash is not None:
+            self._crash.answered()
+        return keep
+
+    async def _shed(self, payload: bytes, first: bytes, writer) -> None:
+        """Answer one shed request in the protocol it was asked in;
+        the connection stays usable for later, admitted requests."""
         if first == frames.VERSION_BYTE:
-            self._metrics.inc("frames_binary")
-            return await self._answer_binary(payload, writer)
-        if first and first[0] in _JSON_OPENERS:
-            self._metrics.inc("frames_json")
-            return await self._answer_json(payload, writer)
-        self._metrics.inc("errors")
-        message = ("empty frame" if not payload else
-                   f"unknown protocol version byte 0x{payload[0]:02x}")
-        await self._send_json(writer, {"ok": False, "error": message})
-        return False
+            writer.write(frames.pack_frame(frames.encode_error(
+                frames.peek_seq(payload), frames.peek_opcode(payload),
+                f"server overloaded ({self._max_inflight} requests "
+                "in flight)",
+                flags=frames.FLAG_OVERLOADED,
+            )))
+            await writer.drain()
+            return
+        await self._send_json(writer, _overloaded(self._max_inflight))
 
     async def _answer_json(self, payload: bytes, writer) -> bool:
         try:

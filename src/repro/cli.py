@@ -166,8 +166,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--inject-fault", action="append", default=[], metavar="SPEC",
-        help="deterministic fault injection, e.g. drop-conn:every=50 or "
-             "drop-conn:after=100 (repeatable; see docs/RESILIENCE.md)",
+        help="deterministic fault injection, e.g. drop-conn:every=50, "
+             "latency:ms=200,every=3, blackhole:after=10 or "
+             "crash-shard:after=50 (repeatable; both protocols; see "
+             "docs/RESILIENCE.md)",
+    )
+    serve.add_argument(
+        "--fault-state-dir", default=None, metavar="DIR",
+        help="directory for once-only fault flag files; hand a respawned "
+             "server the same dir so a fired crash-shard stays fired",
     )
     serve.add_argument(
         "--protocol", choices=("json", "binary"), default="json",
@@ -180,6 +187,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-connections", type=int, default=None, metavar="N",
         help="reject connections beyond N with a well-formed "
              "ok:false frame (default: unlimited)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="shed requests beyond N concurrently executing with a "
+             "well-formed reason=overloaded answer (default: unlimited; "
+             "docs/CLUSTER.md)",
     )
 
     probe = sub.add_parser("probe", help="query a running probe server")
@@ -586,12 +599,10 @@ def _cmd_serve(args) -> int:
     if args.inject_fault:
         from .resilience.faults import FaultPlan, FaultSpecError
 
-        if args.protocol == "binary":
-            print("--inject-fault is a JSON-server chaos hook; "
-                  "not supported with --protocol binary", file=sys.stderr)
-            return 2
         try:
-            faults = FaultPlan.from_specs(args.inject_fault)
+            faults = FaultPlan.from_specs(
+                args.inject_fault, state_dir=args.fault_state_dir
+            )
         except FaultSpecError as exc:
             print(f"bad --inject-fault spec: {exc}", file=sys.stderr)
             return 2
@@ -605,11 +616,14 @@ def _cmd_serve(args) -> int:
         from .aserve.server import AsyncProbeServer
 
         server = AsyncProbeServer(service, host=args.host, port=args.port,
-                                  max_connections=args.max_connections)
+                                  faults=faults,
+                                  max_connections=args.max_connections,
+                                  max_inflight=args.max_inflight)
     else:
         server = ProbeServer(service, host=args.host, port=args.port,
                              faults=faults,
-                             max_connections=args.max_connections)
+                             max_connections=args.max_connections,
+                             max_inflight=args.max_inflight)
     describe = f"{service.game_name} ({args.protocol}, "
     describe += f"{service.backend_kind}"
     if service.backend_kind == "paged":

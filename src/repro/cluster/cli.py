@@ -59,6 +59,42 @@ def add_arguments(parser) -> None:
         help="write the topology path here once all shards are serving "
              "(for scripts/CI)",
     )
+    up.add_argument(
+        "--protocol", choices=("json", "binary"), default="json",
+        help="wire protocol the shard servers speak (docs/CLUSTER.md)",
+    )
+    up.add_argument(
+        "--auto-restart", action="store_true",
+        help="supervise the shard servers: detect dead or unresponsive "
+             "endpoints and respawn them on their original ports "
+             "(docs/CLUSTER.md, Failure model & recovery)",
+    )
+    up.add_argument(
+        "--max-restarts", type=int, default=5, metavar="N",
+        help="flap detector: give up on an endpoint after N restarts "
+             "within a minute (with --auto-restart)",
+    )
+    up.add_argument(
+        "--health-interval", type=float, default=1.0, metavar="SECONDS",
+        help="seconds between supervisor liveness passes "
+             "(with --auto-restart)",
+    )
+    up.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="per-server overload budget: past N concurrently executing "
+             "requests a server sheds load with ok:false "
+             "reason=overloaded instead of queueing",
+    )
+    up.add_argument(
+        "--inject-fault", action="append", default=None, metavar="SPEC",
+        help="deterministic fault injection on shard primaries, e.g. "
+             "crash-shard:shard=0,after=100 or latency:ms=50,every=10 "
+             "(repeatable; docs/RESILIENCE.md)",
+    )
+    up.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write supervisor metrics as JSON here on shutdown",
+    )
 
     probe = sub.add_parser("probe", help="query a running cluster")
     probe.add_argument("--topology", required=True, metavar="PATH",
@@ -76,6 +112,16 @@ def add_arguments(parser) -> None:
         help="shard transport: json = one blocking client per shard, "
              "binary = pipelined clients sharing one event loop "
              "(docs/CLUSTER.md)",
+    )
+    probe.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-call wall-clock budget shared across failover "
+             "attempts; the call fails loudly when it runs out",
+    )
+    probe.add_argument(
+        "--hedge-after-ms", type=float, default=None, metavar="MS",
+        help="hedged reads: mirror a batched sub-call to the next "
+             "replica when the primary is slower than this",
     )
 
 
@@ -109,7 +155,11 @@ def _cmd_split(args) -> int:
 
 
 def _cmd_up(args) -> int:
+    import json
+
+    from ..obs import MetricsRegistry
     from ..resilience.checkpoint import atomic_write_text
+    from ..resilience.faults import FaultSpecError
     from .launch import ClusterLaunchError, launch_cluster
 
     try:
@@ -118,8 +168,11 @@ def _cmd_up(args) -> int:
             replicas=args.replicas,
             host=args.host,
             cache_kb=args.cache_kb,
+            protocol=args.protocol,
+            fault_specs=args.inject_fault,
+            max_inflight=args.max_inflight,
         )
-    except (ClusterLaunchError, ValueError, OSError) as exc:
+    except (ClusterLaunchError, FaultSpecError, ValueError, OSError) as exc:
         print(f"cluster failed to start: {exc}", file=sys.stderr)
         return 1
     topology = supervisor.topology
@@ -136,6 +189,26 @@ def _cmd_up(args) -> int:
     if args.ready_file:
         # Atomic so a watcher never reads a half-written path.
         atomic_write_text(Path(args.ready_file), f"{topology_path}\n")
+    registry = MetricsRegistry()
+    monitor = None
+    if args.auto_restart:
+        from .supervise import ClusterMonitor, RestartPolicy
+
+        def report(kind, shard, endpoint, detail):
+            print(f"supervisor: {kind} shard {shard} "
+                  f"endpoint {endpoint}: {detail}", flush=True)
+
+        monitor = ClusterMonitor(
+            supervisor,
+            policy=RestartPolicy(max_restarts=args.max_restarts),
+            health_interval=args.health_interval,
+            metrics=registry,
+            topology_path=topology_path,
+            on_event=report,
+        ).start()
+        print(f"supervising {topology.n_endpoints} endpoints "
+              f"(health interval {args.health_interval}s, "
+              f"max {args.max_restarts} restarts/min)", flush=True)
     try:
         while True:
             import time
@@ -143,7 +216,14 @@ def _cmd_up(args) -> int:
             time.sleep(0.2)
     except KeyboardInterrupt:
         pass
+    if monitor is not None:
+        monitor.stop()
     supervisor.shutdown()
+    if args.metrics_out:
+        atomic_write_text(
+            Path(args.metrics_out),
+            json.dumps(registry.snapshot(), indent=2, sort_keys=True) + "\n",
+        )
     print("cluster stopped")
     return 0
 
@@ -163,7 +243,8 @@ def _cmd_probe(args) -> int:
         return 2
     try:
         with ShardRouter.from_topology(
-            args.topology, transport=args.transport
+            args.topology, transport=args.transport,
+            deadline=args.deadline, hedge_after_ms=args.hedge_after_ms,
         ) as router:
             if args.db is not None:
                 db_id = DatabaseSet._parse_id(args.db)

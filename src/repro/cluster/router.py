@@ -1,10 +1,11 @@
 """Scatter-gather routing of probes across a sharded serving cluster.
 
-A :class:`ShardRouter` owns one reconnecting
-:class:`~repro.serve.client.ProbeClient` per shard and speaks the same
-probe protocol as :class:`~repro.serve.service.ProbeService` (``probe``
-/ ``probe_many`` / ``best_moves`` / ``__contains__`` / ``depth_of``),
-so ``repro.db.query`` and ``repro.db.search`` run over a whole cluster
+A :class:`ShardRouter` owns a pool of reconnecting
+:class:`~repro.serve.client.ProbeClient` instances (one per endpoint it
+has talked to) and speaks the same probe protocol as
+:class:`~repro.serve.service.ProbeService` (``probe`` / ``probe_many``
+/ ``best_moves`` / ``__contains__`` / ``depth_of``), so
+``repro.db.query`` and ``repro.db.search`` run over a whole cluster
 exactly as they run over one server or an in-memory array.
 
 Routing is owner-computes, like the solver itself: every global
@@ -17,42 +18,69 @@ then paged block of the local slot) so the shard's block cache is
 touched sequentially, dispatched concurrently across shards, and merged
 back in request order.
 
-Failure handling: each shard has an ordered endpoint list — primary
-first, replicas after (:class:`~repro.cluster.topology.ClusterTopology`).
-Transport failures inside one endpoint are absorbed by the client's own
-reconnect machinery; when that is exhausted
-(:class:`~repro.serve.client.ProbeTransportError`), the router rotates
-the shard to its next endpoint, counts ``cluster.failovers``, and
-replays the sub-batch there — safe because every probe operation is an
-idempotent pure lookup.  Application rejections (``ok: false``) are
-re-raised unrotated: a replica holds the same data and would reject
-identically.
+Failure handling is health-aware (:mod:`repro.cluster.health`): every
+endpoint carries a circuit breaker.  Transport failures inside one
+endpoint are absorbed by the client's own reconnect machinery; when
+that is exhausted (:class:`~repro.serve.client.ProbeTransportError`),
+the router records a breaker failure, counts ``cluster.failovers``, and
+replays the sub-batch on the next-healthiest endpoint — safe because
+every probe operation is an idempotent pure lookup.  A tripped breaker
+demotes its endpoint to the back of the candidate order rather than
+banishing it, and after the reset window the next call probes it back:
+a killed-then-restarted primary is *reinstated*, not remembered as dead
+forever.  Application rejections (``ok: false``) are re-raised without
+failover: a replica holds the same data and would reject identically.
+An overload shed (:class:`~repro.serve.client.ProbeOverloadedError`) is
+in between — the router fails over immediately but records *no*
+breaker failure, because a load-shedding server is alive and protecting
+itself.
+
+Calls can carry a ``deadline`` (seconds): each failover attempt's
+socket timeout is capped to the remaining budget and the call fails
+with a loud ProbeError (counted on ``cluster.deadline_exceeded``) when
+the budget runs out, instead of letting retries stack timeouts.
+``hedge_after_ms`` additionally arms hedged reads on the batched path:
+a sub-batch whose primary has not answered within the hedge delay is
+mirrored to the next-healthiest replica (counted on ``cluster.hedges``)
+and the first success wins (``cluster.hedge_wins``) — idempotent
+lookups make the duplicate harmless.
 
 One router instance is not safe for concurrent calls from multiple
-threads (per-shard clients are plain blocking sockets); the concurrency
-*inside* one ``probe_many`` call is safe because each shard's client is
-driven by exactly one scatter thread.
+threads; the concurrency *inside* one ``probe_many`` call is safe
+because each in-flight attempt checks its client out of the pool and
+returns it only when done.
 
-``transport="binary"`` swaps the per-shard clients for pipelined
+``transport="binary"`` swaps the per-endpoint clients for pipelined
 :class:`~repro.aserve.client.BinaryProbeClient` instances sharing **one**
 :class:`~repro.aserve.client.EventLoopThread`: a scatter then dispatches
 every shard's sub-batch as a concurrent future on that loop instead of
 spawning a thread per shard, and failover falls back to the same
-endpoint-rotation path on transport failure.
+breaker-driven path on transport failure or overload.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 
 from ..obs import NULL_METRICS, names
-from ..serve.client import ProbeClient, ProbeError, ProbeTransportError
+from ..serve.client import (
+    ProbeClient,
+    ProbeError,
+    ProbeOverloadedError,
+    ProbeTransportError,
+)
+from .health import EndpointHealth
 from .manifest import ShardManifest
 from .topology import ClusterTopology, ShardEndpoint
 
 __all__ = ["ShardRouter"]
+
+#: Default seconds a tripped endpoint breaker stays open before the
+#: router probes it back with real traffic.
+DEFAULT_BREAKER_RESET_SECONDS = 5.0
 
 
 def _normalize_endpoints(endpoints) -> list:
@@ -75,7 +103,7 @@ def _normalize_endpoints(endpoints) -> list:
 
 
 class ShardRouter:
-    """Route probes to their owning shards; fail over to replicas.
+    """Route probes to their owning shards; fail over on endpoint health.
 
     ``client_factory(host, port)`` defaults to a reconnecting
     :class:`~repro.serve.client.ProbeClient` for ``transport="json"``
@@ -84,15 +112,45 @@ class ShardRouter:
     tests inject fakes here to pin routing decisions without sockets.  A
     custom factory used with the binary transport must produce clients
     with ``submit_probe_many``.
+
+    Health knobs:
+
+    ``breaker_threshold``
+        Consecutive transport failures that trip an endpoint's circuit
+        breaker open (default 1 — one surfaced failure is already an
+        exhausted reconnect policy).
+    ``breaker_reset_seconds``
+        How long a tripped endpoint is demoted before the router probes
+        it back with real traffic and, on success, reinstates it.
+    ``deadline``
+        Per-call wall-clock budget in seconds, shared across failover
+        attempts (each attempt's socket timeout is capped to what is
+        left).  ``None`` disables it.
+    ``hedge_after_ms``
+        Hedged reads on the batched path: mirror a sub-batch to the next
+        replica when the primary is slower than this.  ``None`` (the
+        default) disables hedging; clients without a second endpoint are
+        never hedged.
+    ``clock``
+        Monotonic-seconds source, injectable so breaker and deadline
+        tests advance time without sleeping.
     """
 
     def __init__(self, manifest: ShardManifest, endpoints, metrics=None,
                  policy=None, timeout: float = 30.0, client_factory=None,
-                 transport: str = "json"):
+                 transport: str = "json", breaker_threshold: int = 1,
+                 breaker_reset_seconds: float = DEFAULT_BREAKER_RESET_SECONDS,
+                 deadline: float | None = None,
+                 hedge_after_ms: float | None = None,
+                 clock=time.monotonic):
         if transport not in ("json", "binary"):
             raise ValueError(
                 f"unknown transport {transport!r}; use 'json' or 'binary'"
             )
+        if deadline is not None and float(deadline) <= 0:
+            raise ValueError("deadline must be positive")
+        if hedge_after_ms is not None and float(hedge_after_ms) < 0:
+            raise ValueError("hedge_after_ms must be >= 0")
         self.transport = transport
         self.manifest = manifest
         self._endpoints = _normalize_endpoints(endpoints)
@@ -104,13 +162,27 @@ class ShardRouter:
         self._metrics = NULL_METRICS if metrics is None else metrics
         self._policy = policy
         self._timeout = timeout
+        self._deadline = None if deadline is None else float(deadline)
+        self._hedge_after_ms = (
+            None if hedge_after_ms is None else float(hedge_after_ms)
+        )
+        self._clock = clock
         self._loop_thread = None
         if client_factory is None:
             client_factory = (self._binary_factory if transport == "binary"
                               else self._default_factory)
         self._factory = client_factory
-        self._active = [0] * manifest.n_shards
-        self._clients: list = [None] * manifest.n_shards
+        self._health = EndpointHealth(
+            [len(group) for group in self._endpoints],
+            threshold=breaker_threshold,
+            reset_seconds=breaker_reset_seconds,
+            clock=clock, metrics=self._metrics,
+        )
+        # Per-endpoint idle-client pool: an attempt checks its client
+        # out, so a slow hedged request can never share a socket with
+        # the next batch.  {shard: {endpoint_index: client}}
+        self._clients: list = [{} for _ in range(manifest.n_shards)]
+        self._client_lock = threading.Lock()
         self._game = None
         self._metrics.set_gauge(names.CLUSTER_SHARDS, manifest.n_shards)
         self._metrics.set_gauge(
@@ -140,11 +212,13 @@ class ShardRouter:
         thread, so the router's fan-out needs no thread per shard."""
         from ..aserve.client import BinaryProbeClient, EventLoopThread
 
-        if self._loop_thread is None:
-            self._loop_thread = EventLoopThread(name="shard-router-loop")
+        with self._client_lock:
+            if self._loop_thread is None:
+                self._loop_thread = EventLoopThread(name="shard-router-loop")
+            loop_thread = self._loop_thread
         return BinaryProbeClient(
             host, port, timeout=self._timeout, policy=self._policy,
-            metrics=self._metrics, loop_thread=self._loop_thread,
+            metrics=self._metrics, loop_thread=loop_thread,
         )
 
     # ------------------------------------------------------------ endpoints
@@ -155,46 +229,133 @@ class ShardRouter:
         return self.manifest.n_shards
 
     def active_endpoint(self, shard: int) -> ShardEndpoint:
-        """The endpoint currently serving one shard."""
-        return self._endpoints[shard][self._active[shard]]
+        """The endpoint the next request to this shard will try first
+        (the healthiest candidate under the breaker ordering)."""
+        return self._endpoints[shard][self._health.candidates(shard)[0]]
 
-    def _client(self, shard: int):
-        if self._clients[shard] is None:
-            endpoint = self.active_endpoint(shard)
-            self._clients[shard] = self._factory(endpoint.host, endpoint.port)
-        return self._clients[shard]
+    def health_snapshot(self) -> list:
+        """Circuit-breaker states, shaped like the topology:
+        ``[[state per endpoint] per shard]``."""
+        return self._health.snapshot()
 
-    def _rotate(self, shard: int) -> None:
-        """Advance one shard to its next endpoint (wrapping), dropping
-        the dead client."""
-        client = self._clients[shard]
-        self._clients[shard] = None
-        if client is not None:
+    def _take_client(self, shard: int, endpoint: int):
+        """Check the endpoint's idle client out of the pool, building a
+        fresh one when none is parked there (construction may raise
+        :class:`ProbeTransportError` — the caller classifies it)."""
+        with self._client_lock:
+            client = self._clients[shard].pop(endpoint, None)
+        if client is None:
+            address = self._endpoints[shard][endpoint]
+            client = self._factory(address.host, address.port)
+        return client
+
+    def _return_client(self, shard: int, endpoint: int, client) -> None:
+        """Park a healthy client back in the pool.  If a newer client
+        already occupies the slot (this one was slow and got replaced),
+        close the returner instead of stacking connections."""
+        with self._client_lock:
+            occupied = endpoint in self._clients[shard]
+            if not occupied:
+                self._clients[shard][endpoint] = client
+        if occupied:
             client.close()
-        self._active[shard] = (
-            self._active[shard] + 1
-        ) % len(self._endpoints[shard])
-        self._metrics.inc(names.CLUSTER_FAILOVERS)
 
-    def _on_shard(self, shard: int, op):
-        """Run ``op(client)`` against a shard, rotating through its
-        endpoint list on transport failure.  Each endpoint (including
-        the one we started from, after wrapping) is tried at most once
-        per call."""
-        attempts = len(self._endpoints[shard])
-        last: ProbeTransportError | None = None
-        for attempt in range(attempts):
+    # ----------------------------------------------------------- attempts
+
+    def _time_left(self, shard: int, deadline_at, last=None):
+        """Remaining per-call budget in seconds (None without a
+        deadline); raises a loud ProbeError once the budget is spent."""
+        if deadline_at is None:
+            return None
+        remaining = deadline_at - self._clock()
+        if remaining <= 0:
+            self._metrics.inc(names.CLUSTER_DEADLINE_EXCEEDED)
+            raise ProbeError(
+                f"shard {shard}: deadline of {self._deadline}s exceeded "
+                f"(last: {last})"
+            ) from (last if isinstance(last, BaseException) else None)
+        return remaining
+
+    def _attempt_once(self, shard: int, endpoint: int, op, deadline_at):
+        """Run ``op(client)`` against one endpoint with full breaker and
+        pool bookkeeping; re-raises the classified failure."""
+        remaining = self._time_left(shard, deadline_at)
+        breaker = self._health.breaker(shard, endpoint)
+        try:
+            client = self._take_client(shard, endpoint)
+        except ProbeTransportError:
+            self._metrics.inc(names.CLUSTER_SHARD_ERRORS)
+            breaker.record_failure()
+            raise
+        try:
+            if remaining is not None:
+                client.set_timeout(min(self._timeout, remaining))
+            result = op(client)
+        except ProbeOverloadedError:
+            # The endpoint is alive and shedding load: hand the client
+            # back, leave the breaker alone, let the caller fail over.
+            self._metrics.inc(names.CLUSTER_OVERLOADS)
+            self._return_client(shard, endpoint, client)
+            raise
+        except ProbeTransportError:
+            self._metrics.inc(names.CLUSTER_SHARD_ERRORS)
+            breaker.record_failure()
+            client.close()
+            raise
+        except ProbeError:
+            # Application rejection: the endpoint answered, so it is
+            # healthy — the *request* is what failed.
+            breaker.record_success()
+            self._return_client(shard, endpoint, client)
+            raise
+        breaker.record_success()
+        self._return_client(shard, endpoint, client)
+        return result
+
+    def _sequential(self, shard: int, op, candidates, deadline_at,
+                    already: int = 0, last=None):
+        """Try ``op`` on each candidate endpoint in order.  ``already``
+        counts endpoints a caller burned before handing over (hedged or
+        scatter first attempts), so the exhaustion message still names
+        the full endpoint count."""
+        total = already + len(candidates)
+        for i, endpoint in enumerate(candidates):
             try:
-                return op(self._client(shard))
-            except ProbeTransportError as exc:
+                return self._attempt_once(shard, endpoint, op, deadline_at)
+            except (ProbeOverloadedError, ProbeTransportError) as exc:
                 last = exc
-                self._metrics.inc(names.CLUSTER_SHARD_ERRORS)
-                if attempt < attempts - 1:
-                    self._rotate(shard)
+            # A plain ProbeError (application rejection, deadline)
+            # propagates: no replica would answer differently.
+            if i < len(candidates) - 1:
+                self._metrics.inc(names.CLUSTER_FAILOVERS)
         raise ProbeError(
-            f"shard {shard}: all {attempts} endpoints failed "
+            f"shard {shard}: all {total} endpoints failed "
             f"(last: {last})"
         ) from last
+
+    def _on_shard(self, shard: int, op):
+        """Run ``op(client)`` against a shard, failing over through the
+        breaker-ordered endpoint list.  Each endpoint is tried at most
+        once per call."""
+        deadline_at = (None if self._deadline is None
+                       else self._clock() + self._deadline)
+        return self._sequential(
+            shard, op, self._health.candidates(shard), deadline_at
+        )
+
+    def _failover_rest(self, shard: int, op, failed_endpoint: int,
+                       deadline_at, last):
+        """After one endpoint already failed (scatter or hedge), replay
+        on every *other* candidate in health order."""
+        rest = [
+            e for e in self._health.candidates(shard)
+            if e != failed_endpoint
+        ]
+        if rest:
+            self._metrics.inc(names.CLUSTER_FAILOVERS)
+        return self._sequential(
+            shard, op, rest, deadline_at, already=1, last=last
+        )
 
     # ------------------------------------------------------------- metadata
 
@@ -220,7 +381,7 @@ class ShardRouter:
         return self.manifest.positions(db_id)
 
     def stats(self) -> dict:
-        """Topology plus the active endpoint's stats per shard."""
+        """Topology plus the healthiest endpoint's stats per shard."""
         per_shard = []
         for shard in range(self.n_shards):
             endpoint = self.active_endpoint(shard)
@@ -255,6 +416,101 @@ class ShardRouter:
             self._on_shard(shard, lambda c: c.probe(db_id, local))
         )
 
+    def _fetch_values(self, shard: int, pairs):
+        """One shard's sub-batch, hedged when configured."""
+        if self._hedge_after_ms is None:
+            return self._on_shard(shard, lambda c: c.probe_many(pairs))
+        return self._hedged_fetch(shard, pairs)
+
+    def _hedged_fetch(self, shard: int, pairs):
+        """Batched fetch with a hedged backup: when the primary has not
+        answered within ``hedge_after_ms``, mirror the sub-batch to the
+        next-healthiest endpoint and take whichever answers first.  A
+        *fast* primary failure skips the hedge entirely and follows the
+        ordinary sequential failover path."""
+        deadline_at = (None if self._deadline is None
+                       else self._clock() + self._deadline)
+        candidates = self._health.candidates(shard)
+        op = lambda c: c.probe_many(pairs)  # noqa: E731 — shared by threads
+        if len(candidates) < 2:
+            return self._sequential(shard, op, candidates, deadline_at)
+        primary, backup, rest = candidates[0], candidates[1], candidates[2:]
+        cond = threading.Condition()
+        state: dict = {"winner": None, "values": None, "errors": {}}
+
+        def attempt(endpoint: int) -> None:
+            try:
+                values = self._attempt_once(shard, endpoint, op, deadline_at)
+            except ProbeError as exc:
+                with cond:
+                    state["errors"][endpoint] = exc
+                    cond.notify_all()
+                return
+            with cond:
+                if state["winner"] is None:
+                    state["winner"] = endpoint
+                    state["values"] = values
+                cond.notify_all()
+
+        threading.Thread(
+            target=attempt, args=(primary,),
+            name=f"shard-router-{shard}-primary", daemon=True,
+        ).start()
+        with cond:
+            cond.wait_for(
+                lambda: state["winner"] is not None
+                or primary in state["errors"],
+                timeout=self._hedge_after_ms / 1000.0,
+            )
+            winner = state["winner"]
+            primary_error = state["errors"].get(primary)
+        if winner is not None:
+            return state["values"]
+        if primary_error is not None:
+            # Fast failure, no hedge: ordinary sequential failover.
+            if not isinstance(primary_error,
+                              (ProbeTransportError, ProbeOverloadedError)):
+                raise primary_error
+            self._metrics.inc(names.CLUSTER_FAILOVERS)
+            return self._sequential(
+                shard, op, candidates[1:], deadline_at,
+                already=1, last=primary_error,
+            )
+        # Primary is merely slow: fire the hedge and race them.
+        self._metrics.inc(names.CLUSTER_HEDGES)
+        threading.Thread(
+            target=attempt, args=(backup,),
+            name=f"shard-router-{shard}-hedge", daemon=True,
+        ).start()
+        with cond:
+            resolved = cond.wait_for(
+                lambda: state["winner"] is not None
+                or len(state["errors"]) >= 2,
+                timeout=self._time_left(shard, deadline_at),
+            )
+            winner = state["winner"]
+            errors = dict(state["errors"])
+        if not resolved:
+            # Both attempts still hanging past the deadline; their
+            # capped socket timeouts will reap them in the background.
+            self._time_left(shard, deadline_at,
+                            last="hedged attempts still in flight")
+        if winner is not None:
+            if winner == backup:
+                self._metrics.inc(names.CLUSTER_HEDGE_WINS)
+            return state["values"]
+        for exc in (errors.get(primary), errors.get(backup)):
+            if not isinstance(exc,
+                              (ProbeTransportError, ProbeOverloadedError)):
+                raise exc
+        self._metrics.inc(names.CLUSTER_FAILOVERS)  # primary -> backup
+        if rest:
+            self._metrics.inc(names.CLUSTER_FAILOVERS)  # backup -> rest
+        return self._sequential(
+            shard, op, rest, deadline_at, already=2,
+            last=errors.get(backup) or errors.get(primary),
+        )
+
     def probe_many(self, positions) -> np.ndarray:
         """Values for ``[(db_id, index), ...]`` in request order.
 
@@ -281,7 +537,7 @@ class ShardRouter:
         def fetch(shard, entries):
             pairs = [(db_id, local) for _, db_id, local in entries]
             self._metrics.inc(names.CLUSTER_FANOUTS)
-            values = self._on_shard(shard, lambda c: c.probe_many(pairs))
+            values = self._fetch_values(shard, pairs)
             slots = np.fromiter(
                 (slot for slot, _, _ in entries), dtype=np.int64,
                 count=len(entries),
@@ -323,36 +579,61 @@ class ShardRouter:
     def _scatter_async(self, by_shard: dict, out: np.ndarray) -> None:
         """Binary-transport scatter: every shard's sub-batch goes out as
         a concurrent future on the shared event loop (no scatter
-        threads).  A shard whose future fails in transport is replayed
-        through :meth:`_on_shard`, which reconnects and then rotates
-        through the replica list — same failover semantics as the
-        threaded path."""
-        futures: dict = {}
+        threads).  A shard whose future fails in transport records a
+        breaker failure and is replayed through the remaining healthy
+        candidates; an overload shed replays the same way but leaves
+        the breaker untouched."""
+        deadline_at = (None if self._deadline is None
+                       else self._clock() + self._deadline)
         pairs_of = {
             shard: [(db_id, local) for _, db_id, local in entries]
             for shard, entries in by_shard.items()
         }
+        futures: dict = {}
+        taken: dict = {}  # shard -> (endpoint index, checked-out client)
         for shard, pairs in pairs_of.items():
             self._metrics.inc(names.CLUSTER_FANOUTS)
+            endpoint = self._health.candidates(shard)[0]
             try:
-                futures[shard] = self._client(shard).submit_probe_many(pairs)
+                client = self._take_client(shard, endpoint)
+                futures[shard] = client.submit_probe_many(pairs)
+                taken[shard] = (endpoint, client)
             except ProbeTransportError:
                 self._metrics.inc(names.CLUSTER_SHARD_ERRORS)
+                self._health.breaker(shard, endpoint).record_failure()
                 futures[shard] = None  # replayed blocking, below
+                taken[shard] = (endpoint, None)
         for shard, entries in by_shard.items():
             pairs, future = pairs_of[shard], futures[shard]
+            endpoint, client = taken[shard]
+            op = lambda c, p=pairs: c.probe_many(p)  # noqa: E731
             if future is None:
-                values = self._on_shard(
-                    shard, lambda c, p=pairs: c.probe_many(p)
+                values = self._failover_rest(
+                    shard, op, endpoint, deadline_at, last=None
                 )
             else:
                 try:
                     values = future.result()
-                except ProbeTransportError:
-                    self._metrics.inc(names.CLUSTER_SHARD_ERRORS)
-                    values = self._on_shard(
-                        shard, lambda c, p=pairs: c.probe_many(p)
+                except ProbeOverloadedError as exc:
+                    self._metrics.inc(names.CLUSTER_OVERLOADS)
+                    self._return_client(shard, endpoint, client)
+                    values = self._failover_rest(
+                        shard, op, endpoint, deadline_at, exc
                     )
+                except ProbeTransportError as exc:
+                    self._metrics.inc(names.CLUSTER_SHARD_ERRORS)
+                    self._health.breaker(shard, endpoint).record_failure()
+                    client.close()
+                    values = self._failover_rest(
+                        shard, op, endpoint, deadline_at, exc
+                    )
+                except ProbeError:
+                    self._health.breaker(shard, endpoint).record_success()
+                    self._return_client(shard, endpoint, client)
+                    raise
+                else:
+                    self._health.breaker(shard, endpoint).record_success()
+                    self._return_client(shard, endpoint, client)
             slots = np.fromiter(
                 (slot for slot, _, _ in entries), dtype=np.int64,
                 count=len(entries),
@@ -394,15 +675,18 @@ class ShardRouter:
     # ------------------------------------------------------------ lifecycle
 
     def close(self) -> None:
-        """Close every shard client (and the shared binary event loop);
-        safe to call repeatedly."""
-        for shard, client in enumerate(self._clients):
-            if client is not None:
+        """Close every pooled client (and the shared binary event
+        loop); safe to call repeatedly."""
+        with self._client_lock:
+            pools = [dict(pool) for pool in self._clients]
+            for pool in self._clients:
+                pool.clear()
+            loop_thread, self._loop_thread = self._loop_thread, None
+        for pool in pools:
+            for client in pool.values():
                 client.close()
-                self._clients[shard] = None
-        if self._loop_thread is not None:
-            self._loop_thread.close()
-            self._loop_thread = None
+        if loop_thread is not None:
+            loop_thread.close()
 
     def __enter__(self) -> "ShardRouter":
         return self

@@ -32,11 +32,14 @@ from .checkpoint import (
     load_array_verified,
 )
 from .faults import (
+    BlackholeInjector,
     CheckpointCorruptInjector,
     ConnectionDropInjector,
     FaultPlan,
     FaultSpec,
     FaultSpecError,
+    LatencyInjector,
+    ShardCrashInjector,
     WorkerKillInjector,
     corrupt_file,
     parse_fault,
@@ -64,6 +67,9 @@ __all__ = [
     "WorkerKillInjector",
     "ConnectionDropInjector",
     "CheckpointCorruptInjector",
+    "ShardCrashInjector",
+    "LatencyInjector",
+    "BlackholeInjector",
     "corrupt_file",
     "parse_fault",
 ]

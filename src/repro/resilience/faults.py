@@ -1,7 +1,7 @@
 """Deterministic fault injection for the chaos suite and CLI.
 
 A recovery path that is never executed is a recovery path that does not
-work.  This module turns the three failure modes the resilience layer
+work.  This module turns the failure modes the resilience layer
 defends against into *deterministic, repeatable* injectors:
 
 * ``kill-worker`` — SIGKILL the pool worker executing one chosen task
@@ -11,9 +11,17 @@ defends against into *deterministic, repeatable* injectors:
   requests.
 * ``corrupt-checkpoint`` — flip a byte in one database's checkpoint
   file after it is written, exactly once.
+* ``crash-shard`` — SIGKILL a shard server process after it has
+  answered N requests, exactly once (what exercises the supervisor's
+  auto-restart and the router's probe-back).
+* ``latency`` — sleep X milliseconds before answering every Nth
+  request (deadline and hedged-read tests).
+* ``blackhole`` — after N answered requests, keep reading requests but
+  never reply (client-timeout-path tests).
 
 Once-only semantics survive process boundaries (forked pool workers,
-killed-and-resumed pipelines) through an ``O_CREAT | O_EXCL`` flag file:
+killed-and-resumed pipelines, respawned shard servers) through an
+``O_CREAT | O_EXCL`` flag file:
 whichever process trips the fault first atomically claims the flag, and
 every later attempt — including the replay of the killed task — runs
 clean.  That is what makes "inject a fault, finish anyway, bit-identical
@@ -27,6 +35,9 @@ Specs are compact strings for the CLI (``--inject-fault``)::
     drop-conn:after=100          sever each connection after 100 requests
     drop-conn:every=7,after=100  both
     corrupt-checkpoint:db=4      corrupt database 4's checkpoint file
+    crash-shard:shard=1,after=50 SIGKILL shard 1's server after 50 requests
+    latency:ms=200,every=3       200ms delay on every 3rd request
+    blackhole:after=10           answer 10 requests, then go silent
 """
 
 from __future__ import annotations
@@ -44,6 +55,9 @@ __all__ = [
     "WorkerKillInjector",
     "ConnectionDropInjector",
     "CheckpointCorruptInjector",
+    "ShardCrashInjector",
+    "LatencyInjector",
+    "BlackholeInjector",
     "FaultPlan",
     "corrupt_file",
 ]
@@ -53,6 +67,16 @@ _KINDS = {
     "kill-worker": {"chunk", "threshold"},
     "drop-conn": {"every", "after"},
     "corrupt-checkpoint": {"db"},
+    "crash-shard": {"shard", "after"},
+    "latency": {"ms", "every"},
+    "blackhole": {"after"},
+}
+
+#: kind -> parameters that must be present in a valid spec.
+_REQUIRED = {
+    "crash-shard": {"after"},
+    "latency": {"ms"},
+    "blackhole": {"after"},
 }
 
 
@@ -94,6 +118,11 @@ def parse_fault(text: str) -> FaultSpec:
                              f"{kind}:{sorted(_KINDS[kind])[0]}=1")
     if kind == "kill-worker" and len(params) != 1:
         raise FaultSpecError("kill-worker takes exactly one of chunk=/threshold=")
+    missing = _REQUIRED.get(kind, set()) - params.keys()
+    if missing:
+        raise FaultSpecError(
+            f"{kind!r} needs {'/'.join(f'{k}=' for k in sorted(missing))}"
+        )
     return FaultSpec(kind, params)
 
 
@@ -161,6 +190,88 @@ class ConnectionDropInjector:
         return self.after
 
 
+class ShardCrashInjector:
+    """SIGKILL this process after it has answered N requests — once.
+
+    The serving loop calls :meth:`answered` after each response goes
+    out; at exactly ``after`` answers the injector claims the flag file
+    and SIGKILLs its own process.  Because the flag survives the
+    respawn (the supervisor hands the restarted server the same state
+    dir), the replacement server counts up through ``after`` and stays
+    alive — which is what lets a chaos run assert both the crash and
+    the recovery.  ``shard`` is advisory: the cluster CLI uses it to
+    target one shard's server; the server itself crashes regardless.
+    """
+
+    def __init__(self, after: int, flag_path: str, shard: int | None = None):
+        if int(after) < 1:
+            raise FaultSpecError("crash-shard needs after >= 1")
+        self.after = int(after)
+        self.shard = None if shard is None else int(shard)
+        self.flag_path = flag_path
+        self._answered = 0
+        self._lock = threading.Lock()
+
+    def answered(self) -> None:
+        """Count one answered request; SIGKILL the process at ``after``."""
+        with self._lock:
+            self._answered += 1
+            fire = self._answered == self.after
+        if fire and _claim_flag(self.flag_path):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+class LatencyInjector:
+    """Delay every Nth answer by a fixed number of milliseconds.
+
+    Deterministic by count, not by time: the Nth, 2Nth, ... request
+    each pays ``ms`` milliseconds (``every`` defaults to every
+    request).  Thread-safe; the caller owns the actual sleep so the
+    async server can ``await`` it instead of blocking the loop.
+    """
+
+    def __init__(self, ms: int, every: int | None = None):
+        if int(ms) < 0:
+            raise FaultSpecError("latency needs ms >= 0")
+        if every is not None and int(every) < 1:
+            raise FaultSpecError("latency needs every >= 1")
+        self.ms = int(ms)
+        self.every = int(every) if every else 1
+        self._seen = 0
+        self._lock = threading.Lock()
+
+    def delay_seconds(self) -> float:
+        """Delay owed by the next request (0.0 when it runs clean)."""
+        with self._lock:
+            self._seen += 1
+            fire = self._seen % self.every == 0
+        return self.ms / 1000.0 if fire else 0.0
+
+
+class BlackholeInjector:
+    """Answer the first N requests, then swallow every later one.
+
+    A swallowed request is read off the wire and never answered — the
+    connection stays open and silent, which is the failure mode only a
+    client-side timeout can escape.  Counting is process-global.
+    """
+
+    def __init__(self, after: int):
+        if int(after) < 0:
+            raise FaultSpecError("blackhole needs after >= 0")
+        self.after = int(after)
+        self._answered = 0
+        self._lock = threading.Lock()
+
+    def swallow(self) -> bool:
+        """True once the answer budget is exhausted."""
+        with self._lock:
+            if self._answered >= self.after:
+                return True
+            self._answered += 1
+            return False
+
+
 @dataclass(frozen=True)
 class CheckpointCorruptInjector:
     """Flip a byte in one database's checkpoint after it lands — once."""
@@ -204,6 +315,9 @@ class FaultPlan:
     worker_kill: WorkerKillInjector | None = None
     connection_drop: ConnectionDropInjector | None = None
     checkpoint_corrupt: CheckpointCorruptInjector | None = None
+    shard_crash: ShardCrashInjector | None = None
+    latency: LatencyInjector | None = None
+    blackhole: BlackholeInjector | None = None
     specs: list = field(default_factory=list)
 
     @classmethod
@@ -212,7 +326,8 @@ class FaultPlan:
                  for t in texts]
         plan = cls(specs=specs)
         if state_dir is None and any(
-            s.kind in ("kill-worker", "corrupt-checkpoint") for s in specs
+            s.kind in ("kill-worker", "corrupt-checkpoint", "crash-shard")
+            for s in specs
         ):
             state_dir = tempfile.mkdtemp(prefix="repro-faults-")
         if state_dir is not None:
@@ -231,6 +346,25 @@ class FaultPlan:
                 plan.connection_drop = ConnectionDropInjector(
                     every=spec.params.get("every"),
                     after=spec.params.get("after"),
+                )
+            elif spec.kind == "crash-shard":
+                shard = spec.params.get("shard")
+                plan.shard_crash = ShardCrashInjector(
+                    after=spec.params["after"],
+                    shard=shard,
+                    flag_path=os.path.join(
+                        str(state_dir),
+                        f"crash_shard_{'self' if shard is None else shard}"
+                        ".fired",
+                    ),
+                )
+            elif spec.kind == "latency":
+                plan.latency = LatencyInjector(
+                    ms=spec.params["ms"], every=spec.params.get("every"),
+                )
+            elif spec.kind == "blackhole":
+                plan.blackhole = BlackholeInjector(
+                    after=spec.params["after"]
                 )
             else:  # corrupt-checkpoint
                 db = spec.params["db"]

@@ -31,7 +31,8 @@ from ..obs import NULL_METRICS, names
 from ..resilience import ReconnectPolicy
 from .protocol import ProtocolError, recv_message, send_message
 
-__all__ = ["ProbeError", "ProbeTransportError", "ProbeClient"]
+__all__ = ["ProbeError", "ProbeTransportError", "ProbeOverloadedError",
+           "ProbeClient"]
 
 
 class ProbeError(RuntimeError):
@@ -48,6 +49,15 @@ class ProbeTransportError(ProbeError):
     :class:`~repro.cluster.router.ShardRouter` fails over to a replica
     on this type only; an ``ok: false`` answer would be identical on
     every replica and is re-raised as-is."""
+
+
+class ProbeOverloadedError(ProbeError):
+    """The server shed this request under load (``reason: overloaded``
+    / the binary OVERLOADED flag).  Deliberately *not* a
+    :class:`ProbeTransportError`: the endpoint is alive and the
+    connection survives, so the router tries the next replica
+    immediately without recording a circuit-breaker failure — shedding
+    is the server protecting itself, not the server dying."""
 
 
 class ProbeClient:
@@ -95,6 +105,17 @@ class ProbeClient:
             f"{attempts} attempts: {last}"
         ) from last
 
+    def set_timeout(self, seconds: float) -> None:
+        """Adjust the per-request timeout, live connection included —
+        the router's deadline machinery caps each failover attempt to
+        the remaining call budget through this hook."""
+        seconds = float(seconds)
+        if seconds <= 0:
+            raise ValueError("timeout must be positive")
+        self.timeout = seconds
+        if self._sock is not None:
+            self._sock.settimeout(seconds)
+
     def _drop_socket(self) -> None:
         if self._sock is not None:
             try:
@@ -141,7 +162,10 @@ class ProbeClient:
                 time.sleep(self.policy.backoff(attempt + 1))
                 continue
             if not response.get("ok"):
-                raise ProbeError(response.get("error", "unknown server error"))
+                message = response.get("error", "unknown server error")
+                if response.get("reason") == "overloaded":
+                    raise ProbeOverloadedError(message)
+                raise ProbeError(message)
             return response
         raise AssertionError("unreachable")  # pragma: no cover
 

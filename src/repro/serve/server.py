@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 
 from ..obs import NULL_METRICS
 from .ops import JsonRequestHandler
@@ -30,6 +31,20 @@ __all__ = ["ProbeServer"]
 
 #: Socket timeout used to poll the stop event in accept/recv loops.
 _POLL_SECONDS = 0.2
+
+
+def _overloaded(budget) -> dict:
+    """The well-formed load-shedding response both servers answer.
+
+    ``reason`` is machine-readable — clients surface it as
+    :class:`~repro.serve.client.ProbeOverloadedError` so routers can
+    fail over immediately without treating the endpoint as dead.
+    """
+    return {
+        "ok": False,
+        "error": f"server overloaded ({budget} requests in flight)",
+        "reason": "overloaded",
+    }
 
 
 class ProbeServer:
@@ -52,19 +67,35 @@ class ProbeServer:
     connect floods: beyond the cap, a new connection is answered with a
     well-formed ``ok: false`` capacity rejection and closed immediately
     (counted on ``connections_rejected``) instead of spawning a thread.
+
+    ``max_inflight`` bounds concurrently *executing* requests across
+    all connections: past the budget a request is answered with
+    ``ok: false, reason: "overloaded"`` (counted on ``overloads``) and
+    the connection survives — load is shed per request, never by
+    hanging or crashing.  The cluster router treats that answer as
+    "try the next replica now" without tripping its circuit breaker.
     """
 
     def __init__(self, service, host: str = "127.0.0.1", port: int = 0,
                  metrics=None, max_message_bytes: int = MAX_MESSAGE_BYTES,
-                 faults=None, max_connections: int | None = None):
+                 faults=None, max_connections: int | None = None,
+                 max_inflight: int | None = None):
         self.service = service
         self._metrics = NULL_METRICS if metrics is None else metrics
         self._handler = JsonRequestHandler(service, self._metrics)
         self._max_connections = (
             None if max_connections is None else int(max_connections)
         )
+        self._max_inflight = (
+            None if max_inflight is None else int(max_inflight)
+        )
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
         self._max_message_bytes = int(max_message_bytes)
         self._drop = getattr(faults, "connection_drop", None)
+        self._latency = getattr(faults, "latency", None)
+        self._blackhole = getattr(faults, "blackhole", None)
+        self._crash = getattr(faults, "shard_crash", None)
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         self._accept_thread: threading.Thread | None = None
@@ -181,8 +212,29 @@ class ProbeServer:
                     break
                 if request is None:
                     break
-                send_message(conn, self._handle(request))
+                if (self._blackhole is not None
+                        and self._blackhole.swallow()):
+                    # Injected fault: read the request, never answer —
+                    # the silence only a client timeout escapes.
+                    self._metrics.inc("faults.requests_blackholed")
+                    continue
+                if not self._admit():
+                    self._metrics.inc("overloads")
+                    send_message(conn, _overloaded(self._max_inflight))
+                    continue
+                try:
+                    if self._latency is not None:
+                        delay = self._latency.delay_seconds()
+                        if delay:
+                            self._metrics.inc("faults.latency_injected")
+                            time.sleep(delay)
+                    response = self._handle(request)
+                finally:
+                    self._release()
+                send_message(conn, response)
                 answered += 1
+                if self._crash is not None:
+                    self._crash.answered()
                 if sever_after is not None and answered >= sever_after:
                     # Injected fault: hang up mid-session so reconnect
                     # and replay paths get exercised.
@@ -197,6 +249,22 @@ class ProbeServer:
             conn.close()
 
     # ------------------------------------------------------------- requests
+
+    def _admit(self) -> bool:
+        """Claim one in-flight slot; False means shed this request."""
+        if self._max_inflight is None:
+            return True
+        with self._inflight_lock:
+            if self._inflight >= self._max_inflight:
+                return False
+            self._inflight += 1
+            return True
+
+    def _release(self) -> None:
+        if self._max_inflight is None:
+            return
+        with self._inflight_lock:
+            self._inflight -= 1
 
     def _handle(self, request: dict) -> dict:
         # Request semantics live in the transport-independent handler,

@@ -1,0 +1,98 @@
+"""RA006 — blocking socket calls must carry an explicit timeout.
+
+Every hang this repo's resilience layers can absorb — dead shard
+servers, blackholed requests, wedged supervisors — turns into an
+*unrecoverable* hang the moment some code path blocks on a socket with
+no timeout: the circuit breakers, deadlines and health probes all sit
+behind that syscall and never get to run.  The serving stack therefore
+bounds every blocking socket operation (clients via per-request
+timeouts the router can cap, servers via the poll-interval timeout that
+keeps shutdown responsive), and this rule keeps it that way.
+
+Flagged calls (library code under ``src/repro/`` only):
+
+* ``socket.create_connection(addr)`` with no timeout — the second
+  positional argument or a ``timeout=`` keyword must be present, and
+  must not be the literal ``None``
+* ``<sock>.settimeout(None)`` — switching a socket back to fully
+  blocking mode
+* ``socket.setdefaulttimeout(None)`` — the process-wide variant
+
+A timeout passed as a variable is trusted: the rule pins the *shape*
+(an explicit bound exists at every call site), not the value.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .framework import Checker, register
+
+
+def _is_none(node) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _timeout_argument(call: ast.Call):
+    """The timeout expression of a ``create_connection`` call: second
+    positional or ``timeout=`` keyword; ``None`` when absent."""
+    if len(call.args) >= 2:
+        return call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "timeout":
+            return kw.value
+        if kw.arg is None:
+            return kw  # **kwargs may carry one; trust it
+    return None
+
+
+@register
+class SocketTimeoutChecker(Checker):
+    """Flag unbounded blocking socket calls (see module doc)."""
+
+    rule_id = "RA006"
+    title = "blocking socket calls need an explicit timeout"
+    rationale = (
+        "socket.create_connection without a timeout and "
+        "settimeout(None) / setdefaulttimeout(None) block forever when "
+        "a peer dies silently, which defeats every failover, deadline "
+        "and health-probe layer above them; pass an explicit timeout "
+        "at each call site (see docs/CLUSTER.md, Failure model)."
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("src/repro/")
+
+    def check_file(self, ctx):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            else:
+                continue
+            if name == "create_connection":
+                timeout = _timeout_argument(node)
+                if timeout is None:
+                    yield (node.lineno, node.col_offset,
+                           "create_connection without a timeout blocks "
+                           "forever on a silent peer; pass timeout=")
+                elif _is_none(timeout):
+                    yield (node.lineno, node.col_offset,
+                           "create_connection(..., timeout=None) is an "
+                           "unbounded connect; pass a finite timeout")
+            elif name == "settimeout":
+                if len(node.args) == 1 and _is_none(node.args[0]):
+                    yield (node.lineno, node.col_offset,
+                           "settimeout(None) makes the socket fully "
+                           "blocking; every recv/send then hangs "
+                           "unboundedly on a dead peer")
+            elif name == "setdefaulttimeout":
+                if len(node.args) == 1 and _is_none(node.args[0]):
+                    yield (node.lineno, node.col_offset,
+                           "setdefaulttimeout(None) removes the "
+                           "process-wide socket bound; set a finite "
+                           "default or per-socket timeouts")

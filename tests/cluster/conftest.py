@@ -93,6 +93,23 @@ class LocalCluster:
         self.servers[shard][endpoint].shutdown()
         self.services[shard][endpoint].close()
 
+    def restart(self, shard: int, endpoint: int = 0) -> None:
+        """Bring a killed endpoint back **on its original port** — the
+        in-process equivalent of the supervisor's respawn, so breaker
+        reinstatement is testable without subprocesses."""
+        key = (shard, endpoint)
+        if key not in self._dead:
+            return
+        old = self.servers[shard][endpoint]
+        shard_file = self.manifest.shard_files[shard]
+        service = ProbeService.from_paged(
+            self.directory / shard_file, cache_bytes=SHARD_CACHE_BYTES,
+        )
+        server = type(old)(service, host=old.host, port=old.port).start()
+        self.servers[shard][endpoint] = server
+        self.services[shard][endpoint] = service
+        self._dead.discard(key)
+
     def router(self, metrics=None, policy=FAST_POLICY,
                transport: str = "json") -> ShardRouter:
         """A fresh router over this cluster's current endpoints."""

@@ -1,0 +1,344 @@
+"""Supervisor policy and the self-healing loop.
+
+The policy layer runs against a fake supervisor and an injected clock:
+backoff gating, flap giveup, and wedged-process detection are pure
+bookkeeping and must be testable without a single real process.  The
+live layer launches a real subprocess cluster, SIGKILLs a primary, and
+watches the monitor respawn it **on its original port** — plus the
+shutdown-escalation contract for a child that ignores SIGINT.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cluster.health import probe_endpoint
+from repro.cluster.launch import (
+    ClusterLaunchError,
+    ClusterSupervisor,
+    launch_cluster,
+)
+from repro.cluster.supervise import (
+    PROBE_FAILURES_TO_KILL,
+    ClusterMonitor,
+    RestartPolicy,
+)
+from repro.cluster.topology import ClusterTopology, ShardEndpoint
+from repro.obs import MetricsRegistry
+
+from tests.workloads import cluster_dir, solved_set
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class FakeProc:
+    """Just enough Popen for the monitor: poll/kill/wait."""
+
+    def __init__(self, alive: bool = True, returncode: int = 0):
+        self._alive = alive
+        self.returncode = None if alive else returncode
+
+    def poll(self):
+        return self.returncode
+
+    def kill(self):
+        self._alive = False
+        self.returncode = -9
+
+    def wait(self, timeout=None):
+        return self.returncode
+
+
+class FakeSupervisor:
+    """One endpoint per shard; ``respawn`` is scripted per test."""
+
+    def __init__(self, n_shards: int = 1, respawn_fails: bool = False,
+                 born_dead: bool = False):
+        self._processes = [[FakeProc()] for _ in range(n_shards)]
+        self.topology = ClusterTopology(
+            cluster_dir="",
+            endpoints=[
+                [ShardEndpoint(host="127.0.0.1", port=9000 + s, pid=1000 + s)]
+                for s in range(n_shards)
+            ],
+        )
+        self.respawn_fails = respawn_fails
+        self.born_dead = born_dead
+        self.respawns: list = []
+
+    def process(self, shard, endpoint=0):
+        return self._processes[shard][endpoint]
+
+    def endpoints(self):
+        for shard, group in enumerate(self._processes):
+            for endpoint in range(len(group)):
+                yield shard, endpoint
+
+    def alive(self):
+        return sum(1 for g in self._processes for p in g
+                   if p.poll() is None)
+
+    def respawn(self, shard, endpoint, **kwargs):
+        self.respawns.append((shard, endpoint))
+        if self.respawn_fails:
+            raise ClusterLaunchError("injected respawn failure")
+        proc = FakeProc(alive=not self.born_dead, returncode=1)
+        self._processes[shard][endpoint] = proc
+        address = self.topology.endpoints[shard][endpoint]
+        replacement = ShardEndpoint(
+            host=address.host, port=address.port, pid=5000 + len(self.respawns)
+        )
+        self.topology.endpoints[shard][endpoint] = replacement
+        return replacement
+
+
+def make_monitor(supervisor, clock, probe_ok=True, **kwargs):
+    """A monitor whose liveness probe is scripted, never a socket."""
+    monitor = ClusterMonitor(
+        supervisor, clock=clock, sleep=lambda t: None, **kwargs
+    )
+    monitor._probe = (
+        probe_ok if callable(probe_ok)
+        else lambda shard, endpoint, _ok=probe_ok: _ok
+    )
+    return monitor
+
+
+class TestRestartPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_restarts"):
+            RestartPolicy(max_restarts=0)
+        with pytest.raises(ValueError, match="window_seconds"):
+            RestartPolicy(window_seconds=0)
+
+    def test_backoff_curve_is_bounded(self):
+        policy = RestartPolicy(backoff_base=0.2, backoff_cap=5.0)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(2) == pytest.approx(0.4)
+        assert policy.delay(3) == pytest.approx(0.8)
+        assert policy.delay(10) == pytest.approx(5.0)  # capped
+
+
+class TestMonitorPolicy:
+    def test_dead_endpoint_respawns_after_backoff(self, tmp_path):
+        clock = FakeClock()
+        supervisor = FakeSupervisor()
+        registry = MetricsRegistry()
+        events = []
+        topology_path = tmp_path / "topology.json"
+        supervisor.topology.save(topology_path)
+        monitor = make_monitor(
+            supervisor, clock, metrics=registry,
+            policy=RestartPolicy(backoff_base=0.2),
+            topology_path=topology_path,
+            on_event=lambda *a: events.append(a),
+        )
+        supervisor.process(0).kill()
+        monitor.check_once()  # death noticed, respawn gated on backoff
+        assert supervisor.respawns == []
+        monitor.check_once()  # clock has not moved: still gated
+        assert supervisor.respawns == []
+        clock.advance(0.25)
+        monitor.check_once()
+        assert supervisor.respawns == [(0, 0)]
+        assert monitor.restarts() == 1
+        assert monitor.restarts_of(0) == 1
+        assert registry.counters["cluster.supervisor.restarts"] == 1
+        assert [e[0] for e in events] == ["restart"]
+        # The topology was re-saved with the replacement pid.
+        reloaded = ClusterTopology.load(topology_path)
+        assert reloaded.endpoints[0][0].pid == 5001
+        # Gauges refreshed every pass.
+        assert registry.gauges["cluster.supervisor.alive"] == 1
+
+    def test_flap_detector_gives_up_loudly(self):
+        clock = FakeClock()
+        supervisor = FakeSupervisor(n_shards=2, born_dead=True)
+        registry = MetricsRegistry()
+        events = []
+        monitor = make_monitor(
+            supervisor, clock, metrics=registry,
+            policy=RestartPolicy(max_restarts=2, window_seconds=60.0,
+                                 backoff_base=0.1, backoff_cap=0.1),
+            on_event=lambda *a: events.append(a),
+        )
+        supervisor.process(0).kill()
+        for _ in range(12):
+            clock.advance(0.2)
+            monitor.check_once()
+        # Two tolerated restarts, then abandonment — not a fourth try.
+        assert supervisor.respawns == [(0, 0), (0, 0)]
+        assert monitor.gave_up_on() == [(0, 0)]
+        assert registry.counters["cluster.supervisor.giveups"] == 1
+        assert [e[0] for e in events].count("giveup") == 1
+        # The healthy shard is still supervised: kill it, it restarts.
+        supervisor.born_dead = False
+        supervisor.process(1).kill()
+        for _ in range(4):
+            clock.advance(0.2)
+            monitor.check_once()
+        assert (1, 0) in supervisor.respawns
+        assert monitor.gave_up_on() == [(0, 0)]
+
+    def test_restarts_outside_the_window_are_forgiven(self):
+        clock = FakeClock()
+        supervisor = FakeSupervisor()
+        monitor = make_monitor(
+            supervisor, clock,
+            policy=RestartPolicy(max_restarts=1, window_seconds=10.0,
+                                 backoff_base=0.1, backoff_cap=0.1),
+        )
+        for round_no in range(3):
+            supervisor.process(0).kill()
+            monitor.check_once()  # death noticed, gated on backoff
+            clock.advance(0.2)
+            monitor.check_once()  # respawned
+            assert monitor.restarts() == round_no + 1
+            clock.advance(30.0)  # well past the flap window
+        assert monitor.gave_up_on() == []
+
+    def test_wedged_process_is_killed_after_consecutive_probe_failures(self):
+        clock = FakeClock()
+        supervisor = FakeSupervisor()
+        events = []
+        monitor = make_monitor(
+            supervisor, clock, probe_ok=False,
+            policy=RestartPolicy(backoff_base=0.1, backoff_cap=0.1),
+            on_event=lambda *a: events.append(a),
+        )
+        proc = supervisor.process(0)
+        for _ in range(PROBE_FAILURES_TO_KILL - 1):
+            monitor.check_once()
+            assert proc.poll() is None  # still tolerated
+        monitor.check_once()  # third strike: killed, respawn pending
+        assert proc.poll() == -9
+        assert [e[0] for e in events] == ["unresponsive"]
+        clock.advance(0.2)
+        monitor.check_once()
+        assert supervisor.respawns == [(0, 0)]
+
+    def test_one_good_pong_resets_the_strike_count(self):
+        clock = FakeClock()
+        supervisor = FakeSupervisor()
+        answers = [False, False, True] * 5
+        monitor = make_monitor(
+            supervisor, clock,
+            probe_ok=lambda s, e: answers.pop(0),
+        )
+        for _ in range(9):
+            monitor.check_once()
+        assert supervisor.process(0).poll() is None  # never killed
+
+    def test_failed_respawn_backs_off_and_retries(self):
+        clock = FakeClock()
+        supervisor = FakeSupervisor(respawn_fails=True)
+        events = []
+        monitor = make_monitor(
+            supervisor, clock,
+            policy=RestartPolicy(backoff_base=0.1, backoff_cap=10.0),
+            on_event=lambda *a: events.append(a),
+        )
+        supervisor.process(0).kill()
+        monitor.check_once()  # death noticed, gated on backoff
+        clock.advance(0.2)
+        monitor.check_once()  # respawn attempt runs — and fails
+        assert [e[0] for e in events] == ["restart-failed"]
+        assert monitor.restarts() == 0
+        # Harder backoff after the failure: the immediate next pass
+        # does not retry, a later one does.
+        monitor.check_once()
+        assert len(supervisor.respawns) == 1
+        clock.advance(1.0)
+        monitor.check_once()
+        assert len(supervisor.respawns) == 2
+
+
+class TestLiveSupervision:
+    def test_sigkilled_primary_is_respawned_on_its_port(
+            self, tmp_path_factory):
+        """The full self-healing loop on real subprocesses: SIGKILL a
+        primary, watch the monitor bring it back at the same address,
+        and see the exit status of the killed child recorded."""
+        solved_set("synthetic")
+        directory = cluster_dir("synthetic", 2, tmp_path_factory)
+        registry = MetricsRegistry()
+        supervisor = launch_cluster(directory, replicas=0, cache_kb=256)
+        monitor = ClusterMonitor(
+            supervisor,
+            policy=RestartPolicy(backoff_base=0.05, backoff_cap=0.2),
+            health_interval=0.05, probe_timeout=2.0, metrics=registry,
+        )
+        try:
+            victim = supervisor.topology.endpoints[0][0]
+            assert probe_endpoint(victim.host, victim.port, timeout=5.0)
+            monitor.start()
+            os.kill(victim.pid, signal.SIGKILL)
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if (monitor.restarts_of(0) >= 1
+                        and probe_endpoint(victim.host, victim.port,
+                                           timeout=1.0)):
+                    break
+                time.sleep(0.05)
+            else:
+                raise AssertionError(
+                    f"primary never came back: restarts="
+                    f"{monitor.restarts()} statuses="
+                    f"{supervisor.exit_statuses}"
+                )
+            replacement = supervisor.topology.endpoints[0][0]
+            assert replacement.port == victim.port
+            assert replacement.pid != victim.pid
+            # The respawn recorded how the old child died.
+            assert supervisor.exit_statuses[(0, 0)] == -signal.SIGKILL
+            assert registry.counters["cluster.supervisor.restarts"] >= 1
+            assert registry.counters["cluster.supervisor.health_probes"] >= 1
+        finally:
+            monitor.stop()
+            supervisor.shutdown(grace_seconds=10.0)
+        # Shutdown recorded a status for every endpoint.
+        assert set(supervisor.exit_statuses) == set(supervisor.endpoints())
+
+    def test_shutdown_escalates_to_sigkill_for_a_stuck_child(self, tmp_path):
+        """A child that ignores SIGINT must not stall shutdown: after
+        the grace period it is SIGKILLed and its status recorded."""
+        ready = tmp_path / "ignoring-sigint"
+        stubborn = subprocess.Popen([
+            sys.executable, "-c",
+            "import pathlib, signal, time; "
+            "signal.signal(signal.SIGINT, signal.SIG_IGN); "
+            f"pathlib.Path({str(ready)!r}).touch(); "
+            "time.sleep(600)",
+        ])
+        deadline = time.monotonic() + 30.0
+        while not ready.exists():  # handler installed before any signal
+            assert time.monotonic() < deadline, "stubborn child never ready"
+            time.sleep(0.01)
+        topology = ClusterTopology(
+            cluster_dir="",
+            endpoints=[[
+                ShardEndpoint(host="127.0.0.1", port=0, pid=stubborn.pid)
+            ]],
+        )
+        supervisor = ClusterSupervisor(topology, [[stubborn]])
+        started = time.monotonic()
+        supervisor.shutdown(grace_seconds=1.0)
+        assert time.monotonic() - started < 30.0
+        assert stubborn.poll() == -signal.SIGKILL
+        assert supervisor.exit_statuses == {(0, 0): -signal.SIGKILL}
+        # Idempotent: a second shutdown is a no-op, statuses stay.
+        supervisor.shutdown(grace_seconds=0.1)
+        assert supervisor.exit_statuses == {(0, 0): -signal.SIGKILL}

@@ -4,10 +4,12 @@ the SIGKILL paths run in tests/resilience/test_recovery.py workers)."""
 import pytest
 
 from repro.resilience.faults import (
+    BlackholeInjector,
     CheckpointCorruptInjector,
     ConnectionDropInjector,
     FaultPlan,
     FaultSpecError,
+    LatencyInjector,
     WorkerKillInjector,
     parse_fault,
 )
@@ -29,6 +31,19 @@ class TestParsing:
     def test_corrupt_checkpoint(self):
         assert parse_fault("corrupt-checkpoint:db=4").params == {"db": 4}
 
+    def test_crash_shard(self):
+        spec = parse_fault("crash-shard:shard=1,after=100")
+        assert spec.kind == "crash-shard"
+        assert spec.params == {"shard": 1, "after": 100}
+
+    def test_latency(self):
+        assert parse_fault("latency:ms=200,every=3").params == {
+            "ms": 200, "every": 3,
+        }
+
+    def test_blackhole(self):
+        assert parse_fault("blackhole:after=10").params == {"after": 10}
+
     @pytest.mark.parametrize("bad", [
         "explode:now=1",            # unknown kind
         "kill-worker",              # no params
@@ -37,6 +52,9 @@ class TestParsing:
         "kill-worker:every=1",      # wrong parameter for kind
         "kill-worker:chunk=1,threshold=2",  # exactly one scope allowed
         "drop-conn:db=1",
+        "crash-shard:shard=1",      # missing the required after=
+        "latency:every=3",          # missing the required ms=
+        "blackhole:ms=1",           # wrong parameter for kind
     ])
     def test_bad_specs_rejected(self, bad):
         with pytest.raises(FaultSpecError):
@@ -82,6 +100,25 @@ class TestCheckpointCorruptInjector:
         assert not inj.should_fire(2)
 
 
+class TestLatencyInjector:
+    def test_every_nth_request_pays_the_delay(self):
+        inj = LatencyInjector(ms=200, every=3)
+        delays = [inj.delay_seconds() for _ in range(6)]
+        assert delays == [0.0, 0.0, 0.2, 0.0, 0.0, 0.2]
+
+    def test_default_is_every_request(self):
+        inj = LatencyInjector(ms=50)
+        assert [inj.delay_seconds() for _ in range(3)] == [0.05] * 3
+
+
+class TestBlackholeInjector:
+    def test_answers_then_swallows_forever(self):
+        inj = BlackholeInjector(after=2)
+        assert [inj.swallow() for _ in range(5)] == [
+            False, False, True, True, True,
+        ]
+
+
 class TestFaultPlan:
     def test_from_specs_builds_all_injectors(self, tmp_path):
         plan = FaultPlan.from_specs(
@@ -95,6 +132,17 @@ class TestFaultPlan:
         assert plan.connection_drop.sever_after() == 10
         assert plan.checkpoint_corrupt.db == 3
         assert len(plan.specs) == 3
+
+    def test_from_specs_builds_the_serving_injectors(self, tmp_path):
+        plan = FaultPlan.from_specs(
+            ["crash-shard:shard=0,after=5", "latency:ms=100",
+             "blackhole:after=20"],
+            state_dir=str(tmp_path),
+        )
+        assert plan.shard_crash.after == 5
+        assert plan.shard_crash.shard == 0
+        assert plan.latency.ms == 100
+        assert plan.blackhole.after == 20
 
     def test_state_dir_is_shared_across_plans(self, tmp_path):
         """Two plans over one state dir see each other's fired flags —

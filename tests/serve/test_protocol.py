@@ -14,12 +14,14 @@ import struct
 import threading
 import time
 
+import numpy as np
 import pytest
 
 from repro.aserve import frames
 from repro.aserve.client import BinaryProbeClient
 from repro.aserve.server import AsyncProbeServer
 from repro.obs import MetricsRegistry
+from repro.resilience import FaultPlan, ReconnectPolicy
 from repro.serve.client import ProbeClient, ProbeError
 from repro.serve.protocol import recv_message, send_message
 from repro.serve.server import ProbeServer
@@ -448,3 +450,82 @@ class TestBinaryFuzz:
         finally:
             server.shutdown()
             service.close()
+
+
+class TestDropUnderPipelining:
+    """Injected connection drops against the asyncio server while a
+    pipelined client keeps a window of requests in flight.  Every sever
+    kills the in-flight tail of the pipeline at once; the client's
+    reconnect-and-replay must still deliver bit-correct answers for
+    every batch, and both sides must count what happened."""
+
+    FUZZ_POLICY = ReconnectPolicy(
+        connect_attempts=4,
+        request_replays=3,
+        backoff_seconds=0.01,
+        backoff_max_seconds=0.02,
+    )
+
+    def _faulted_server(self, dbs, registry, spec):
+        service = ProbeService.from_database_set(dbs)
+        server = AsyncProbeServer(
+            service, metrics=registry.scoped("aserve.server"),
+            faults=FaultPlan.from_specs([spec]),
+        ).start()
+        return service, server
+
+    def test_severed_mid_pipeline_replays_to_correct_answers(
+            self, awari_solved):
+        """``drop-conn:after=5``: each connection is severed after five
+        answers, so a run of three-batch pipelines keeps getting cut
+        mid-flight.  Every returned value must still match the oracle."""
+        game, dbs = awari_solved
+        registry = MetricsRegistry()
+        service, server = self._faulted_server(
+            dbs, registry, "drop-conn:after=5"
+        )
+        rng = np.random.default_rng(1234)
+        ids = sorted(dbs.ids())
+        try:
+            with BinaryProbeClient(
+                server.host, server.port, timeout=ATTACK_TIMEOUT,
+                policy=self.FUZZ_POLICY,
+            ) as client:
+                for _ in range(8):
+                    batches = [
+                        [
+                            (db_id, int(rng.integers(len(dbs[db_id]))))
+                            for db_id in rng.choice(ids, size=3)
+                        ]
+                        for _ in range(3)
+                    ]
+                    results = client.pipeline(batches)
+                    for batch, values in zip(batches, results):
+                        for (db_id, index), value in zip(batch, values):
+                            assert value == int(dbs[db_id][index])
+                assert client.reconnects >= 1
+        finally:
+            server.shutdown()
+            service.close()
+        assert registry.counters["aserve.server.faults.connections_severed"] >= 1
+
+    def test_dropped_accept_is_absorbed_by_replay(self, awari_solved):
+        """``drop-conn:every=2``: every second accepted connection is
+        closed before serving a byte.  The client only notices on its
+        first request and must reconnect-and-replay transparently."""
+        game, dbs = awari_solved
+        registry = MetricsRegistry()
+        service, server = self._faulted_server(
+            dbs, registry, "drop-conn:every=2"
+        )
+        try:
+            for _ in range(4):  # hit both dropped and surviving accepts
+                with BinaryProbeClient(
+                    server.host, server.port, timeout=ATTACK_TIMEOUT,
+                    policy=self.FUZZ_POLICY,
+                ) as client:
+                    assert client.probe(5, 0) == int(dbs[5][0])
+        finally:
+            server.shutdown()
+            service.close()
+        assert registry.counters["aserve.server.faults.connections_dropped"] >= 1

@@ -1,0 +1,41 @@
+"""Deliberate RA006 violations — fixture for the socket-timeout rule.
+
+Checked as if it lived at ``src/repro/fixture.py``; never imported.
+"""
+
+import socket
+
+
+def unbounded_connect(host, port):
+    return socket.create_connection((host, port))  # RA006
+
+
+def none_timeout_connect(host, port):
+    return socket.create_connection((host, port), timeout=None)  # RA006
+
+
+def none_timeout_positional(host, port):
+    return socket.create_connection((host, port), None)  # RA006
+
+
+def fully_blocking(sock):
+    sock.settimeout(None)  # RA006
+
+
+def process_wide(sock):
+    socket.setdefaulttimeout(None)  # RA006
+
+
+def bounded_connect(host, port, timeout):
+    # Fine: explicit bound, even as a variable.
+    return socket.create_connection((host, port), timeout=timeout)
+
+
+def bounded_positional(host, port):
+    # Fine: positional timeout.
+    return socket.create_connection((host, port), 5.0)
+
+
+def bounded_settimeout(sock):
+    # Fine: finite per-socket timeout.
+    sock.settimeout(0.2)

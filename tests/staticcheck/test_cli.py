@@ -52,7 +52,7 @@ class TestStaticcheckCli:
     def test_list_rules_names_every_rule(self, capsys):
         assert staticcheck_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule in ("RA001", "RA002", "RA003", "RA004", "RA005"):
+        for rule in ("RA001", "RA002", "RA003", "RA004", "RA005", "RA006"):
             assert rule in out
 
     def test_unknown_rule_selection_exits_2(self, capsys):

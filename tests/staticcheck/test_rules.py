@@ -20,6 +20,7 @@ SEEDED = (
     "ra003_metrics.py",
     "ra004_excepts.py",
     "ra005_cli.py",
+    "ra006_sockets.py",
 )
 
 
@@ -65,9 +66,18 @@ class TestSeededViolations:
             ("RA005", 7),  # the undocumented flag; positional skipped
         ]
 
-    def test_all_five_rules_fire_with_correct_locations(self):
+    def test_ra006_unbounded_socket_calls(self):
+        assert _findings("ra006_sockets.py", ["RA006"]) == [
+            ("RA006", 10),  # create_connection with no timeout at all
+            ("RA006", 14),  # timeout=None keyword
+            ("RA006", 18),  # None as the positional timeout
+            ("RA006", 22),  # settimeout(None)
+            ("RA006", 26),  # setdefaulttimeout(None)
+        ]
+
+    def test_all_rules_fire_with_correct_locations(self):
         """The acceptance gate: one run over every seeded fixture
-        reports all five rule ids at exactly the seeded file:line."""
+        reports every rule id at exactly the seeded file:line."""
         report = run_paths([str(FIXTURES / name) for name in SEEDED],
                            root=ROOT, enforce_scope=False)
         found = {(f.rule, Path(f.path).name, f.line)
@@ -88,6 +98,11 @@ class TestSeededViolations:
             ("RA004", "ra004_excepts.py", 7),
             ("RA004", "ra004_excepts.py", 14),
             ("RA005", "ra005_cli.py", 7),
+            ("RA006", "ra006_sockets.py", 10),
+            ("RA006", "ra006_sockets.py", 14),
+            ("RA006", "ra006_sockets.py", 18),
+            ("RA006", "ra006_sockets.py", 22),
+            ("RA006", "ra006_sockets.py", 26),
         }
 
 
