@@ -152,7 +152,7 @@ def test_serve_throughput(bench, results_dir, tmp_path, benchmark):
     table = Table(
         f"serving throughput — {SWEEP_STONES}-stone awari set "
         f"({summary['positions']:,} positions, "
-        f"{format_bytes(summary['data_bytes'])} paged, "
+        f"{format_bytes(summary['stored_bytes'])} paged, "
         f"{format_bytes(block_bytes)} blocks)",
         ["budget", "hit%", "evictions", "probes/s", "peak-resident"],
     )

@@ -43,8 +43,8 @@ def main() -> None:
         summary = write_paged(dbs, path)
         print(
             f"paged {summary['positions']:,} positions "
-            f"({summary['raw_bytes'] / 1024:.0f} KiB raw -> "
-            f"{summary['data_bytes'] / 1024:.0f} KiB on disk)"
+            f"({summary['value_bytes'] / 1024:.0f} KiB int16 -> "
+            f"{summary['stored_bytes'] / 1024:.0f} KiB on disk)"
         )
         service = ProbeService.from_paged(path, cache_bytes=CACHE_BYTES)
         with ProbeServer(service) as server:

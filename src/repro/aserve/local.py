@@ -9,9 +9,16 @@ with ``mmap`` and answers probes directly from the mapping:
   ``np.frombuffer`` view straight into the mapping (blocks are written
   contiguously), so a gather is a single fancy-index over pages the OS
   cache shares with every other process mapping the same file;
-* ``codec="zlib"`` stores decompress per block through a
+* ``codec="packed"`` stores are **bulk-unpacked once** at startup: each
+  database's bit-packed blocks decode to one resident int16 array (the
+  ``unpacked_bytes`` gauge), after which gathers are the same single
+  fancy-index as raw — the mapping itself stays 4-8x smaller;
+* ``codec="zlib"`` / ``codec="packed+zlib"`` stores cannot be served
+  from the mapping (zlib streams have no random access): the client
+  falls back to per-block decompression through a
   :class:`~repro.serve.cache.BlockCache`, same policy as the server's
-  paged backend.
+  paged backend, and counts the fallback (``mmap_fallbacks``) with the
+  codec recorded as the reason in :meth:`LocalProbeClient.stats`.
 
 The client satisfies the duck-typed probe protocol of
 :class:`~repro.serve.client.ProbeClient` (``probe`` / ``probe_many`` /
@@ -55,12 +62,36 @@ class LocalProbeClient:
         self._lock = threading.Lock()
         self._game = None
         self._closed = False
-        if self._store.codec == "raw":
+        codec = self._store.codec
+        if codec == "raw":
+            # Zero-copy: views straight into the mapping.
+            self.mode = "zero-copy"
+            self.fallback_reason = None
             self._cache = None
             self._arrays = {
                 db_id: self._raw_view(db_id) for db_id in self._store.ids()
             }
+        elif codec == "packed":
+            # Bulk-unpack every database once; gathers then match the
+            # raw fast lane while the file stays bit-packed.
+            self.mode = "unpacked"
+            self.fallback_reason = None
+            self._cache = None
+            self._arrays = {
+                db_id: self._unpacked_array(db_id)
+                for db_id in self._store.ids()
+            }
+            self._metrics.set_gauge(
+                "unpacked_bytes",
+                sum(a.nbytes for a in self._arrays.values()),
+            )
         else:
+            # zlib-family codecs have no random access inside a block
+            # stream: fall back to the cached per-block decode path and
+            # say why.
+            self.mode = "block-cache"
+            self.fallback_reason = f"codec {codec!r} is not mmap-decodable"
+            self._metrics.inc("mmap_fallbacks")
             self._cache = BlockCache(cache_bytes)
             self._arrays = None
 
@@ -85,6 +116,22 @@ class LocalProbeClient:
             self._mm, dtype=store.dtype, count=positions,
             offset=store.data_start + first_offset,
         )
+
+    def _unpacked_array(self, db_id) -> np.ndarray:
+        """One database bulk-unpacked from its bit-packed blocks: each
+        block's payload is sliced out of the mapping and decoded with
+        the header's pack parameters (no file reads, no cache)."""
+        store = self._store
+        n_blocks = store.n_blocks(db_id)
+        if n_blocks == 0 or store.positions(db_id) == 0:
+            return np.zeros(0, dtype=store.dtype)
+        parts = []
+        for block_no in range(n_blocks):
+            offset, clen, count = store.block_span(db_id, block_no)
+            start = store.data_start + offset
+            payload = self._mm[start : start + clen]
+            parts.append(store.decode_block(payload, count))
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
 
     # ------------------------------------------------------------- metadata
 
@@ -128,8 +175,15 @@ class LocalProbeClient:
         stats = {
             "backend": "mmap",
             "codec": self._store.codec,
+            "mode": self.mode,
             "mmap_bytes": len(self._mm),
         }
+        if self.fallback_reason is not None:
+            stats["fallback_reason"] = self.fallback_reason
+        if self.mode == "unpacked":
+            stats["unpacked_bytes"] = sum(
+                a.nbytes for a in self._arrays.values()
+            )
         if self._cache is not None:
             stats.update(self._cache.stats())
         return stats
@@ -158,6 +212,9 @@ class LocalProbeClient:
                 values = self._cache.get(
                     (db_id, int(block_no)),
                     lambda b=int(block_no): store.read_block(db_id, b),
+                    stored_bytes=store.stored_block_bytes(
+                        db_id, int(block_no)
+                    ),
                 )
                 out[mask] = values[indices[mask] - base[mask]]
         return out

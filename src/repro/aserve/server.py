@@ -403,7 +403,7 @@ class AsyncProbeServer:
             value, moves = service.best_moves(request.board)
             return frames.encode_best_move_result(seq, value, moves)
         if op == frames.OP_INFO:
-            return frames.encode_json_body(seq, op, {
+            info = {
                 "game": service.game_name,
                 "rules": service.rules,
                 "backend": service.backend_kind,
@@ -411,5 +411,9 @@ class AsyncProbeServer:
                 "positions": {
                     str(i): service.positions(i) for i in service.ids()
                 },
-            })
+            }
+            store = getattr(service.backend, "store", None)
+            if store is not None:
+                info["codec"] = store.codec
+            return frames.encode_json_body(seq, op, info)
         return frames.encode_json_body(seq, frames.OP_STATS, service.stats())

@@ -145,9 +145,12 @@ def _build_parser() -> argparse.ArgumentParser:
     page.add_argument("--level", type=int, default=6,
                       help="zlib compression level (1-9)")
     page.add_argument(
-        "--codec", choices=("zlib", "raw"), default="zlib",
+        "--codec", choices=("zlib", "raw", "packed", "packed+zlib"),
+        default="zlib",
         help="per-block encoding: zlib compresses, raw stores bare "
-             "int16 for zero-copy mmap readers (docs/SERVING.md)",
+             "int16 for zero-copy mmap readers, packed bit-packs values "
+             "at the bound-derived width (packed+zlib compresses the "
+             "packed blocks on top); see docs/SERVING.md",
     )
 
     serve = sub.add_parser(
@@ -580,10 +583,10 @@ def _cmd_page(args) -> int:
         f"to {args.out}"
     )
     print(
-        f"  {format_bytes(summary['raw_bytes'])} raw -> "
-        f"{format_bytes(summary['data_bytes'])} in "
+        f"  {format_bytes(summary['value_bytes'])} int16 values -> "
+        f"{format_bytes(summary['stored_bytes'])} stored in "
         f"{block_positions}-position blocks "
-        f"(ratio {summary['ratio']:.1f}x, file "
+        f"(stored ratio {summary['stored_ratio']:.1f}x, file "
         f"{format_bytes(summary['file_bytes'])})"
     )
     return 0

@@ -41,6 +41,10 @@ def add_arguments(parser) -> None:
                        help="positions per compressed block (default 4096)")
     split.add_argument("--level", type=int, default=6,
                        help="zlib compression level (1-9)")
+    split.add_argument("--codec", default="zlib",
+                       choices=["zlib", "raw", "packed", "packed+zlib"],
+                       help="per-block encoding for every shard file "
+                            "(propagated to the manifest)")
 
     up = sub.add_parser(
         "up", help="launch shard servers and write the topology file"
@@ -139,6 +143,7 @@ def _cmd_split(args) -> int:
             partition=args.partition,
             block_positions=args.block_positions or DEFAULT_BLOCK_POSITIONS,
             level=args.level,
+            codec=args.codec,
         )
     except (OSError, KeyError, ValueError) as exc:
         print(f"cannot split {args.store}: {exc}", file=sys.stderr)
@@ -146,7 +151,8 @@ def _cmd_split(args) -> int:
     print(
         f"split {summary['databases']} databases "
         f"({summary['positions']:,} positions) into {summary['shards']} "
-        f"{summary['partition']}-partitioned shards"
+        f"{summary['partition']}-partitioned shards "
+        f"(codec {summary['codec']})"
     )
     for name, nbytes in zip(summary["shard_files"], summary["shard_bytes"]):
         print(f"  {name}: {format_bytes(nbytes)}")

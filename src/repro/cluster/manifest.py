@@ -59,6 +59,9 @@ class ShardManifest:
     block_positions: int
     databases: dict
     shard_files: list
+    #: Per-block codec of every shard file (manifests written before the
+    #: field existed are zlib by construction).
+    codec: str = "zlib"
     _partitions: dict = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------- routing
@@ -108,6 +111,7 @@ class ShardManifest:
                 "partition": self.partition,
                 "n_shards": self.n_shards,
                 "block_positions": self.block_positions,
+                "codec": self.codec,
                 "databases": {
                     str(db_id): spec for db_id, spec in self.databases.items()
                 },
@@ -159,6 +163,7 @@ class ShardManifest:
             block_positions=int(raw["block_positions"]),
             databases=databases,
             shard_files=shard_files,
+            codec=raw.get("codec", "zlib"),
         )
 
 
@@ -184,6 +189,7 @@ def split_store(
     partition: str = "cyclic",
     block_positions: int = DEFAULT_BLOCK_POSITIONS,
     level: int = 6,
+    codec: str = "zlib",
 ) -> dict:
     """Split a store into ``n_shards`` per-shard paged files + manifest.
 
@@ -226,6 +232,7 @@ def split_store(
             out_dir / name,
             block_positions=block_positions,
             level=level,
+            codec=codec,
         )
         shard_bytes.append(int(summary["file_bytes"]))
     manifest = ShardManifest(
@@ -236,6 +243,7 @@ def split_store(
         block_positions=block_positions,
         databases=specs,
         shard_files=shard_files,
+        codec=codec,
     )
     manifest.save(out_dir)
     return {
@@ -243,6 +251,7 @@ def split_store(
         "databases": len(specs),
         "positions": dbs.total_positions,
         "partition": partition,
+        "codec": codec,
         "shard_files": shard_files,
         "shard_bytes": shard_bytes,
         "manifest": str(out_dir / MANIFEST_NAME),

@@ -1,14 +1,22 @@
-"""1995-style packed database encodings.
+"""Packed database encodings: 1995-style codecs plus a general bit codec.
 
 600 MB was a wall in 1995; the original databases were stored packed.
-Two codecs, chosen per database by :func:`pack_values`:
+Two fixed codecs, chosen per database by :func:`pack_values`:
 
 * ``int8`` — one byte per value, for bounds up to 127;
 * ``nibble`` — two values per byte for bounds up to 7 (values in
   [-7, 7] are biased by +7 into 4 bits), halving the archive again.
 
-Round-trips are exact; :meth:`PackedDatabase.ratio` reports the
-compression against the in-memory int16 arrays.
+On top of those sits the *general* arbitrary-bit-width codec —
+:func:`bit_width`, :func:`pack_bits`, :func:`unpack_bits` — which packs
+N values of width ``k`` bits into ``ceil(N * k / 8)`` bytes with bulk
+numpy shift/or operations (no per-value Python).  WDL needs 2 bits,
+awari scores a handful; spending 16 per value is the per-shard memory
+wall the serving stack's ``packed`` paged-store codec removes (see
+``repro.serve.pagedstore``).
+
+Round-trips are exact for every codec; :meth:`PackedDatabase.ratio`
+reports the compression against the in-memory int16 arrays.
 """
 
 from __future__ import annotations
@@ -17,9 +25,110 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["PackedDatabase", "pack_values", "unpack_values"]
+__all__ = [
+    "PackedDatabase",
+    "pack_values",
+    "unpack_values",
+    "bit_width",
+    "packed_nbytes",
+    "pack_bits",
+    "unpack_bits",
+]
 
 _NIBBLE_BIAS = 7
+
+#: Widest value the general codec packs (values are int16 on disk).
+MAX_BITS = 16
+
+
+# --------------------------------------------------------- general codec
+
+
+def bit_width(lo: int, hi: int) -> int:
+    """Minimal bits per value for the closed range ``[lo, hi]``.
+
+    The codec stores ``value - lo`` unsigned, so the width is that of
+    ``hi - lo``; a degenerate range (``lo == hi``) still spends one bit
+    so counts and payload sizes stay well-defined.
+    """
+    lo, hi = int(lo), int(hi)
+    if hi < lo:
+        raise ValueError(f"empty value range [{lo}, {hi}]")
+    span = hi - lo
+    bits = max(int(span).bit_length(), 1)
+    if bits > MAX_BITS:
+        raise ValueError(
+            f"range [{lo}, {hi}] needs {bits} bits; the codec packs at "
+            f"most {MAX_BITS}"
+        )
+    return bits
+
+
+def packed_nbytes(count: int, bits: int) -> int:
+    """Bytes the general codec spends on ``count`` values of ``bits``."""
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if not (1 <= bits <= MAX_BITS):
+        raise ValueError(f"bits must be in [1, {MAX_BITS}], got {bits}")
+    return (count * bits + 7) // 8
+
+
+def pack_bits(values: np.ndarray, bits: int, offset: int = 0) -> np.ndarray:
+    """Pack ``values`` into a ``ceil(N * bits / 8)``-byte uint8 stream.
+
+    Each value is biased by ``-offset`` into an unsigned ``bits``-wide
+    field and the fields are concatenated MSB-first — all with bulk
+    numpy shifts, one bit-matrix, and one ``packbits``.  Exact inverse:
+    :func:`unpack_bits`.
+    """
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise ValueError("values must be one-dimensional")
+    if not (1 <= bits <= MAX_BITS):
+        raise ValueError(f"bits must be in [1, {MAX_BITS}], got {bits}")
+    if values.size == 0:
+        return np.zeros(0, dtype=np.uint8)
+    biased = values.astype(np.int64) - int(offset)
+    if int(biased.min()) < 0 or int(biased.max()) >> bits:
+        raise ValueError(
+            f"values exceed the {bits}-bit field at offset {offset} "
+            f"(range [{int(values.min())}, {int(values.max())}])"
+        )
+    shifts = np.arange(bits - 1, -1, -1, dtype=np.uint64)
+    # (N, bits) bit matrix, MSB first, then one packbits over the ravel.
+    bit_matrix = ((biased[:, None].astype(np.uint64) >> shifts) & 1).astype(
+        np.uint8
+    )
+    return np.packbits(bit_matrix.ravel())
+
+
+def unpack_bits(
+    payload: np.ndarray, count: int, bits: int, offset: int = 0
+) -> np.ndarray:
+    """Exact inverse of :func:`pack_bits` (returns int16).
+
+    ``count`` is validated against the payload length: a count the
+    payload cannot hold (or one that leaves whole spare bytes) raises
+    instead of silently mis-slicing.
+    """
+    payload = np.ascontiguousarray(payload, dtype=np.uint8)
+    expected = packed_nbytes(count, bits)
+    if payload.nbytes != expected:
+        raise ValueError(
+            f"payload holds {payload.nbytes} bytes but {count} values of "
+            f"{bits} bits need exactly {expected}"
+        )
+    if count == 0:
+        return np.zeros(0, dtype=np.int16)
+    stream = np.unpackbits(payload, count=count * bits)
+    weights = (
+        np.left_shift(np.uint32(1), np.arange(bits - 1, -1, -1))
+    ).astype(np.uint32)
+    fields = stream.reshape(count, bits).astype(np.uint32) @ weights
+    return (fields.astype(np.int64) + int(offset)).astype(np.int16)
+
+
+# ----------------------------------------------------- 1995-style codecs
 
 
 @dataclass(frozen=True)
@@ -30,13 +139,39 @@ class PackedDatabase:
     count: int
     payload: np.ndarray  # uint8 buffer
 
+    def __post_init__(self):
+        if self.count < 0:
+            raise ValueError(f"count must be >= 0, got {self.count}")
+        expected = self._expected_nbytes()
+        if expected is not None and int(self.payload.nbytes) != expected:
+            raise ValueError(
+                f"codec {self.codec!r} with count {self.count} needs a "
+                f"{expected}-byte payload, got {int(self.payload.nbytes)}"
+            )
+
+    def _expected_nbytes(self):
+        """Exact payload size for the codec, ``None`` if codec-unknown
+        (the unknown codec is reported at unpack time, not here)."""
+        if self.codec == "nibble":
+            return (self.count + 1) // 2
+        if self.codec == "int8":
+            return self.count
+        return None
+
     @property
     def nbytes(self) -> int:
         return int(self.payload.nbytes)
 
     def ratio(self) -> float:
-        """Compression vs the int16 working representation."""
-        return (2.0 * self.count) / self.nbytes if self.nbytes else 0.0
+        """Compression vs the int16 working representation.
+
+        An empty database compresses nothing: the ratio is defined as
+        1.0 (parity), never 0.0 ("infinitely bad") — empty stores must
+        not sink aggregate summaries.
+        """
+        if self.count == 0 or self.nbytes == 0:
+            return 1.0
+        return (2.0 * self.count) / self.nbytes
 
 
 def pack_values(values: np.ndarray, bound: int | None = None) -> PackedDatabase:
@@ -66,10 +201,27 @@ def pack_values(values: np.ndarray, bound: int | None = None) -> PackedDatabase:
 
 
 def unpack_values(packed: PackedDatabase) -> np.ndarray:
-    """Exact inverse of :func:`pack_values` (returns int16)."""
+    """Exact inverse of :func:`pack_values` (returns int16).
+
+    The count is re-validated against the payload here as well as in
+    the constructor, so a ``PackedDatabase`` deserialized or mutated
+    around the constructor still cannot silently mis-slice (an
+    odd-length nibble padding used to decode a phantom −7).
+    """
     if packed.codec == "int8":
+        if packed.payload.nbytes != packed.count:
+            raise ValueError(
+                f"int8 payload holds {packed.payload.nbytes} values, "
+                f"count says {packed.count}"
+            )
         return packed.payload.view(np.int8).astype(np.int16)
     if packed.codec == "nibble":
+        if packed.payload.nbytes != (packed.count + 1) // 2:
+            raise ValueError(
+                f"nibble payload holds {packed.payload.nbytes} bytes "
+                f"({2 * packed.payload.nbytes} nibbles), count says "
+                f"{packed.count}"
+            )
         high = (packed.payload >> np.uint8(4)).astype(np.int16)
         low = (packed.payload & np.uint8(0x0F)).astype(np.int16)
         out = np.empty(packed.payload.shape[0] * 2, dtype=np.int16)

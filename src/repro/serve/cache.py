@@ -7,6 +7,16 @@ that resident bytes never exceed *budget plus one block* — a miss must
 materialize its block before anything can be evicted, and the block just
 loaded is never evicted to make room for itself.
 
+Byte accounting under compressed codecs: the budget counts
+**decompressed working bytes** (``block.nbytes`` of the arrays probes
+actually touch), because that is the RAM the cache really holds — a
+bit-packed store decodes to the same int16 blocks as a raw one.  The
+*stored* (encoded) size of each resident block is tracked alongside and
+surfaced as the ``packed_resident_bytes`` gauge, so operators can see
+what the same working set costs in its on-disk form (equal to
+``resident_bytes`` for ``codec="raw"``, 4-8x smaller for packed
+nibble-width games).
+
 Hits, misses, evictions and resident bytes are first-class
 ``repro.obs`` metric families (pass ``registry.scoped("serve.cache")``);
 the same totals are kept as plain attributes so correctness tests and
@@ -35,35 +45,59 @@ class BlockCache:
             raise ValueError("budget_bytes must be >= 0")
         self.budget_bytes = int(budget_bytes)
         self._metrics = NULL_METRICS if metrics is None else metrics
+        # key -> (block, stored_bytes); stored_bytes is the encoded
+        # size the block occupies on disk (== block.nbytes when the
+        # store's codec is raw, or when the caller did not say).
         self._blocks: OrderedDict = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.resident_bytes = 0
+        self.packed_resident_bytes = 0
         self.peak_resident_bytes = 0
         self._metrics.set_gauge("budget_bytes", self.budget_bytes)
         self._publish()
 
     # ----------------------------------------------------------------- api
 
-    def get(self, key, loader):
-        """The cached block for ``key``, calling ``loader()`` on a miss."""
-        block = self._blocks.get(key)
-        if block is not None:
+    def get(self, key, loader, stored_bytes=None):
+        """The cached block for ``key``, calling ``loader()`` on a miss.
+
+        ``stored_bytes`` is the block's encoded size for the
+        ``packed_resident_bytes`` gauge; it only matters on a miss.
+        """
+        entry = self._blocks.get(key)
+        if entry is not None:
             self._blocks.move_to_end(key)
             self.hits += 1
             self._metrics.inc("hits")
-            return block
+            return entry[0]
         self.misses += 1
         self._metrics.inc("misses")
         block = loader()
-        self._blocks[key] = block
+        self.put(key, block, stored_bytes)
+        return block
+
+    def put(self, key, block, stored_bytes=None) -> None:
+        """Insert (or replace) ``key``'s block and re-run eviction.
+
+        Re-inserting an existing key **replaces** the entry: the old
+        sizes are subtracted before the new ones are added, so repeated
+        puts of one key never inflate ``resident_bytes`` (the
+        double-counting regression the cache tests pin).
+        """
+        stored = int(block.nbytes) if stored_bytes is None else int(stored_bytes)
+        old = self._blocks.pop(key, None)
+        if old is not None:
+            self.resident_bytes -= int(old[0].nbytes)
+            self.packed_resident_bytes -= old[1]
+        self._blocks[key] = (block, stored)
         self.resident_bytes += int(block.nbytes)
+        self.packed_resident_bytes += stored
         if self.resident_bytes > self.peak_resident_bytes:
             self.peak_resident_bytes = self.resident_bytes
         self._evict()
         self._publish()
-        return block
 
     def __contains__(self, key) -> bool:
         return key in self._blocks
@@ -78,6 +112,7 @@ class BlockCache:
     def clear(self) -> None:
         self._blocks.clear()
         self.resident_bytes = 0
+        self.packed_resident_bytes = 0
         self._publish()
 
     @property
@@ -94,6 +129,7 @@ class BlockCache:
             "hit_rate": self.hit_rate,
             "resident_bytes": self.resident_bytes,
             "resident_blocks": len(self._blocks),
+            "packed_resident_bytes": self.packed_resident_bytes,
             "peak_resident_bytes": self.peak_resident_bytes,
             "budget_bytes": self.budget_bytes,
         }
@@ -105,12 +141,16 @@ class BlockCache:
         # still has to hold the block being probed (the "+ one block"
         # slack in the resident-bytes guarantee).
         while self.resident_bytes > self.budget_bytes and len(self._blocks) > 1:
-            _, victim = self._blocks.popitem(last=False)
+            _, (victim, stored) = self._blocks.popitem(last=False)
             self.resident_bytes -= int(victim.nbytes)
+            self.packed_resident_bytes -= stored
             self.evictions += 1
             self._metrics.inc("evictions")
 
     def _publish(self) -> None:
         self._metrics.set_gauge("resident_bytes", self.resident_bytes)
         self._metrics.set_gauge("resident_blocks", len(self._blocks))
+        self._metrics.set_gauge(
+            "packed_resident_bytes", self.packed_resident_bytes
+        )
         self._metrics.set_gauge("peak_resident_bytes", self.peak_resident_bytes)

@@ -49,7 +49,7 @@ class JsonRequestHandler:
 
     def _op_info(self, request: dict) -> dict:
         service = self.service
-        return {
+        response = {
             "ok": True,
             "game": service.game_name,
             "rules": service.rules,
@@ -57,6 +57,10 @@ class JsonRequestHandler:
             "ids": service.ids(),
             "positions": {str(i): service.positions(i) for i in service.ids()},
         }
+        store = getattr(service.backend, "store", None)
+        if store is not None:
+            response["codec"] = store.codec
+        return response
 
     def _op_probe(self, request: dict) -> dict:
         value = self.service.probe(request["db"], int(request["index"]))

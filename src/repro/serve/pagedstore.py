@@ -3,11 +3,11 @@
 The ``.npz`` archives load *whole databases* into RAM — exactly the
 uniprocessor memory wall the paper measures (>600 MB for the database it
 could not build).  The paged format stores each database as fixed-size
-runs of positions ("blocks"), each zlib-compressed independently, behind
-a JSON header that records every block's file offset.  Probing one
-position costs one seek plus one block decompression, never a full-file
-decompression, so a server can answer queries from databases far larger
-than its memory budget (the cache layer on top is
+runs of positions ("blocks"), each encoded independently, behind a JSON
+header that records every block's file offset.  Probing one position
+costs one seek plus one block decode, never a full-file decode, so a
+server can answer queries from databases far larger than its memory
+budget (the cache layer on top is
 :class:`~repro.serve.cache.BlockCache`).
 
 File layout::
@@ -15,13 +15,26 @@ File layout::
     8 bytes   magic  b"REPROPGD"
     8 bytes   header length (little-endian uint64)
     N bytes   JSON header (utf-8)
-    ...       concatenated zlib-compressed blocks
+    ...       concatenated encoded blocks
 
 Header schema ``repro/paged-store/v1``: game name, rule string, block
-size in positions, value dtype, and per-database block tables
-(``offset`` relative to the end of the header, compressed length,
-position count).  Database ids are encoded as strings and parsed back
-with the same rule as :class:`~repro.db.store.DatabaseSet`.
+size in positions, value dtype, codec (plus the bit-pack parameters for
+the packed codecs), and per-database block tables (``offset`` relative
+to the end of the header, stored length, position count).  Database ids
+are encoded as strings and parsed back with the same rule as
+:class:`~repro.db.store.DatabaseSet`.
+
+Per-block codecs (``CODECS``):
+
+* ``zlib`` — each block zlib-compressed (the default);
+* ``raw`` — bare little-endian int16 bytes, mmap-able zero-copy;
+* ``packed`` — the arbitrary-bit-width codec of
+  :mod:`repro.db.packing`: values biased and packed ``bits`` per value
+  (bound-derived, recorded in the header), ``ceil(n*bits/8)`` bytes per
+  block — 4-8x smaller than raw for nibble-width games, decode is a
+  bulk numpy unpack;
+* ``packed+zlib`` — bit-packed blocks zlib-compressed on top (the
+  smallest; decode pays both stages).
 """
 
 from __future__ import annotations
@@ -33,17 +46,43 @@ from pathlib import Path
 
 import numpy as np
 
+from ..db.packing import bit_width, pack_bits, unpack_bits
 from ..db.store import DatabaseSet
 
-__all__ = ["PagedStore", "write_paged", "SCHEMA", "DEFAULT_BLOCK_POSITIONS"]
+__all__ = [
+    "PagedStore",
+    "write_paged",
+    "SCHEMA",
+    "CODECS",
+    "DEFAULT_BLOCK_POSITIONS",
+]
 
 SCHEMA = "repro/paged-store/v1"
 
 _MAGIC = b"REPROPGD"
 _DTYPE = "<i2"
 
+#: Per-block encodings the format supports.
+CODECS = ("zlib", "raw", "packed", "packed+zlib")
+
 #: Default block granularity: 4096 int16 values = 8 KiB uncompressed.
 DEFAULT_BLOCK_POSITIONS = 4096
+
+
+def _value_range(dbs: DatabaseSet) -> tuple:
+    """Global ``(lo, hi)`` over every database's values (0, 0 when the
+    store holds no positions) — the bound the packed codecs derive
+    their bit width from."""
+    lo, hi = 0, 0
+    seen = False
+    for db_id in dbs.ids():
+        values = dbs[db_id]
+        if values.shape[0] == 0:
+            continue
+        vlo, vhi = int(values.min()), int(values.max())
+        lo, hi = (vlo, vhi) if not seen else (min(lo, vlo), max(hi, vhi))
+        seen = True
+    return lo, hi
 
 
 def write_paged(
@@ -55,36 +94,59 @@ def write_paged(
 ) -> dict:
     """Convert a :class:`DatabaseSet` to the paged format.
 
-    Returns a summary dict (databases, positions, raw/compressed bytes).
     Only value arrays are paged; depth arrays, when present, stay in the
     ``.npz`` world (serving probes values).
 
-    ``codec`` selects the per-block encoding: ``"zlib"`` (the default,
-    and the implied value when the header predates the field) compresses
-    each block independently; ``"raw"`` stores blocks as bare int16
-    bytes, trading file size for true zero-copy reads — an mmap reader
-    (:class:`~repro.aserve.local.LocalProbeClient`) can serve values as
-    ``np.frombuffer`` views straight into the mapping.
+    ``codec`` selects the per-block encoding (see the module doc):
+    ``zlib`` | ``raw`` | ``packed`` | ``packed+zlib``.  The packed
+    codecs derive their bit width from the store's global value range
+    and record it in the header, so every reader decodes with the same
+    parameters.
+
+    Returns a summary dict whose byte fields name what they measure:
+
+    * ``value_bytes`` — in-memory int16 working bytes (2 per position);
+    * ``stored_bytes`` — encoded block bytes as written (the payloads);
+    * ``file_bytes`` — whole file including magic and header;
+    * ``stored_ratio`` — ``value_bytes / stored_bytes``; 1.0 for an
+      empty store (nothing to store, parity — never 0.0, a zlib'd empty
+      block still costs header bytes), and ~1.0 under ``codec="raw"``
+      by construction.
     """
     if block_positions < 1:
         raise ValueError("block_positions must be >= 1")
-    if codec not in ("zlib", "raw"):
-        raise ValueError(f"unknown codec {codec!r}; use 'zlib' or 'raw'")
+    if codec not in CODECS:
+        raise ValueError(
+            f"unknown codec {codec!r}; use one of {', '.join(CODECS)}"
+        )
     path = Path(path)
+    packed = codec in ("packed", "packed+zlib")
+    pack = None
+    if packed:
+        lo, hi = _value_range(dbs)
+        pack = {"bits": bit_width(lo, hi), "offset": lo}
     databases: dict[str, dict] = {}
     payloads: list[bytes] = []
     offset = 0
-    raw_bytes = 0
+    value_bytes = 0
     for db_id in dbs.ids():
         values = np.ascontiguousarray(dbs[db_id], dtype=_DTYPE)
-        raw_bytes += values.nbytes
+        value_bytes += values.nbytes
         blocks = []
         for start in range(0, max(values.shape[0], 1), block_positions):
             chunk = values[start : start + block_positions]
             if chunk.shape[0] == 0 and start > 0:
                 break
-            payload = (chunk.tobytes() if codec == "raw"
-                       else zlib.compress(chunk.tobytes(), level))
+            if codec == "raw":
+                payload = chunk.tobytes()
+            elif codec == "zlib":
+                payload = zlib.compress(chunk.tobytes(), level)
+            else:
+                payload = pack_bits(
+                    chunk, pack["bits"], pack["offset"]
+                ).tobytes()
+                if codec == "packed+zlib":
+                    payload = zlib.compress(payload, level)
             blocks.append(
                 {"offset": offset, "clen": len(payload), "count": int(chunk.shape[0])}
             )
@@ -94,32 +156,35 @@ def write_paged(
             "positions": int(values.shape[0]),
             "blocks": blocks,
         }
-    header = json.dumps(
-        {
-            "schema": SCHEMA,
-            "game": dbs.game_name,
-            "rules": dbs.rules,
-            "block_positions": int(block_positions),
-            "dtype": _DTYPE,
-            "codec": codec,
-            "databases": databases,
-        },
-        separators=(",", ":"),
-    ).encode()
+    header_fields = {
+        "schema": SCHEMA,
+        "game": dbs.game_name,
+        "rules": dbs.rules,
+        "block_positions": int(block_positions),
+        "dtype": _DTYPE,
+        "codec": codec,
+        "databases": databases,
+    }
+    if pack is not None:
+        header_fields["pack"] = pack
+    header = json.dumps(header_fields, separators=(",", ":")).encode()
     with open(path, "wb") as fh:
         fh.write(_MAGIC)
         fh.write(len(header).to_bytes(8, "little"))
         fh.write(header)
         for payload in payloads:
             fh.write(payload)
-    compressed = offset
+    stored = offset
     return {
         "databases": len(databases),
         "positions": dbs.total_positions,
-        "raw_bytes": raw_bytes,
+        "codec": codec,
+        "value_bytes": value_bytes,
         "file_bytes": path.stat().st_size,
-        "data_bytes": compressed,
-        "ratio": (raw_bytes / compressed) if compressed else 0.0,
+        "stored_bytes": stored,
+        "stored_ratio": (
+            (value_bytes / stored) if value_bytes and stored else 1.0
+        ),
     }
 
 
@@ -145,7 +210,7 @@ class PagedStore:
 
     Reads are thread-safe (a lock serializes seek+read on the shared
     handle), which is what lets the TCP server probe one store from many
-    client threads.  The store itself holds **no** decompressed data —
+    client threads.  The store itself holds **no** decoded data —
     callers that want reuse put a :class:`~repro.serve.cache.BlockCache`
     in front of :meth:`read_block`.
     """
@@ -171,9 +236,24 @@ class PagedStore:
         #: Per-block encoding; headers written before the field existed
         #: are zlib by construction.
         self.codec: str = header.get("codec", "zlib")
-        if self.codec not in ("zlib", "raw"):
+        if self.codec not in CODECS:
             self._file.close()
             raise ValueError(f"unsupported paged-store codec {self.codec!r}")
+        pack = header.get("pack")
+        if self.codec in ("packed", "packed+zlib"):
+            if not isinstance(pack, dict):
+                self._file.close()
+                raise ValueError(
+                    f"{self.path}: codec {self.codec!r} header lacks the "
+                    "pack parameters"
+                )
+            #: Bits per value and bias of the packed codecs (None
+            #: otherwise).
+            self.pack_bits_per_value: int | None = int(pack["bits"])
+            self.pack_offset: int | None = int(pack["offset"])
+        else:
+            self.pack_bits_per_value = None
+            self.pack_offset = None
         self._dtype = np.dtype(header["dtype"])
         self._data_start = len(_MAGIC) + 8 + header_len
         self._tables = {
@@ -230,6 +310,10 @@ class PagedStore:
         return (table.offsets[block_no], table.clens[block_no],
                 table.counts[block_no])
 
+    def stored_block_bytes(self, db_id, block_no: int) -> int:
+        """Stored (encoded) byte size of one block, as on disk."""
+        return self.block_span(db_id, block_no)[1]
+
     def _table(self, db_id) -> _BlockTable:
         try:
             return self._tables[db_id]
@@ -240,9 +324,29 @@ class PagedStore:
 
     # ---------------------------------------------------------------- reads
 
+    def decode_block(self, payload: bytes, count: int) -> np.ndarray:
+        """Decode one stored block payload to its value array."""
+        codec = self.codec
+        if codec == "packed+zlib":
+            payload = zlib.decompress(payload)
+            codec = "packed"
+        elif codec == "zlib":
+            payload = zlib.decompress(payload)
+            codec = "raw"
+        if codec == "packed":
+            values = unpack_bits(
+                np.frombuffer(payload, dtype=np.uint8),
+                count,
+                self.pack_bits_per_value,
+                self.pack_offset,
+            ).astype(self._dtype, copy=False)
+        else:
+            values = np.frombuffer(payload, dtype=self._dtype)
+        return values
+
     def read_block(self, db_id, block_no: int) -> np.ndarray:
-        """Read one block: a seek plus one zlib stream (or a bare copy
-        for ``codec="raw"``), O(block)."""
+        """Read one block: a seek plus one block decode (zlib stream,
+        bulk bit-unpack, or a bare copy for ``codec="raw"``), O(block)."""
         table = self._table(db_id)
         if not (0 <= block_no < table.n_blocks):
             raise IndexError(
@@ -256,8 +360,12 @@ class PagedStore:
             payload = self._file.read(clen)
         if len(payload) != clen:
             raise IOError(f"short read in {self.path} at offset {offset}")
-        raw = payload if self.codec == "raw" else zlib.decompress(payload)
-        values = np.frombuffer(raw, dtype=self._dtype)
+        try:
+            values = self.decode_block(payload, table.counts[block_no])
+        except ValueError as exc:
+            raise IOError(
+                f"block {block_no} of db {db_id!r} failed to decode: {exc}"
+            ) from exc
         if values.shape[0] != table.counts[block_no]:
             raise IOError(
                 f"block {block_no} of db {db_id!r} decoded "

@@ -146,6 +146,9 @@ class PagedBackend:
                 values = self._cache.get(
                     (db_id, block_no),
                     lambda n=block_no: self._store.read_block(db_id, n),
+                    stored_bytes=self._store.stored_block_bytes(
+                        db_id, block_no
+                    ),
                 )
                 out[a:b] = values[indices[a:b] - block_no * block_positions]
         return out
@@ -157,7 +160,9 @@ class PagedBackend:
         return None  # depth arrays are not paged
 
     def stats(self) -> dict:
-        return self._cache.stats()
+        stats = dict(self._cache.stats())
+        stats["codec"] = self._store.codec
+        return stats
 
     def close(self) -> None:
         self._store.close()

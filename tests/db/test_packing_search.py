@@ -6,7 +6,16 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.sequential import SequentialSolver
-from repro.db.packing import PackedDatabase, pack_values, unpack_values
+from repro.db.packing import (
+    MAX_BITS,
+    PackedDatabase,
+    bit_width,
+    pack_bits,
+    pack_values,
+    packed_nbytes,
+    unpack_bits,
+    unpack_values,
+)
 from repro.db.search import DatabaseProbingSearch
 from repro.games.awari_db import AwariCaptureGame
 
@@ -70,6 +79,122 @@ class TestPacking:
         packed = pack_values(values[5], bound=5)
         assert packed.codec == "nibble"
         np.testing.assert_array_equal(unpack_values(packed), values[5])
+
+    def test_count_payload_mismatch_rejected_at_construction(self):
+        # 3 nibble values need exactly 2 bytes.
+        with pytest.raises(ValueError, match="payload"):
+            PackedDatabase(
+                codec="nibble", count=3, payload=np.zeros(3, np.uint8)
+            )
+        with pytest.raises(ValueError, match="payload"):
+            PackedDatabase(
+                codec="int8", count=4, payload=np.zeros(5, np.uint8)
+            )
+
+    def test_phantom_nibble_regression(self):
+        """A count the payload cannot hold must raise, never decode the
+        odd-length padding nibble as a phantom -7 or silently truncate.
+        (Bypasses the constructor the way a buggy deserializer would.)"""
+        good = pack_values(np.array([1, 2, 3], dtype=np.int16))
+        tampered = object.__new__(PackedDatabase)
+        object.__setattr__(tampered, "codec", "nibble")
+        object.__setattr__(tampered, "count", 5)  # lies: payload holds 3
+        object.__setattr__(tampered, "payload", good.payload)
+        with pytest.raises(ValueError, match="count"):
+            unpack_values(tampered)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            PackedDatabase(codec="int8", count=-1, payload=np.zeros(0, np.uint8))
+
+    def test_empty_ratio_defined(self):
+        empty = pack_values(np.zeros(0, dtype=np.int16))
+        assert empty.ratio() == 1.0
+
+
+class TestBitCodec:
+    """Property tests for the general arbitrary-bit-width codec."""
+
+    def test_bit_width_examples(self):
+        assert bit_width(0, 0) == 1
+        assert bit_width(0, 1) == 1
+        assert bit_width(0, 2) == 2
+        assert bit_width(-7, 7) == 4
+        assert bit_width(-5, 5) == 4
+        assert bit_width(0, 255) == 8
+        assert bit_width(-32768, 32767) == 16
+
+    def test_bit_width_rejects_empty_and_wide(self):
+        with pytest.raises(ValueError):
+            bit_width(1, 0)
+        with pytest.raises(ValueError):
+            bit_width(0, 1 << 16)
+
+    def test_packed_nbytes(self):
+        assert packed_nbytes(0, 4) == 0
+        assert packed_nbytes(3, 4) == 2
+        assert packed_nbytes(8, 1) == 1
+        assert packed_nbytes(9, 1) == 2
+        with pytest.raises(ValueError):
+            packed_nbytes(-1, 4)
+        with pytest.raises(ValueError):
+            packed_nbytes(4, 17)
+
+    @given(
+        st.integers(min_value=1, max_value=MAX_BITS),
+        st.integers(min_value=0, max_value=400),
+        st.booleans(),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_roundtrip_any_width(self, bits, size, signed, seed):
+        """Random widths x sizes x signed/unsigned: round-trip exact,
+        payload exactly ceil(size*bits/8) bytes."""
+        rng = np.random.default_rng(seed)
+        span = (1 << bits) - 1
+        lo = -(span // 2) - (span % 2) if signed else 0
+        values = rng.integers(lo, lo + span + 1, size=size).astype(np.int64)
+        # int16 is the storage dtype everywhere; clamp the 16-bit case.
+        values = np.clip(values, -32768, 32767).astype(np.int16)
+        payload = pack_bits(values, bits, offset=lo)
+        assert payload.nbytes == packed_nbytes(size, bits)
+        out = unpack_bits(payload, size, bits, offset=lo)
+        assert out.dtype == np.int16
+        np.testing.assert_array_equal(out, values)
+
+    @given(
+        st.integers(min_value=1, max_value=MAX_BITS),
+        st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_count_validation(self, bits, size):
+        """A count the payload cannot hold exactly raises, never
+        mis-slices — same contract as the 1995 codecs."""
+        values = np.zeros(size, dtype=np.int16)
+        payload = pack_bits(values, bits)
+        exact = packed_nbytes(size, bits)
+        for bad_count in (size + 8, max(0, size - 8)):
+            if packed_nbytes(bad_count, bits) == exact:
+                continue  # padding can absorb small count deltas
+            with pytest.raises(ValueError, match="bytes"):
+                unpack_bits(payload, bad_count, bits)
+
+    def test_out_of_field_values_rejected(self):
+        with pytest.raises(ValueError, match="exceed"):
+            pack_bits(np.array([8], dtype=np.int16), 3)
+        with pytest.raises(ValueError, match="exceed"):
+            pack_bits(np.array([-1], dtype=np.int16), 3)  # below offset 0
+
+    def test_empty_roundtrip(self):
+        payload = pack_bits(np.zeros(0, dtype=np.int16), 5)
+        assert payload.nbytes == 0
+        assert unpack_bits(payload, 0, 5).shape == (0,)
+
+    def test_msb_first_layout(self):
+        # Two 4-bit fields share one byte, first value in the high
+        # nibble — the on-disk layout docs/SERVING.md promises.
+        payload = pack_bits(np.array([0xA, 0x3], dtype=np.int16), 4)
+        assert payload.tobytes() == b"\xa3"
 
 
 @pytest.fixture(scope="module")

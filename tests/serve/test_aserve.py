@@ -209,7 +209,9 @@ class TestBestMoves:
             )
 
 
-@pytest.fixture(scope="module", params=["zlib", "raw"])
+@pytest.fixture(
+    scope="module", params=["zlib", "raw", "packed", "packed+zlib"]
+)
 def local_store(request, solved, tmp_path_factory):
     """(name, game, dbs, codec, path) — one paged store per codec."""
     name, game, dbs = solved
@@ -258,6 +260,36 @@ class TestLocalMmap:
                 client.probe(top, dbs[top].shape[0])
             with pytest.raises(KeyError):
                 client.probe(max(dbs.ids()) + 40, 0)
+
+    def test_fast_path_mode_per_codec(self, local_store):
+        """raw maps zero-copy, packed bulk-unpacks once, the zlib-family
+        codecs fall back to the block cache with a counted reason."""
+        from repro.obs import MetricsRegistry
+
+        name, game, dbs, codec, path = local_store
+        registry = MetricsRegistry()
+        with LocalProbeClient(
+            path, metrics=registry.scoped("aserve.local")
+        ) as client:
+            stats = client.stats()
+            if codec == "raw":
+                assert client.mode == "zero-copy"
+                assert "fallback_reason" not in stats
+            elif codec == "packed":
+                assert client.mode == "unpacked"
+                assert "fallback_reason" not in stats
+                total = 2 * dbs.total_positions
+                assert stats["unpacked_bytes"] == total
+                assert (
+                    registry.gauges["aserve.local.unpacked_bytes"] == total
+                )
+            else:
+                assert client.mode == "block-cache"
+                assert codec in stats["fallback_reason"]
+                assert (
+                    registry.counters["aserve.local.mmap_fallbacks"] == 1
+                )
+            assert stats["mode"] == client.mode
 
     def test_best_moves_match_oracle(self, local_store):
         name, game, dbs, codec, path = local_store

@@ -151,3 +151,72 @@ class TestMetrics:
         stats = cache.stats()
         assert stats["misses"] == 1 and stats["resident_blocks"] == 1
         assert stats["budget_bytes"] == 64
+
+
+class TestPut:
+    def test_reinsertion_does_not_double_count(self):
+        """put() of an existing key replaces the entry: resident_bytes
+        reflects the new block only, no matter how often it is re-put."""
+        cache = BlockCache(1024)
+        for _ in range(5):
+            cache.put("a", _block(1))
+        assert cache.resident_bytes == 32
+        assert len(cache) == 1
+
+    def test_reinsertion_with_different_size_adjusts(self):
+        cache = BlockCache(1024)
+        cache.put("a", _block(1, n=16))  # 32 bytes
+        cache.put("a", _block(1, n=64))  # 128 bytes
+        assert cache.resident_bytes == 128
+        cache.put("a", _block(1, n=8))  # 16 bytes
+        assert cache.resident_bytes == 16
+
+    def test_reinsertion_refreshes_lru_position(self):
+        cache = BlockCache(96)
+        for key in "abc":
+            cache.put(key, _block(ord(key)))
+        cache.put("a", _block(0))  # re-put moves a to most-recent
+        cache.put("d", _block(4))  # evicts b, not a
+        assert cache.keys() == ["c", "a", "d"]
+
+    def test_miss_then_evict_under_packed_sizes(self):
+        """The +one-block invariant with packed stored sizes: budget
+        counts decompressed bytes, so tiny packed blocks that decode to
+        full working blocks must still respect budget + one block."""
+        cache = BlockCache(64)
+        peak_bound = 64
+        for key in range(10):
+            block = _block(key, n=32)  # 64 working bytes, 16 "stored"
+            cache.get(key, lambda b=block: b, stored_bytes=16)
+            assert cache.resident_bytes <= peak_bound + block.nbytes
+        assert cache.peak_resident_bytes <= peak_bound + 64
+
+    def test_packed_resident_bytes_tracks_stored_sizes(self):
+        registry = MetricsRegistry()
+        cache = BlockCache(
+            1024, metrics=registry.scoped("serve.cache")
+        )
+        cache.get("a", _loader(1), stored_bytes=8)
+        cache.get("b", _loader(2), stored_bytes=8)
+        assert cache.packed_resident_bytes == 16
+        assert cache.resident_bytes == 64
+        assert registry.gauges["serve.cache.packed_resident_bytes"] == 16
+        # Replacement adjusts, eviction releases.
+        cache.put("a", _block(1), stored_bytes=10)
+        assert cache.packed_resident_bytes == 18
+        cache.clear()
+        assert cache.packed_resident_bytes == 0
+        assert cache.stats()["packed_resident_bytes"] == 0
+
+    def test_packed_resident_defaults_to_working_bytes(self):
+        cache = BlockCache(1024)
+        cache.get("a", _loader(1))  # no stored_bytes: raw parity
+        assert cache.packed_resident_bytes == cache.resident_bytes
+
+    def test_eviction_releases_stored_bytes(self):
+        cache = BlockCache(64)  # two 32-byte blocks
+        cache.get("a", _loader(1), stored_bytes=4)
+        cache.get("b", _loader(2), stored_bytes=4)
+        cache.get("c", _loader(3), stored_bytes=4)  # evicts a
+        assert cache.evictions == 1
+        assert cache.packed_resident_bytes == 8

@@ -1,0 +1,212 @@
+"""Codec axis of the serving differential suite.
+
+Every paged-store codec — ``zlib``, ``raw``, ``packed``,
+``packed+zlib`` — must be invisible to probes: bit-identical to the
+``DatabaseSet`` oracle through the store itself, the cached
+``PagedBackend``, and the binary TCP transport, for every game in the
+fixture grid.  The packed codecs additionally pin their size claims
+(bit-packed blocks beat raw int16) and the cache's stored-bytes
+accounting (``packed_resident_bytes``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.aserve.client import BinaryProbeClient
+from repro.aserve.server import AsyncProbeServer
+from repro.db.packing import packed_nbytes
+from repro.db.query import best_moves
+from repro.obs import MetricsRegistry
+from repro.serve.pagedstore import CODECS, PagedStore, write_paged
+from repro.serve.service import ProbeService
+
+from tests.workloads import paged_store_path
+
+from .conftest import BLOCK_POSITIONS, SMALL_BUDGET
+
+CODEC_IDS = [c.replace("+", "-") for c in CODECS]
+
+
+@pytest.fixture(scope="module", params=CODECS, ids=CODEC_IDS)
+def codec(request):
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def codec_path(solved, codec, tmp_path_factory):
+    """Session-memoized paged store of (game, codec)."""
+    name, _, _ = solved
+    return paged_store_path(name, tmp_path_factory, codec=codec)
+
+
+def shuffled_pairs(dbs, seed=61):
+    rng = np.random.default_rng(seed)
+    pairs = [
+        (db_id, i)
+        for db_id in dbs.ids()
+        for i in range(dbs[db_id].shape[0])
+    ]
+    rng.shuffle(pairs)
+    return pairs
+
+
+class TestStoreCodecs:
+    def test_read_all_bit_identical(self, solved, codec, codec_path):
+        name, _, dbs = solved
+        with PagedStore(codec_path) as store:
+            assert store.codec == codec
+            for db_id in dbs.ids():
+                np.testing.assert_array_equal(
+                    store.read_all(db_id), dbs[db_id],
+                    err_msg=f"{name}/{codec} db {db_id}",
+                )
+
+    def test_packed_header_and_block_sizes(self, solved, codec, codec_path):
+        """Packed stores record their pack parameters and every block is
+        exactly ceil(count*bits/8) bytes on disk (pre-zlib)."""
+        _, _, dbs = solved
+        with PagedStore(codec_path) as store:
+            if codec not in ("packed", "packed+zlib"):
+                assert store.pack_bits_per_value is None
+                return
+            bits = store.pack_bits_per_value
+            lo = store.pack_offset
+            assert 1 <= bits <= 16
+            values = np.concatenate(
+                [dbs[i] for i in dbs.ids() if dbs[i].size]
+            )
+            assert lo == int(values.min())
+            assert int(values.max()) - lo < (1 << bits)
+            if codec == "packed":
+                for db_id in store.ids():
+                    for b in range(store.n_blocks(db_id)):
+                        _, clen, count = store.block_span(db_id, b)
+                        assert clen == packed_nbytes(count, bits)
+
+    def test_summary_fields(self, solved, codec, tmp_path):
+        """The renamed summary names measure what they say: value_bytes
+        is the int16 working set, stored_ratio is 1.0-parity for raw and
+        >= 4x for a nibble-width game under packed."""
+        name, _, dbs = solved
+        summary = write_paged(
+            dbs, tmp_path / "s.pgdb", block_positions=BLOCK_POSITIONS,
+            codec=codec,
+        )
+        assert summary["codec"] == codec
+        assert summary["value_bytes"] == 2 * dbs.total_positions
+        assert summary["file_bytes"] > summary["stored_bytes"]
+        assert summary["stored_ratio"] == pytest.approx(
+            summary["value_bytes"] / summary["stored_bytes"]
+        )
+        if codec == "raw":
+            assert summary["stored_bytes"] == summary["value_bytes"]
+            assert summary["stored_ratio"] == pytest.approx(1.0)
+        else:
+            assert summary["stored_bytes"] < summary["value_bytes"]
+
+    def test_empty_store_ratio_defined(self, tmp_path, codec):
+        from repro.db.store import DatabaseSet
+
+        empty = DatabaseSet(
+            game_name="awari",
+            values={0: np.zeros(0, dtype=np.int16)},
+            rules="",
+        )
+        summary = write_paged(empty, tmp_path / "e.pgdb", codec=codec)
+        assert summary["stored_ratio"] == 1.0
+
+    def test_packed_beats_raw_on_disk(self, solved, tmp_path):
+        _, _, dbs = solved
+        sizes = {}
+        for codec in ("raw", "packed"):
+            sizes[codec] = write_paged(
+                dbs, tmp_path / f"{CODEC_IDS[CODECS.index(codec)]}.pgdb",
+                block_positions=BLOCK_POSITIONS, codec=codec,
+            )["stored_bytes"]
+        assert sizes["packed"] < sizes["raw"]
+
+
+class TestServiceCodecs:
+    def test_cached_backend_bit_identical(self, solved, codec, codec_path):
+        """Shuffled full-coverage probe_many through a tiny cache: every
+        block decodes through the codec path, values match the oracle."""
+        name, _, dbs = solved
+        pairs = shuffled_pairs(dbs)
+        expected = np.array(
+            [int(dbs[d][i]) for d, i in pairs], dtype=np.int16
+        )
+        with ProbeService.from_paged(
+            codec_path, cache_bytes=SMALL_BUDGET
+        ) as service:
+            np.testing.assert_array_equal(
+                service.probe_many(pairs), expected,
+                err_msg=f"{name}/{codec}",
+            )
+            stats = service.stats()
+            assert stats["codec"] == codec
+            assert stats["evictions"] > 0  # the cache really was tiny
+
+    def test_packed_resident_accounting(self, solved, codec, codec_path):
+        """The cache budgets decompressed bytes; the packed gauge shows
+        the stored cost — strictly smaller for every non-raw codec."""
+        _, _, dbs = solved
+        with ProbeService.from_paged(
+            codec_path, cache_bytes=SMALL_BUDGET
+        ) as service:
+            service.probe_many(shuffled_pairs(dbs, seed=5)[:256])
+            stats = service.stats()
+            assert stats["resident_bytes"] > 0
+            if codec == "raw":
+                assert (
+                    stats["packed_resident_bytes"]
+                    == stats["resident_bytes"]
+                )
+            else:
+                assert (
+                    0
+                    < stats["packed_resident_bytes"]
+                    < stats["resident_bytes"]
+                )
+
+    def test_best_moves_match_oracle(self, solved, codec, codec_path):
+        name, game, dbs = solved
+        if name == "synthetic":
+            pytest.skip("synthetic game is not board-based")
+        indexer = game.engine.indexer(max(dbs.ids()))
+        rng = np.random.default_rng(71)
+        with ProbeService.from_paged(
+            codec_path, cache_bytes=SMALL_BUDGET
+        ) as service:
+            for idx in rng.integers(0, indexer.count, size=6):
+                board = indexer.unrank(np.array([int(idx)]))[0]
+                want_value, want_moves = best_moves(game, dbs, board)
+                got_value, got_moves = service.best_moves(board)
+                assert got_value == want_value, f"{name}/{codec} idx {idx}"
+                assert [m.pit for m in got_moves] == [
+                    m.pit for m in want_moves
+                ], f"{name}/{codec} idx {idx}"
+
+
+class TestBinaryTransportCodecs:
+    def test_binary_protocol_bit_identical(self, solved, codec, codec_path):
+        """The pipelined binary transport over each codec's paged
+        backend answers the shuffled full sweep identically."""
+        name, _, dbs = solved
+        pairs = shuffled_pairs(dbs, seed=83)
+        expected = np.array(
+            [int(dbs[d][i]) for d, i in pairs], dtype=np.int16
+        )
+        service = ProbeService.from_paged(
+            codec_path, cache_bytes=SMALL_BUDGET
+        )
+        server = AsyncProbeServer(service).start()
+        try:
+            with BinaryProbeClient(server.host, server.port) as client:
+                assert client.info()["codec"] == codec
+                np.testing.assert_array_equal(
+                    client.probe_many(pairs), expected,
+                    err_msg=f"{name}/{codec}",
+                )
+        finally:
+            server.shutdown()
+            service.close()

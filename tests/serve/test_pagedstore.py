@@ -38,7 +38,7 @@ class TestRoundTrip:
             assert store.total_positions == dbs.total_positions
             assert store.block_positions == BLOCK_POSITIONS
         assert summary["positions"] == dbs.total_positions
-        assert summary["ratio"] > 1.0  # solved values compress well
+        assert summary["stored_ratio"] > 1.0  # solved values compress well
 
     def test_single_block_is_the_right_slice(self, paged):
         dbs, path, _ = paged

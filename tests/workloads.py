@@ -50,29 +50,34 @@ def solved_set(name):
     return _SOLVED[name]
 
 
-def paged_store_path(name, tmp_path_factory):
+def paged_store_path(name, tmp_path_factory, codec="zlib"):
     """Path of the paged conversion of one workload, written once per
-    session at :data:`BLOCK_POSITIONS` granularity."""
-    if name not in _PAGED:
+    (game, codec) per session at :data:`BLOCK_POSITIONS` granularity."""
+    key = (name, codec)
+    if key not in _PAGED:
         _, dbs = solved_set(name)
-        path = tmp_path_factory.mktemp(f"paged-{name}") / f"{name}.pgdb"
-        write_paged(dbs, path, block_positions=BLOCK_POSITIONS)
-        _PAGED[name] = path
-    return _PAGED[name]
+        slug = codec.replace("+", "-")
+        path = (
+            tmp_path_factory.mktemp(f"paged-{name}-{slug}") / f"{name}.pgdb"
+        )
+        write_paged(dbs, path, block_positions=BLOCK_POSITIONS, codec=codec)
+        _PAGED[key] = path
+    return _PAGED[key]
 
 
-def cluster_dir(name, n_shards, tmp_path_factory, partition="cyclic"):
+def cluster_dir(name, n_shards, tmp_path_factory, partition="cyclic",
+                codec="zlib"):
     """Directory of a split cluster for one workload, one split per
-    (game, shards, partition) per session."""
-    key = (name, n_shards, partition)
+    (game, shards, partition, codec) per session."""
+    key = (name, n_shards, partition, codec)
     if key not in _CLUSTERS:
         _, dbs = solved_set(name)
         out = tmp_path_factory.mktemp(
-            f"cluster-{name}-{n_shards}{partition}"
+            f"cluster-{name}-{n_shards}{partition}-{codec.replace('+', '-')}"
         )
         split_store(
             dbs, out, n_shards=n_shards, partition=partition,
-            block_positions=BLOCK_POSITIONS,
+            block_positions=BLOCK_POSITIONS, codec=codec,
         )
         _CLUSTERS[key] = out
     return _CLUSTERS[key]
