@@ -1,9 +1,16 @@
 #!/usr/bin/env python
-"""ShmArena race-detector smoke test, used by the CI ``staticcheck``
-job.
+"""Staticcheck smoke test, used by the CI ``staticcheck`` job.
 
-The claims ledger under real fire, driven through the CLI and checked
-bit-for-bit against a sequential reference:
+Two halves.  First the analyzer surface itself:
+
+0. CLI surface — a seeded lock-discipline violation must come back as
+   an RA007 result through ``--format sarif`` (valid SARIF 2.1.0, all
+   rules advertised in the driver), ``--sarif-out`` must write the
+   same document, and ``--changed-only`` must run without error in a
+   git work tree.
+
+Then the ShmArena race detector under real fire, driven through the
+CLI and checked bit-for-bit against a sequential reference:
 
 1. detector sanity — a deliberately overlapping pair of claims must
    raise ``ShmRaceError`` (in-process)
@@ -76,7 +83,84 @@ def detector_detects() -> bool:
     return False
 
 
+_SEEDED_RACE = '''\
+import threading
+
+
+class Shared:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: self._lock
+
+    def bump(self):
+        self.count += 1
+'''
+
+
+def analyzer_surface(tmp: Path) -> bool:
+    """SARIF + --changed-only round trip against a seeded RA007 race."""
+    seeded_root = tmp / "seeded-tree"
+    seeded = seeded_root / "src" / "repro" / "seeded.py"
+    seeded.parent.mkdir(parents=True)
+    seeded.write_text(_SEEDED_RACE)
+    sarif_path = tmp / "seeded.sarif"
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "staticcheck", "src",
+         "--root", str(seeded_root), "--format", "sarif",
+         "--sarif-out", str(sarif_path)],
+        capture_output=True, text=True, timeout=300,
+    )
+    if result.returncode != 1:
+        print(f"FAIL: seeded race exited {result.returncode}, wanted 1:\n"
+              f"{result.stdout}{result.stderr}", file=sys.stderr)
+        return False
+    doc = json.loads(result.stdout)
+    if doc.get("version") != "2.1.0":
+        print("FAIL: not a SARIF 2.1.0 document", file=sys.stderr)
+        return False
+    run = doc["runs"][0]
+    advertised = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    wanted = {f"RA{n:03d}" for n in range(1, 12)}
+    if not wanted <= advertised:
+        print(f"FAIL: driver missing rules {sorted(wanted - advertised)}",
+              file=sys.stderr)
+        return False
+    ra007 = [
+        r for r in run["results"]
+        if r["ruleId"] == "RA007"
+        and r["locations"][0]["physicalLocation"]["artifactLocation"]
+        ["uri"] == "src/repro/seeded.py"
+    ]
+    if not ra007:
+        print("FAIL: seeded guarded-by race produced no RA007 SARIF "
+              "result", file=sys.stderr)
+        return False
+    if sarif_path.read_text() != result.stdout:
+        print("FAIL: --sarif-out differs from --format sarif stdout",
+              file=sys.stderr)
+        return False
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "staticcheck", "src",
+         "--changed-only"],
+        capture_output=True, text=True, timeout=300,
+    )
+    if result.returncode not in (0, 1):
+        print(f"FAIL: --changed-only exited {result.returncode}:\n"
+              f"{result.stdout}{result.stderr}", file=sys.stderr)
+        return False
+    line = (result.stdout.strip().splitlines() or ["(no output)"])[-1]
+    print(f"   RA007 via SARIF at line "
+          f"{ra007[0]['locations'][0]['physicalLocation']['region']['startLine']}; "
+          f"--changed-only: {line}")
+    return True
+
+
 def main() -> int:
+    tmp_surface = Path(tempfile.mkdtemp(prefix="staticcheck-surface-"))
+    print("== analyzer surface: seeded race -> SARIF; --changed-only")
+    if not analyzer_surface(tmp_surface):
+        return 1
+
     print("== detector sanity: overlapping claims must raise")
     if not detector_detects():
         print("FAIL: a deliberate overlap went undetected", file=sys.stderr)

@@ -89,7 +89,7 @@ class ProbeServer:
         self._max_inflight = (
             None if max_inflight is None else int(max_inflight)
         )
-        self._inflight = 0
+        self._inflight = 0  # guarded-by: self._inflight_lock
         self._inflight_lock = threading.Lock()
         self._max_message_bytes = int(max_message_bytes)
         self._drop = getattr(faults, "connection_drop", None)
@@ -97,7 +97,7 @@ class ProbeServer:
         self._blackhole = getattr(faults, "blackhole", None)
         self._crash = getattr(faults, "shard_crash", None)
         self._stop = threading.Event()
-        self._threads: list[threading.Thread] = []
+        self._threads: list[threading.Thread] = []  # guarded-by: self._lock
         self._accept_thread: threading.Thread | None = None
         self._lock = threading.Lock()
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)

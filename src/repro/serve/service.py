@@ -25,7 +25,6 @@ over a remote server.
 
 from __future__ import annotations
 
-import threading
 
 import numpy as np
 
@@ -90,10 +89,6 @@ class PagedBackend:
     def __init__(self, store: PagedStore, cache: BlockCache):
         self._store = store
         self._cache = cache
-        # One lock covers cache bookkeeping *and* block loads: the store
-        # is shared by every server thread and the cache is not
-        # thread-safe by itself.
-        self._lock = threading.Lock()
 
     @property
     def game_name(self) -> str:
@@ -140,17 +135,19 @@ class PagedBackend:
         run_bounds = np.flatnonzero(np.diff(blocks)) + 1
         starts = np.concatenate(([0], run_bounds))
         stops = np.concatenate((run_bounds, [blocks.shape[0]]))
-        with self._lock:
-            for a, b in zip(starts, stops):
-                block_no = int(blocks[a])
-                values = self._cache.get(
-                    (db_id, block_no),
-                    lambda n=block_no: self._store.read_block(db_id, n),
-                    stored_bytes=self._store.stored_block_bytes(
-                        db_id, block_no
-                    ),
-                )
-                out[a:b] = values[indices[a:b] - block_no * block_positions]
+        # The cache serializes itself (BlockCache holds its RLock across
+        # the miss loader), so block loads stay single-flight without an
+        # extra backend lock on the hit path.
+        for a, b in zip(starts, stops):
+            block_no = int(blocks[a])
+            values = self._cache.get(
+                (db_id, block_no),
+                lambda n=block_no: self._store.read_block(db_id, n),
+                stored_bytes=self._store.stored_block_bytes(
+                    db_id, block_no
+                ),
+            )
+            out[a:b] = values[indices[a:b] - block_no * block_positions]
         return out
 
     def locality_key(self, db_id, index: int):

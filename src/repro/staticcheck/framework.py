@@ -161,11 +161,15 @@ def register(cls):
 
 def all_checkers() -> dict:
     """rule id -> checker class, importing the built-in rules once."""
+    from . import rules_async  # noqa: F401
     from . import rules_atomic  # noqa: F401
     from . import rules_cliflags  # noqa: F401
     from . import rules_exceptions  # noqa: F401
     from . import rules_forksafe  # noqa: F401
+    from . import rules_frameschema  # noqa: F401
+    from . import rules_locks  # noqa: F401
     from . import rules_metrics  # noqa: F401
+    from . import rules_resources  # noqa: F401
     from . import rules_sockets  # noqa: F401
 
     return dict(sorted(_REGISTRY.items()))
@@ -293,8 +297,11 @@ def check_source(source: str, relpath: str, project: Project,
             f"file does not parse: {exc.msg}",
         ))
         return report
+    # Suppressions validate against the *full* registry, not just the
+    # checkers selected for this run — `--rules RA007` must not turn
+    # every unrelated suppression into an RA000.
     suppressions = _Suppressions.scan(
-        source, set(checkers) | {FRAMEWORK_RULE}
+        source, set(all_checkers()) | set(checkers) | {FRAMEWORK_RULE}
     )
     for line, message in suppressions.problems:
         report.findings.append(

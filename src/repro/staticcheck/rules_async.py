@@ -1,0 +1,205 @@
+"""RA008/RA009 — coroutine hygiene for the asyncio serving stack.
+
+One event loop drives every connection of the binary probe server; a
+single blocking call inside a coroutine stalls *all* of them, and an
+un-awaited coroutine (or a dropped ``create_task`` handle) silently
+discards both its work and its exceptions.  These two rules pin the
+conventions the aserve/cluster code already follows:
+
+**RA008** — no blocking calls inside ``async def``: ``time.sleep``,
+``zlib.compress``/``decompress`` (CPU-bound on block-sized payloads),
+``socket.create_connection`` / blocking socket methods
+(``accept``/``recv``/``recv_into``/``sendall``), and builtin ``open``.
+The blessed escapes — ``await loop.run_in_executor(None, fn, ...)`` and
+``await asyncio.to_thread(fn, ...)`` — pass the blocking function as a
+*reference*, not a call, so they never trip the rule; likewise a
+blocking helper *defined* inside the coroutine (and shipped to an
+executor) is a separate sync scope the rule does not enter.
+
+**RA009** — no orphaned coroutines: an expression statement that calls
+an ``async def`` defined in the same file without ``await`` creates a
+coroutine object that never runs; an expression statement that drops
+the result of ``create_task``/``ensure_future``/``gather`` loses the
+only handle through which the task's exception can ever be observed
+(asyncio logs "Task exception was never retrieved" at interpreter
+teardown — long after the damage).  Keep the handle, await it, or
+attach a done-callback.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .framework import Checker, register
+
+#: Socket methods that block the calling thread (event loop).
+_BLOCKING_SOCKET_METHODS = {"accept", "recv", "recv_into", "sendall"}
+
+#: ``module.function`` calls that block or burn CPU on the loop thread.
+_BLOCKING_MODULE_CALLS = {
+    ("time", "sleep"),
+    ("zlib", "compress"),
+    ("zlib", "decompress"),
+    ("socket", "create_connection"),
+}
+
+
+def _async_body_statements(func: ast.AsyncFunctionDef):
+    """Statements belonging to ``func``'s own scope: walk the body but
+    do not descend into nested function/class definitions."""
+    stack = list(func.body)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        yield stmt
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                stack.append(child)
+            elif isinstance(child, ast.ExceptHandler):
+                stack.extend(child.body)
+
+
+def _walk_own_exprs(stmt):
+    """Expression nodes evaluated by ``stmt`` itself (compound bodies
+    excluded — they reappear as their own statements)."""
+    for child in ast.iter_child_nodes(stmt):
+        if isinstance(child, ast.expr):
+            yield from ast.walk(child)
+        elif isinstance(child, ast.withitem):
+            yield from ast.walk(child.context_expr)
+
+
+@register
+class BlockingCallInCoroutineChecker(Checker):
+    """Flag loop-stalling blocking calls inside ``async def``."""
+
+    rule_id = "RA008"
+    title = "blocking call inside a coroutine stalls the event loop"
+    rationale = (
+        "one event loop serves every connection; time.sleep, blocking "
+        "socket ops, zlib on block-sized payloads, and synchronous file "
+        "IO inside async def freeze all of them at once — route through "
+        "await asyncio.sleep / run_in_executor / asyncio.to_thread "
+        "instead (docs/STATICCHECK.md, coroutine hygiene)."
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("src/repro/")
+
+    def check_file(self, ctx):
+        awaited = {id(node.value) for node in ast.walk(ctx.tree)
+                   if isinstance(node, ast.Await)}
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for stmt in _async_body_statements(func):
+                for node in _walk_own_exprs(stmt):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    if id(node) in awaited:
+                        continue  # awaitable wrapper, not a blocking call
+                    yield from self._check_call(node)
+
+    def _check_call(self, call: ast.Call):
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id == "open":
+                yield (call.lineno, call.col_offset,
+                       "builtin open() inside async def does blocking "
+                       "file IO on the event-loop thread; use "
+                       "asyncio.to_thread or an executor")
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        if isinstance(func.value, ast.Name):
+            key = (func.value.id, func.attr)
+            if key in _BLOCKING_MODULE_CALLS:
+                yield (call.lineno, call.col_offset,
+                       f"{key[0]}.{key[1]}() blocks the event loop "
+                       f"inside async def; use asyncio.sleep / "
+                       f"run_in_executor / to_thread")
+                return
+        if func.attr in _BLOCKING_SOCKET_METHODS:
+            yield (call.lineno, call.col_offset,
+                   f".{func.attr}() is a blocking socket operation "
+                   f"inside async def; use the asyncio stream/loop "
+                   f"equivalents (sock_accept, StreamReader, ...)")
+
+
+@register
+class OrphanedCoroutineChecker(Checker):
+    """Flag never-awaited coroutines and dropped task handles."""
+
+    rule_id = "RA009"
+    title = "orphaned coroutine or dropped task handle"
+    rationale = (
+        "a coroutine call without await never runs, and a discarded "
+        "create_task/ensure_future/gather result has no owner to "
+        "observe its exception — failures surface only as 'Task "
+        "exception was never retrieved' at teardown; keep the handle "
+        "and await it, or attach add_done_callback "
+        "(docs/STATICCHECK.md, coroutine hygiene)."
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("src/repro/")
+
+    def check_file(self, ctx):
+        # Name resolution is deliberately narrow to stay precise: a bare
+        # ``foo()`` resolves against async defs outside any class; a
+        # ``self.m()`` resolves against async methods of the *enclosing*
+        # class only (``writer.close()`` never matches an unrelated
+        # ``async def close`` elsewhere in the file).
+        parents: dict = {}
+        for node in ast.walk(ctx.tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        free_async = {node.name for node in ast.walk(ctx.tree)
+                      if isinstance(node, ast.AsyncFunctionDef)
+                      and not isinstance(parents.get(node), ast.ClassDef)}
+        class_async = {
+            node: {m.name for m in node.body
+                   if isinstance(m, ast.AsyncFunctionDef)}
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+
+        def enclosing_class(node):
+            while node is not None:
+                node = parents.get(node)
+                if isinstance(node, ast.ClassDef):
+                    return node
+            return None
+
+        for stmt in ast.walk(ctx.tree):
+            if not isinstance(stmt, ast.Expr):
+                continue
+            call = stmt.value
+            if not isinstance(call, ast.Call):
+                continue  # awaited / assigned / otherwise consumed
+            func = call.func
+            if isinstance(func, ast.Attribute):
+                if func.attr in {"create_task", "ensure_future", "gather"}:
+                    yield (call.lineno, call.col_offset,
+                           f"{func.attr}() result dropped: without the "
+                           f"Task handle its exception is never "
+                           f"retrieved and the task may be garbage-"
+                           f"collected mid-flight; keep a reference")
+                    continue
+                if not (isinstance(func.value, ast.Name)
+                        and func.value.id == "self"):
+                    continue
+                cls = enclosing_class(stmt)
+                if cls is None or \
+                        func.attr not in class_async.get(cls, ()):
+                    continue
+                name = f"self.{func.attr}"
+            elif isinstance(func, ast.Name) and func.id in free_async:
+                name = func.id
+            else:
+                continue
+            yield (call.lineno, call.col_offset,
+                   f"{name}() is async: calling it without await "
+                   f"builds a coroutine object that never runs")

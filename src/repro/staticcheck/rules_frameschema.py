@@ -1,0 +1,234 @@
+"""RA011 — the binary frame format may not drift from its schema.
+
+Three artifacts describe the probe-frame wire format: the
+implementation constants in ``src/repro/aserve/frames.py``, the
+declarative schema in ``src/repro/aserve/schema.py``, and the
+frame-layout table in ``docs/SERVING.md``.  Peers on different
+revisions interoperate only while all three agree — a struct format
+edited in ``frames.py`` alone is a silent protocol fork that
+handshakes fine and then mis-parses every body.  This rule diffs the
+implementation (by AST, so a broken ``frames.py`` still checks) and
+the docs table against the schema on every run, making a wire-format
+change reviewable only as a synchronized three-file diff.
+
+Checked, with exact line numbers:
+
+* every ``struct.Struct("...")`` format string against
+  ``schema.FRAME_STRUCTS`` (both directions: undeclared struct, stale
+  schema entry);
+* every ``np.dtype(...)`` literal against ``schema.FRAME_DTYPES``
+  (structural comparison of the literal spec);
+* every ``OP_*`` / ``FLAG_*`` integer constant against
+  ``schema.OPCODES`` / ``schema.FLAGS``;
+* the ``docs/SERVING.md`` frame-layout table rows (offset, size,
+  field) against ``schema.header_layout()``, and the doc's opcode
+  listing against ``schema.OPCODES``.
+
+The schema module is loaded by file path, never through the
+``repro.aserve`` package, so the check cannot be broken by the very
+drift it is hunting.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import re
+from pathlib import Path
+
+from .framework import Checker, register
+
+_FRAMES_REL = "src/repro/aserve/frames.py"
+_SCHEMA_REL = "src/repro/aserve/schema.py"
+_DOC_REL = "docs/SERVING.md"
+
+_TABLE_ROW_RE = re.compile(
+    r"^\|\s*(?P<offset>\d+)\s*\|\s*(?P<size>\d+|\.\.\.)\s*\|"
+    r"\s*(?P<field>[^|]+?)\s*\|\s*$"
+)
+_DOC_OPCODE_RE = re.compile(r"`(?P<name>\w+)`\s*=\s*(?P<num>\d+)")
+
+#: Substring each schema header field must appear as in its doc row.
+_FIELD_DOC_WORDS = {
+    "version": "version",
+    "opcode": "opcode",
+    "flags": "flags",
+    "seq": "sequence",
+    "body": "body",
+}
+
+
+def _load_schema(root: Path):
+    """The schema module, imported by path (no package side effects)."""
+    path = root / _SCHEMA_REL
+    if not path.is_file():
+        return None
+    spec = importlib.util.spec_from_file_location(
+        "_staticcheck_frame_schema", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _literal(node):
+    """``ast.literal_eval`` that returns a sentinel on failure."""
+    try:
+        return ast.literal_eval(node)
+    except (ValueError, SyntaxError):
+        return _literal  # unmistakable non-value sentinel
+
+
+def _dtype_spec_equal(found, declared) -> bool:
+    """Structural dtype-spec comparison: plain strings compare as
+    strings; record specs compare field-by-field as (name, format)."""
+    if isinstance(found, str) or isinstance(declared, str):
+        return found == declared
+    try:
+        return [tuple(f) for f in found] == [tuple(f) for f in declared]
+    except TypeError:
+        return False
+
+
+@register
+class FrameSchemaChecker(Checker):
+    """Diff frames.py and docs/SERVING.md against aserve/schema.py."""
+
+    rule_id = "RA011"
+    title = "frame implementation or docs drifted from the schema"
+    rationale = (
+        "struct formats, dtypes, opcodes and flags in aserve/frames.py "
+        "and the frame-layout table in docs/SERVING.md must match the "
+        "declarative schema in aserve/schema.py — a one-sided edit is "
+        "a silent wire-protocol fork between peers on different "
+        "revisions (docs/STATICCHECK.md, frame schema)."
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath == _FRAMES_REL
+
+    # -------------------------------------------------------- frames.py
+
+    def check_file(self, ctx):
+        schema = _load_schema(ctx.project.root)
+        if schema is None:
+            yield (1, 0, f"frame schema module {_SCHEMA_REL} is missing; "
+                         f"frames.py cannot be validated")
+            return
+        structs: dict = {}
+        dtypes: dict = {}
+        opcodes: dict = {}
+        flags: dict = {}
+        lines: dict = {}
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            name, value = target.id, node.value
+            lines[name] = node.lineno
+            if isinstance(value, ast.Call) and \
+                    isinstance(value.func, ast.Attribute):
+                owner = value.func.value
+                if isinstance(owner, ast.Name) and value.args:
+                    if owner.id == "struct" and \
+                            value.func.attr == "Struct":
+                        structs[name] = _literal(value.args[0])
+                    elif owner.id == "np" and value.func.attr == "dtype":
+                        dtypes[name] = _literal(value.args[0])
+            elif isinstance(value, ast.Constant) and \
+                    isinstance(value.value, int):
+                if name.startswith("OP_") and name != "OP_NAMES":
+                    opcodes[name] = value.value
+                elif name.startswith("FLAG_"):
+                    flags[name] = value.value
+
+        if not (structs or dtypes or opcodes or flags) \
+                and ctx.relpath != _FRAMES_REL:
+            # Scope was bypassed (fixture testing) on a file that
+            # declares no frame artifacts at all: not a frame module.
+            return
+
+        for label, found, declared in [
+            ("struct format", structs, schema.FRAME_STRUCTS),
+            ("dtype", dtypes, schema.FRAME_DTYPES),
+            ("opcode", opcodes, schema.OPCODES),
+            ("flag", flags, schema.FLAGS),
+        ]:
+            comparator = (_dtype_spec_equal if label == "dtype"
+                          else lambda a, b: a == b)
+            for name, value in sorted(found.items()):
+                if name not in declared:
+                    yield (lines[name], 0,
+                           f"{label} {name} is not declared in "
+                           f"{_SCHEMA_REL}; add it there (and to the "
+                           f"docs) in the same change")
+                elif not comparator(value, declared[name]):
+                    yield (lines[name], 0,
+                           f"{label} {name} = {value!r} disagrees with "
+                           f"{_SCHEMA_REL} ({declared[name]!r}); a "
+                           f"wire-format change must update both")
+            for name in sorted(set(declared) - set(found)):
+                yield (1, 0,
+                       f"{label} {name} is declared in {_SCHEMA_REL} "
+                       f"but missing from frames.py")
+
+    # ---------------------------------------------------------- the docs
+
+    def finalize(self, project):
+        schema = _load_schema(project.root)
+        if schema is None:
+            return  # already reported against frames.py
+        doc = project.read_doc(_DOC_REL)
+        if doc is None:
+            yield (_DOC_REL, 1, "docs/SERVING.md is missing but the "
+                                "frame schema expects its layout table")
+            return
+        doc_lines = doc.splitlines()
+        rows = []  # (lineno, offset, size_text, description)
+        for lineno, line in enumerate(doc_lines, start=1):
+            match = _TABLE_ROW_RE.match(line.strip())
+            if match:
+                rows.append((lineno, int(match.group("offset")),
+                             match.group("size"), match.group("field")))
+        expected = schema.header_layout()
+        if len(rows) < len(expected):
+            yield (_DOC_REL, 1,
+                   f"frame-layout table has {len(rows)} rows; the "
+                   f"schema header needs {len(expected)} "
+                   f"(fields {[f for f, _, _ in expected]})")
+            return
+        rows = rows[: len(expected)]
+        for (lineno, offset, size_text, desc), (field, want_off, want_size) \
+                in zip(rows, expected):
+            want_size_text = "..." if want_size is None else str(want_size)
+            if offset != want_off or size_text != want_size_text:
+                yield (_DOC_REL, lineno,
+                       f"layout row for {field!r} says offset {offset} "
+                       f"size {size_text}; schema says offset "
+                       f"{want_off} size {want_size_text}")
+            word = _FIELD_DOC_WORDS.get(field, field)
+            if word not in desc.lower():
+                yield (_DOC_REL, lineno,
+                       f"layout row at offset {offset} should describe "
+                       f"{field!r} (expected the word {word!r})")
+        version_row = rows[0]
+        version_hex = f"0x{schema.PROTOCOL_VERSION:02X}"
+        if version_hex.lower() not in version_row[3].lower():
+            yield (_DOC_REL, version_row[0],
+                   f"version row does not mention the protocol version "
+                   f"byte {version_hex}")
+        documented = {f"OP_{name.upper()}": int(num)
+                      for name, num in _DOC_OPCODE_RE.findall(doc)}
+        for op_name, value in sorted(schema.OPCODES.items()):
+            if op_name not in documented:
+                yield (_DOC_REL, 1,
+                       f"docs/SERVING.md never lists "
+                       f"`{op_name[3:].lower()}`={value} in the opcode "
+                       f"listing")
+            elif documented[op_name] != value:
+                yield (_DOC_REL, 1,
+                       f"docs/SERVING.md lists "
+                       f"`{op_name[3:].lower()}`={documented[op_name]} "
+                       f"but the schema says {value}")

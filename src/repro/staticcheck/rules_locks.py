@@ -1,0 +1,263 @@
+"""RA007 — ``# guarded-by:`` attributes need their lock on every path.
+
+The threaded serving stack shares mutable objects across connection
+threads (the ``BlockCache`` LRU, the probe server's thread registry,
+in-flight admission counters).  The discipline is declared in the
+source — an attribute whose initialising assignment carries a
+``# guarded-by: <lock>`` comment must only be read or written while
+that lock is held — and this rule *proves* it per method with a
+must-dataflow over the CFG: the lock fact has to survive the
+intersection join on **every** route to the access, so one unlocked
+``if`` arm or early return is enough to fire.
+
+Annotation grammar (see docs/STATICCHECK.md):
+
+* ``self._entries = {}  # guarded-by: self._lock`` — on the attribute's
+  initialising assignment (usually in ``__init__``).
+* ``def _evict(self):  # holds-lock: self._lock`` — a method contract:
+  callers must hold the lock, so the analysis seeds it held at entry
+  *and* checks it is held at every call site of the method.
+* ``def _acquire(self):  # acquires-lock: self._lock`` — a helper that
+  leaves the lock held; calls to it establish the fact.
+
+Facts are established by ``with self._lock:`` (held for the suite),
+``self._lock.acquire()`` (held until ``.release()``), the two method
+annotations above, and nothing else — aliasing a lock defeats the
+analysis on purpose, because it defeats human review too.
+
+``__init__`` and ``__del__`` are exempt (the object is not shared
+before construction completes or during teardown), as is the
+annotated assignment itself.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from .cfg import build_cfg
+from .dataflow import must_held_at
+from .framework import Checker, register
+
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*(?P<lock>[A-Za-z_][\w.]*)")
+_HOLDS_RE = re.compile(r"#\s*holds-lock:\s*(?P<lock>[A-Za-z_][\w.]*)")
+_ACQUIRES_RE = re.compile(r"#\s*acquires-lock:\s*(?P<lock>[A-Za-z_][\w.]*)")
+
+#: Methods where guarded attributes may be touched lock-free.
+_EXEMPT_METHODS = {"__init__", "__del__", "__repr__"}
+
+
+def _expr_text(node) -> str:
+    return ast.unparse(node)
+
+
+def _own_expressions(stmt):
+    """The expression nodes evaluated *by* ``stmt`` itself — headers of
+    compound statements, everything of simple ones — excluding nested
+    statement suites (those are separate CFG statements with their own
+    facts) and nested function/class bodies (separate scopes)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.target, stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        out = []
+        for item in stmt.items:
+            out.append(item.context_expr)
+            if item.optional_vars is not None:
+                out.append(item.optional_vars)
+        return out
+    if isinstance(stmt, ast.ExceptHandler):
+        return [stmt.type] if stmt.type is not None else []
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.ClassDef)):
+        return []
+    if isinstance(stmt, ast.Try):
+        return []
+    out = []
+    for child in ast.iter_child_nodes(stmt):
+        if isinstance(child, ast.expr):
+            out.append(child)
+    return out
+
+
+def _walk_expr(node):
+    """``ast.walk`` over an expression, not descending into lambdas
+    (their bodies run later, under whatever locks the caller holds)."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, ast.Lambda):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _comment_in_header(lines, func, regex):
+    """Match ``regex`` against the def line(s) of ``func`` (multi-line
+    signatures allowed: anywhere before the first body statement)."""
+    start = func.lineno
+    stop = func.body[0].lineno if func.body else start + 1
+    for lineno in range(start, stop + 1):
+        if lineno - 1 >= len(lines):
+            break
+        match = regex.search(lines[lineno - 1])
+        if match:
+            return match.group("lock")
+    return None
+
+
+def _guarded_attrs(cls: ast.ClassDef, lines) -> dict:
+    """``{attr_name: (lock_expr, decl_lineno)}`` from ``# guarded-by:``
+    comments on ``self.<attr> = ...`` lines inside the class."""
+    annotated: dict = {}
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        else:
+            continue
+        line = lines[node.lineno - 1] if node.lineno - 1 < len(lines) else ""
+        match = _GUARDED_RE.search(line)
+        if not match:
+            continue
+        for target in targets:
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                annotated[target.attr] = (match.group("lock"), node.lineno)
+    return annotated
+
+
+@register
+class LockDisciplineChecker(Checker):
+    """Prove ``# guarded-by:`` attribute accesses hold their lock."""
+
+    rule_id = "RA007"
+    title = "guarded-by attributes accessed without their lock held"
+    rationale = (
+        "shared mutable state touched by connection threads must hold "
+        "its declared lock on every CFG path to the access; a single "
+        "unlocked route corrupts LRU order and byte accounting in ways "
+        "differential tests rarely catch (docs/STATICCHECK.md, lock "
+        "discipline)."
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("src/repro/")
+
+    def check_file(self, ctx):
+        lines = ctx.lines
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(node, lines)
+
+    # ----------------------------------------------------------- per class
+
+    def _check_class(self, cls: ast.ClassDef, lines):
+        guarded = _guarded_attrs(cls, lines)
+        if not guarded:
+            return
+        methods = [stmt for stmt in cls.body
+                   if isinstance(stmt, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef))]
+        holds: dict = {}     # method name -> required lock
+        acquires: dict = {}  # method name -> lock left held
+        for method in methods:
+            lock = _comment_in_header(lines, method, _HOLDS_RE)
+            if lock:
+                holds[method.name] = lock
+            lock = _comment_in_header(lines, method, _ACQUIRES_RE)
+            if lock:
+                acquires[method.name] = lock
+        decl_lines = {lineno for _, lineno in guarded.values()}
+        for method in methods:
+            if method.name in _EXEMPT_METHODS:
+                continue
+            yield from self._check_method(
+                method, guarded, holds, acquires, decl_lines
+            )
+
+    def _check_method(self, method, guarded, holds, acquires, decl_lines):
+        cfg = build_cfg(method)
+        locks = {lock for lock, _ in guarded.values()}
+        locks.update(holds.values())
+        locks.update(acquires.values())
+
+        def self_call_name(call: ast.Call):
+            func = call.func
+            if (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "self"):
+                return func.attr
+            return None
+
+        def gen_kill(stmt):
+            gen: list = []
+            kill: list = []
+            scoped: list = []
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if _expr_text(item.context_expr) in locks:
+                        scoped.append(f"lock:{_expr_text(item.context_expr)}")
+                return gen, kill, scoped
+            for expr in _own_expressions(stmt):
+                for node in _walk_expr(expr):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    func = node.func
+                    if isinstance(func, ast.Attribute):
+                        owner = _expr_text(func.value)
+                        if owner in locks and func.attr == "acquire":
+                            gen.append(f"lock:{owner}")
+                        elif owner in locks and func.attr == "release":
+                            kill.append(f"lock:{owner}")
+                    name = self_call_name(node)
+                    if name in acquires:
+                        gen.append(f"lock:{acquires[name]}")
+            return gen, kill, scoped
+
+        initial = frozenset()
+        if method.name in holds:
+            initial = frozenset({f"lock:{holds[method.name]}"})
+        facts_at = must_held_at(cfg, gen_kill, initial=initial)
+
+        seen: set = set()  # (line, col, attr) — one finding per access
+        for stmt, facts in facts_at.items():
+            for expr in _own_expressions(stmt):
+                for node in _walk_expr(expr):
+                    if isinstance(node, ast.Call):
+                        name = None
+                        if (isinstance(node.func, ast.Attribute)
+                                and isinstance(node.func.value, ast.Name)
+                                and node.func.value.id == "self"):
+                            name = node.func.attr
+                        if name in holds and \
+                                f"lock:{holds[name]}" not in facts:
+                            key = (node.lineno, node.col_offset, name)
+                            if key not in seen:
+                                seen.add(key)
+                                yield (node.lineno, node.col_offset,
+                                       f"call to {name}() requires "
+                                       f"{holds[name]} held "
+                                       f"(# holds-lock contract), but it "
+                                       f"is not held on every path here")
+                    if not (isinstance(node, ast.Attribute)
+                            and isinstance(node.value, ast.Name)
+                            and node.value.id == "self"
+                            and node.attr in guarded):
+                        continue
+                    lock, decl_lineno = guarded[node.attr]
+                    if node.lineno in decl_lines:
+                        continue  # the annotated declaration itself
+                    if f"lock:{lock}" in facts:
+                        continue
+                    key = (node.lineno, node.col_offset, node.attr)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield (node.lineno, node.col_offset,
+                           f"self.{node.attr} is guarded-by {lock} "
+                           f"(declared line {decl_lineno}) but accessed "
+                           f"here without it held on every path")

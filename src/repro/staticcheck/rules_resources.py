@@ -1,0 +1,168 @@
+"""RA010 — acquired resources must reach ``close()`` on all paths.
+
+Sockets, mmaps, shared-memory segments and file handles leak silently
+in a long-running server: the solve keeps going, the fd table fills,
+and the failure surfaces hours later as ``EMFILE`` in an unrelated
+accept loop.  This rule runs a *may*-dataflow over the CFG: acquiring
+a resource into a local name generates an "open" fact, releasing or
+handing off ownership kills it, and any fact still live flowing into
+the function's normal exit — or its uncaught-``raise`` sink — means
+some path leaks.
+
+Tracked acquisitions (assignment of a call result to a local name):
+``socket.socket``, ``socket.create_connection``, ``mmap.mmap``,
+``SharedMemory(...)`` (any spelling), and builtin ``open``.
+
+The fact dies when, on that path:
+
+* the name's ``close()`` / ``shutdown()`` / ``unlink()`` method is
+  called (``try/finally`` bodies are modeled, so a close in a
+  ``finally`` covers both the normal and the explicit-raise route);
+* ownership escapes — the name is returned, yielded, stored into an
+  attribute/subscript/container, rebound, or passed as a call argument
+  (including ``contextlib.closing``): whoever received it owns the
+  close now, and an intraprocedural analysis stops there;
+* the resource was acquired by a ``with`` statement in the first
+  place — the context manager closes it, so no fact is ever created.
+
+Implicit exceptions (any call may raise) are deliberately *not* CFG
+edges (see :mod:`repro.staticcheck.cfg`); the ``with``/``try-finally``
+shapes this rule pushes toward are exactly the ones that are safe
+under them anyway.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .cfg import function_cfgs
+from .dataflow import may_facts
+from .framework import Checker, register
+
+_RELEASE_METHODS = {"close", "shutdown", "unlink", "terminate"}
+
+
+def _acquisition_kind(call: ast.Call):
+    """Resource kind acquired by ``call``, or None."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id == "open":
+            return "file handle (open)"
+        if func.id == "SharedMemory":
+            return "shared-memory segment"
+        if func.id == "mmap":
+            return "mmap"
+        return None
+    if isinstance(func, ast.Attribute):
+        if isinstance(func.value, ast.Name):
+            owner = func.value.id
+            if owner == "socket" and func.attr in {"socket",
+                                                   "create_connection"}:
+                return f"socket ({func.attr})"
+            if owner == "mmap" and func.attr == "mmap":
+                return "mmap"
+        if func.attr == "SharedMemory":
+            return "shared-memory segment"
+    return None
+
+
+def _escaping_names(stmt) -> set:
+    """Local names whose ownership leaves this function at ``stmt``."""
+    out: set = set()
+
+    def names_in(node):
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name):
+                out.add(sub.id)
+
+    if isinstance(stmt, ast.Return) and stmt.value is not None:
+        names_in(stmt.value)
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        # A nested def capturing the name closes over it — ownership is
+        # shared with the closure, beyond intraprocedural tracking.
+        names_in(stmt)
+        return out
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)) \
+                and node.value is not None:
+            names_in(node.value)
+        elif isinstance(node, ast.Call):
+            for arg in node.args:
+                names_in(arg)
+            for kw in node.keywords:
+                names_in(kw.value)
+        elif isinstance(node, ast.Assign):
+            # Stored somewhere non-local (attribute, subscript, or into
+            # a container literal) — or rebound to another name, which
+            # aliases it beyond what this analysis tracks.
+            if any(not isinstance(t, ast.Name) for t in node.targets):
+                names_in(node.value)
+            elif not isinstance(node.value, ast.Call):
+                names_in(node.value)
+    return out
+
+
+@register
+class ResourceLifetimeChecker(Checker):
+    """Flag resources that can leak past the function on some path."""
+
+    rule_id = "RA010"
+    title = "resource may not reach close() on every path"
+    rationale = (
+        "a socket/mmap/SharedMemory/file acquired in library code must "
+        "be released on every route out of the function — with blocks "
+        "or try/finally, which also survive the implicit exceptions "
+        "the CFG does not model; a leak per request exhausts the fd "
+        "table of a month-long serve (docs/STATICCHECK.md, resource "
+        "lifetime)."
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("src/repro/")
+
+    def check_file(self, ctx):
+        for func, cfg in function_cfgs(ctx.tree):
+            yield from self._check_function(func, cfg)
+
+    def _check_function(self, func, cfg):
+        sites: dict = {}  # fact (local name) -> (acquisition node, kind)
+
+        def gen_kill(stmt):
+            gen: list = []
+            kill: list = []
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                # Context managers release their own resources; nothing
+                # to track (and names bound by `as` are managed too).
+                return gen, kill, ()
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        kill.append(target.id)  # rebinding forgets it
+                kind = (_acquisition_kind(stmt.value)
+                        if isinstance(stmt.value, ast.Call) else None)
+                if kind and len(stmt.targets) == 1 and \
+                        isinstance(stmt.targets[0], ast.Name):
+                    name = stmt.targets[0].id
+                    gen.append(name)
+                    if name not in sites:
+                        sites[name] = (stmt.value, kind)
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call) and \
+                        isinstance(node.func, ast.Attribute) and \
+                        isinstance(node.func.value, ast.Name) and \
+                        node.func.attr in _RELEASE_METHODS:
+                    kill.append(node.func.value.id)
+            kill.extend(_escaping_names(stmt))
+            return gen, kill, ()
+
+        _, exit_facts, raise_facts = may_facts(cfg, gen_kill)
+        for name in sorted(exit_facts | raise_facts):
+            if name not in sites:
+                continue
+            node, kind = sites[name]
+            route = ("an explicit-raise path"
+                     if name in raise_facts and name not in exit_facts
+                     else "some path")
+            yield (node.lineno, node.col_offset,
+                   f"{kind} '{name}' may leak on {route}: no close() "
+                   f"before the function exits; use with or try/finally")

@@ -1,0 +1,60 @@
+"""The pre-fix ``BlockCache`` in miniature — RA007 regression fixture.
+
+This is the shape the serving cache had before it grew its ``RLock``:
+LRU reorder, hit/miss counters and byte gauges all mutated with no
+lock, exactly what connection threads then raced on.  Only the
+``# guarded-by:`` declarations are new — they state the discipline the
+code *should* have had, and RA007 must light up every method that
+breaks it.  The thread-safe rewrite in ``src/repro/serve/cache.py`` is
+the same class with the annotations *kept* and the findings fixed.
+
+Checked as if it lived at ``src/repro/fixture.py``; never imported.
+"""
+
+import threading
+from collections import OrderedDict
+
+
+class PrefixBlockCache:
+    def __init__(self, budget_bytes):
+        self.budget_bytes = int(budget_bytes)
+        self._lock = threading.RLock()
+        self._blocks = OrderedDict()  # guarded-by: self._lock
+        self.hits = 0  # guarded-by: self._lock
+        self.misses = 0  # guarded-by: self._lock
+        self.evictions = 0  # guarded-by: self._lock
+        self.resident_bytes = 0  # guarded-by: self._lock
+
+    def get(self, key, loader):
+        entry = self._blocks.get(key)  # RA007
+        if entry is not None:
+            self._blocks.move_to_end(key)  # RA007
+            self.hits += 1  # RA007
+            return entry
+        self.misses += 1  # RA007
+        block = loader()
+        self.put(key, block)
+        return block
+
+    def put(self, key, block):
+        old = self._blocks.pop(key, None)  # RA007
+        if old is not None:
+            self.resident_bytes -= int(old.nbytes)  # RA007
+        self._blocks[key] = block  # RA007
+        self.resident_bytes += int(block.nbytes)  # RA007
+        self._evict()
+
+    def _evict(self):
+        while self.resident_bytes > self.budget_bytes \
+                and len(self._blocks) > 1:  # RA007 (both reads)
+            _, victim = self._blocks.popitem(last=False)  # RA007
+            self.resident_bytes -= int(victim.nbytes)  # RA007
+            self.evictions += 1  # RA007
+
+    def stats(self):
+        return {
+            "hits": self.hits,  # RA007
+            "misses": self.misses,  # RA007
+            "evictions": self.evictions,  # RA007
+            "resident_bytes": self.resident_bytes,  # RA007
+        }

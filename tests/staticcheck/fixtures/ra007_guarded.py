@@ -1,0 +1,55 @@
+"""Deliberate RA007 violations — fixture for the lock-discipline rule.
+
+Checked as if it lived at ``src/repro/fixture.py``; never imported.
+"""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: self._lock
+        self.total = 0  # guarded-by: self._lock
+
+    def bump(self):
+        self.count += 1  # RA007: no lock anywhere
+
+    def bump_locked(self):
+        # Fine: the with suite holds the lock.
+        with self._lock:
+            self.count += 1
+
+    def one_unlocked_arm(self, fast):
+        if fast:
+            self.count += 1  # RA007: this arm skips the lock
+        else:
+            with self._lock:
+                self.count += 1
+
+    def acquire_release(self):
+        self._lock.acquire()
+        self.count += 1  # fine: explicitly held here
+        self._lock.release()
+        return self.count  # RA007: released two lines up
+
+    def early_return(self, flag):
+        self._lock.acquire()
+        if flag:
+            self._lock.release()
+            return self.total  # RA007: read after the release
+        value = self.count  # fine: still held on the fall-through path
+        self._lock.release()
+        return value
+
+    def _evict(self):  # holds-lock: self._lock
+        # Fine: the contract seeds the fact at entry.
+        self.count -= 1
+
+    def caller_without_lock(self):
+        self._evict()  # RA007: holds-lock contract not honored
+
+    def caller_with_lock(self):
+        # Fine: contract call under the lock.
+        with self._lock:
+            self._evict()

@@ -1,0 +1,36 @@
+"""Deliberate RA008 violations — fixture for the blocking-call rule.
+
+Checked as if it lived at ``src/repro/fixture.py``; never imported.
+"""
+
+import asyncio
+import time
+import zlib
+
+
+async def sleepy():
+    time.sleep(0.1)  # RA008
+    await asyncio.sleep(0.1)  # fine: the async equivalent
+
+
+async def compresses(payload):
+    return zlib.compress(payload)  # RA008: CPU-bound on the loop
+
+
+async def reads(path):
+    return open(path).read()  # RA008: blocking file IO
+
+
+async def serves(listener):
+    conn, _ = listener.accept()  # RA008: blocking socket op
+    data = conn.recv(4096)  # RA008
+    await asyncio.to_thread(conn.sendall, data)  # fine: reference only
+
+
+async def offloads(payload):
+    def pack():
+        # Fine: a sync helper shipped to an executor is its own scope.
+        time.sleep(0.0)
+        return zlib.compress(payload)
+
+    return await asyncio.to_thread(pack)

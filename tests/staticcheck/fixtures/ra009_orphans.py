@@ -1,0 +1,39 @@
+"""Deliberate RA009 violations — fixture for the orphaned-coroutine rule.
+
+Checked as if it lived at ``src/repro/fixture.py``; never imported.
+"""
+
+import asyncio
+
+
+async def worker(queue):
+    await queue.get()
+
+
+async def launches(queue):
+    worker(queue)  # RA009: coroutine object built, never awaited
+    asyncio.create_task(worker(queue))  # RA009: task handle dropped
+    task = asyncio.create_task(worker(queue))  # fine: handle kept
+    await task
+
+
+class Server:
+    async def drain(self):
+        pass
+
+    def sync_close(self):
+        pass
+
+    async def run(self):
+        self.drain()  # RA009: async method called without await
+        await self.drain()  # fine
+        self.sync_close()  # fine: plain sync method
+
+
+class Other:
+    def drain(self):
+        pass
+
+    def run(self):
+        # Fine: *this* class's drain is sync — no cross-class matching.
+        self.drain()

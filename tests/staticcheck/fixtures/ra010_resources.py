@@ -1,0 +1,53 @@
+"""Deliberate RA010 violations — fixture for the resource-lifetime rule.
+
+Checked as if it lived at ``src/repro/fixture.py``; never imported.
+"""
+
+import mmap
+import socket
+from multiprocessing.shared_memory import SharedMemory
+
+
+def forgets_to_close(name):
+    shm = SharedMemory(name=name)  # RA010: never closed on any path
+    print("attached")
+
+
+def early_return_leak(path, key):
+    handle = open(path, "rb")  # RA010: leaks on the early return
+    if key not in path:
+        return None
+    data = handle.read()
+    handle.close()
+    return data
+
+
+def raise_path_leak(addr, payload):
+    sock = socket.create_connection(addr, timeout=1.0)  # RA010
+    if not payload:
+        raise ValueError("empty payload")  # sock still open here
+    sock.sendall(payload)
+    sock.close()
+
+
+def closes_in_finally(fileno):
+    # Fine: the finally covers the normal and the raising route.
+    view = mmap.mmap(fileno, 0)
+    try:
+        if view[0] == 0:
+            raise ValueError("empty mapping")
+        return bytes(view[:16])
+    finally:
+        view.close()
+
+
+def with_managed(path):
+    # Fine: the context manager owns the close.
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def ownership_handoff(addr, registry):
+    # Fine: the registry owns the socket now (intraprocedural stop).
+    sock = socket.create_connection(addr, timeout=1.0)
+    registry.adopt(sock)

@@ -1,0 +1,37 @@
+"""Deliberate RA011 drift — fixture for the frame-schema rule.
+
+Checked as if it were ``src/repro/aserve/frames.py``; never imported.
+The real schema (``src/repro/aserve/schema.py``) is the reference:
+most constants below copy it faithfully, and the four seeded edits are
+exactly the one-sided changes the rule exists to catch.
+"""
+
+import struct
+
+import numpy as np
+
+LENGTH = struct.Struct("<I")  # RA011: schema says ">I" (endianness flip)
+HEADER = struct.Struct(">BBHI")
+TRAILER = struct.Struct(">Q")  # RA011: not declared in the schema
+
+FLAG_ERROR = 0x0001
+FLAG_OVERLOADED = 0x0002
+
+OP_PING = 9  # RA011: schema says 1
+OP_INFO = 2
+OP_PROBE = 3
+OP_PROBE_MANY = 4
+OP_DEPTH_OF = 5
+OP_BEST_MOVE = 6
+OP_STATS = 7
+
+RECORD_DTYPE = np.dtype([("db", "<u2"), ("index", "<i8")])
+VALUE_DTYPE = np.dtype("<i4")  # RA011: schema says "<i2"
+MOVE_DTYPE = np.dtype([("pit", "<u1"), ("captures", "<i2"), ("value", "<i2")])
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_I16 = struct.Struct("<h")
+_I32 = struct.Struct("<i")
+_I64 = struct.Struct("<q")
+_BEST = struct.Struct("<hH")

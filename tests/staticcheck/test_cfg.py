@@ -1,0 +1,308 @@
+"""CFG construction over every statement shape the rules rely on.
+
+Each test builds the graph of a small function and asserts the edges
+that carry analysis weight: which routes reach the exit, where
+``raise`` lands, how ``finally`` is duplicated onto early-leave paths.
+"""
+
+import ast
+
+import pytest
+
+from repro.staticcheck.cfg import build_cfg, function_cfgs
+
+
+def cfg_of(source):
+    """The CFG of the single function defined in ``source``."""
+    tree = ast.parse(source)
+    func = next(n for n in ast.walk(tree)
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef)))
+    return func, build_cfg(func)
+
+
+def stmt_at(func, lineno):
+    """The statement node starting at ``lineno`` (identity handle)."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.stmt) and node.lineno == lineno:
+            return node
+    raise AssertionError(f"no statement at line {lineno}")
+
+
+def successors_of(cfg, stmt):
+    block = cfg.block_of(stmt)
+    assert block is not None, "statement not placed in any block"
+    return block.successors
+
+
+def reaches(cfg, block, target) -> bool:
+    """True when ``target`` is reachable from ``block``."""
+    seen, stack = set(), [block]
+    while stack:
+        current = stack.pop()
+        if current is target:
+            return True
+        if current in seen:
+            continue
+        seen.add(current)
+        stack.extend(current.successors)
+    return False
+
+
+class TestLinearAndBranches:
+    def test_straight_line_reaches_exit(self):
+        func, cfg = cfg_of("def f():\n    a = 1\n    b = 2\n")
+        assert cfg.block_of(stmt_at(func, 2)) is cfg.block_of(stmt_at(func, 3))
+        assert cfg.exit in cfg.reachable()
+        assert cfg.raise_exit not in cfg.reachable()
+
+    def test_if_without_else_has_skip_edge(self):
+        func, cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    b = 2\n"
+        )
+        test_block = cfg.block_of(stmt_at(func, 2))
+        join = cfg.block_of(stmt_at(func, 4))
+        then = cfg.block_of(stmt_at(func, 3))
+        # Both the then-arm and the direct skip edge reach the join.
+        assert join in test_block.successors
+        assert then in test_block.successors
+        assert join in then.successors
+
+    def test_if_else_joins(self):
+        func, cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    b = a\n"
+        )
+        join = cfg.block_of(stmt_at(func, 6))
+        assert set(join.predecessors) == {
+            cfg.block_of(stmt_at(func, 3)),
+            cfg.block_of(stmt_at(func, 5)),
+        }
+
+    def test_return_leaves_no_fallthrough(self):
+        func, cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        return 1\n"
+            "    return 2\n"
+        )
+        ret1 = cfg.block_of(stmt_at(func, 3))
+        assert ret1.successors == [cfg.exit]
+        # The second return is on the skip path, not after the first.
+        assert cfg.block_of(stmt_at(func, 4)) not in ret1.successors
+
+    def test_code_after_return_is_unreachable(self):
+        func, cfg = cfg_of("def f():\n    return 1\n    x = 2\n")
+        dead = cfg.block_of(stmt_at(func, 3))
+        assert dead is not None  # still placed, block_of finds it
+        assert dead not in cfg.reachable()
+
+
+class TestLoops:
+    def test_while_has_back_edge_and_exit(self):
+        func, cfg = cfg_of(
+            "def f(n):\n"
+            "    while n:\n"
+            "        n -= 1\n"
+            "    done = 1\n"
+        )
+        header = cfg.block_of(stmt_at(func, 2))
+        body = cfg.block_of(stmt_at(func, 3))
+        after = cfg.block_of(stmt_at(func, 4))
+        assert header in body.successors  # back edge
+        assert after in header.successors or any(
+            after in s.successors for s in header.successors
+        )
+        assert cfg.exit in cfg.reachable()
+
+    def test_while_true_without_break_never_exits(self):
+        func, cfg = cfg_of("def f():\n    while True:\n        pass\n")
+        assert cfg.exit not in cfg.reachable()
+
+    def test_break_edges_to_after_continue_to_header(self):
+        func, cfg = cfg_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        if x:\n"
+            "            break\n"
+            "        continue\n"
+            "    done = 1\n"
+        )
+        header = cfg.block_of(stmt_at(func, 2))
+        after = cfg.block_of(stmt_at(func, 6))
+        brk = cfg.block_of(stmt_at(func, 4))
+        cont = cfg.block_of(stmt_at(func, 5))
+        assert after in brk.successors
+        assert header in cont.successors
+
+    def test_for_else_runs_on_normal_exit(self):
+        func, cfg = cfg_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        y = x\n"
+            "    else:\n"
+            "        y = 0\n"
+            "    z = y\n"
+        )
+        header = cfg.block_of(stmt_at(func, 2))
+        orelse = cfg.block_of(stmt_at(func, 5))
+        assert orelse in header.successors
+        assert cfg.block_of(stmt_at(func, 6)) in orelse.successors
+
+
+class TestRaiseAndTry:
+    def test_uncaught_raise_reaches_raise_exit(self):
+        func, cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        raise ValueError(x)\n"
+            "    return x\n"
+        )
+        raiser = cfg.block_of(stmt_at(func, 3))
+        assert raiser.successors == [cfg.raise_exit]
+        assert cfg.raise_exit in cfg.reachable()
+
+    def test_try_body_statements_edge_to_handler(self):
+        func, cfg = cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        a = 1\n"
+            "        b = 2\n"
+            "    except ValueError:\n"
+            "        c = 3\n"
+            "    d = 4\n"
+        )
+        handler = cfg.block_of(stmt_at(func, 6))
+        # Every try-body statement boundary may divert to the handler.
+        for lineno in (3, 4):
+            assert handler in successors_of(cfg, stmt_at(func, lineno))
+        # Handler and fall-through both reach the join.
+        join = cfg.block_of(stmt_at(func, 7))
+        assert reaches(cfg, handler, join)
+        assert reaches(cfg, cfg.block_of(stmt_at(func, 4)), join)
+
+    def test_caught_raise_goes_to_handler_not_raise_exit(self):
+        func, cfg = cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        raise ValueError()\n"
+            "    except ValueError:\n"
+            "        pass\n"
+        )
+        raiser = cfg.block_of(stmt_at(func, 3))
+        assert cfg.raise_exit not in raiser.successors
+        assert cfg.raise_exit not in cfg.reachable()
+
+    def test_else_runs_only_after_normal_body(self):
+        func, cfg = cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        a = 1\n"
+            "    except ValueError:\n"
+            "        b = 2\n"
+            "    else:\n"
+            "        c = 3\n"
+        )
+        orelse = cfg.block_of(stmt_at(func, 7))
+        handler = cfg.block_of(stmt_at(func, 5))
+        assert not reaches(cfg, handler, orelse)
+        assert reaches(cfg, cfg.block_of(stmt_at(func, 3)), orelse)
+
+    def test_finally_on_both_routes(self):
+        func, cfg = cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        a = 1\n"
+            "    finally:\n"
+            "        b = 2\n"
+            "    c = 3\n"
+        )
+        # The finally suite is duplicated: fall-through route plus the
+        # exception-then-reraise route, which ends at raise_exit.
+        finally_copies = [
+            block for block in cfg.blocks
+            if any(isinstance(s, ast.stmt) and s.lineno == 5
+                   for s in block.statements)
+        ]
+        assert len(finally_copies) >= 2
+        assert any(reaches(cfg, b, cfg.raise_exit) for b in finally_copies)
+        assert any(reaches(cfg, b, cfg.block_of(stmt_at(func, 6)))
+                   for b in finally_copies)
+
+    def test_return_routes_through_finally(self):
+        func, cfg = cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        return 1\n"
+            "    finally:\n"
+            "        cleanup = 1\n"
+        )
+        ret = cfg.block_of(stmt_at(func, 3))
+        # Not a direct exit edge: the pending finally runs first.
+        assert cfg.exit not in ret.successors
+        leave = [s for s in ret.successors if s.kind == "finally-leave"]
+        assert leave, "return did not enter the pending finally"
+        assert reaches(cfg, leave[0], cfg.exit)
+
+    def test_break_routes_through_finally(self):
+        func, cfg = cfg_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        try:\n"
+            "            break\n"
+            "        finally:\n"
+            "            cleanup = 1\n"
+            "    done = 1\n"
+        )
+        brk = cfg.block_of(stmt_at(func, 4))
+        after = cfg.block_of(stmt_at(func, 7))
+        assert after not in brk.successors
+        leave = [s for s in brk.successors if s.kind == "finally-leave"]
+        assert leave and reaches(cfg, leave[0], after)
+
+
+class TestWithAndMisc:
+    def test_with_heads_its_own_block(self):
+        func, cfg = cfg_of(
+            "def f(lock):\n"
+            "    with lock:\n"
+            "        a = 1\n"
+            "    b = 2\n"
+        )
+        with_block = cfg.block_of(stmt_at(func, 2))
+        assert with_block.kind == "with-entry"
+        body = cfg.block_of(stmt_at(func, 3))
+        assert reaches(cfg, with_block, body)
+        assert any(s.kind == "with-exit" for s in body.successors)
+
+    def test_assert_falls_through_and_may_raise(self):
+        func, cfg = cfg_of("def f(x):\n    assert x\n    return x\n")
+        asserter = cfg.block_of(stmt_at(func, 2))
+        assert cfg.raise_exit in asserter.successors
+        assert reaches(cfg, asserter, cfg.exit)
+
+    def test_module_cfg_and_type_errors(self):
+        tree = ast.parse("a = 1\nb = 2\n")
+        cfg = build_cfg(tree)
+        assert cfg.exit in cfg.reachable()
+        with pytest.raises(TypeError):
+            build_cfg(tree.body[0])
+
+    def test_function_cfgs_covers_nested_and_methods(self):
+        tree = ast.parse(
+            "class C:\n"
+            "    def m(self):\n"
+            "        def inner():\n"
+            "            pass\n"
+            "        return inner\n"
+            "async def g():\n"
+            "    pass\n"
+        )
+        names = {func.name for func, _ in function_cfgs(tree)}
+        assert names == {"m", "inner", "g"}

@@ -1,0 +1,275 @@
+"""Worklist-solver behavior: joins, loop convergence, scoped facts.
+
+The gen/kill callbacks here use a deliberately tiny vocabulary —
+``acquire()`` / ``release()`` calls on a bare name generate and kill a
+``lock`` fact; ``with lock:`` scopes it — so each test isolates one
+solver property rather than re-testing the production rules.
+"""
+
+import ast
+
+from repro.staticcheck.cfg import build_cfg
+from repro.staticcheck.dataflow import (
+    may_facts,
+    must_held_at,
+    reaching_definitions,
+)
+
+
+def cfg_of(source):
+    tree = ast.parse(source)
+    func = next(n for n in ast.walk(tree)
+                if isinstance(n, ast.FunctionDef))
+    return func, build_cfg(func)
+
+
+def stmt_at(func, lineno):
+    for node in ast.walk(func):
+        if isinstance(node, ast.stmt) and node.lineno == lineno:
+            return node
+    raise AssertionError(f"no statement at line {lineno}")
+
+
+def own_exprs(stmt):
+    """The expressions ``stmt`` itself evaluates — compound statements
+    contribute only their headers; their suites are separate CFG
+    statements with their own gen/kill."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, ast.For):
+        return [stmt.iter]
+    if isinstance(stmt, ast.Try):
+        return []
+    return [child for child in ast.iter_child_nodes(stmt)
+            if isinstance(child, ast.expr)]
+
+
+def lock_gen_kill(stmt):
+    """gen/kill over the fact ``"lock"``: ``acquire()`` / ``release()``
+    expression calls, ``with lock:`` scoping."""
+    if isinstance(stmt, ast.With):
+        for item in stmt.items:
+            if isinstance(item.context_expr, ast.Name) \
+                    and item.context_expr.id == "lock":
+                return (), (), ("lock",)
+        return (), (), ()
+    gen, kill = [], []
+    for expr in own_exprs(stmt):
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Name):
+                if node.func.id == "acquire":
+                    gen.append("lock")
+                elif node.func.id == "release":
+                    kill.append("lock")
+    return gen, kill, ()
+
+
+class TestReachingDefinitions:
+    def test_branch_defs_union_at_join(self):
+        func, cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    use(a)\n"
+        )
+        block_in, _ = reaching_definitions(cfg)
+        join = cfg.block_of(stmt_at(func, 6))
+        defs = block_in[join]["a"]
+        assert defs == frozenset({stmt_at(func, 3), stmt_at(func, 5)})
+
+    def test_redefinition_kills_along_a_path(self):
+        func, cfg = cfg_of(
+            "def f():\n"
+            "    a = 1\n"
+            "    a = 2\n"
+            "    use(a)\n"
+        )
+        _, block_out = reaching_definitions(cfg)
+        block = cfg.block_of(stmt_at(func, 4))
+        assert block_out[block]["a"] == frozenset({stmt_at(func, 3)})
+
+    def test_loop_carried_defs_reach_the_header(self):
+        func, cfg = cfg_of(
+            "def f(xs):\n"
+            "    a = 0\n"
+            "    for x in xs:\n"
+            "        a = a + 1\n"
+            "    use(a)\n"
+        )
+        block_in, _ = reaching_definitions(cfg)
+        header = cfg.block_of(stmt_at(func, 3))
+        # Fixpoint: both the pre-loop and in-loop definitions flow into
+        # the header via the back edge.
+        assert block_in[header]["a"] == frozenset(
+            {stmt_at(func, 2), stmt_at(func, 4)}
+        )
+
+
+class TestMustHeldAt:
+    def test_acquire_release_window(self):
+        func, cfg = cfg_of(
+            "def f():\n"
+            "    acquire()\n"
+            "    touch()\n"
+            "    release()\n"
+            "    touch_again()\n"
+        )
+        facts = must_held_at(cfg, lock_gen_kill)
+        assert "lock" in facts[stmt_at(func, 3)]
+        assert "lock" not in facts[stmt_at(func, 5)]
+        # The acquire statement itself runs before the fact exists.
+        assert "lock" not in facts[stmt_at(func, 2)]
+
+    def test_one_unlocked_path_loses_the_fact(self):
+        func, cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        acquire()\n"
+            "    touch()\n"
+        )
+        facts = must_held_at(cfg, lock_gen_kill)
+        # Intersection join: the skip path never acquired.
+        assert "lock" not in facts[stmt_at(func, 4)]
+
+    def test_both_paths_acquiring_keeps_the_fact(self):
+        func, cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        acquire()\n"
+            "    else:\n"
+            "        acquire()\n"
+            "    touch()\n"
+        )
+        facts = must_held_at(cfg, lock_gen_kill)
+        assert "lock" in facts[stmt_at(func, 6)]
+
+    def test_with_scopes_the_fact_lexically(self):
+        func, cfg = cfg_of(
+            "def f():\n"
+            "    with lock:\n"
+            "        touch()\n"
+            "    after()\n"
+        )
+        facts = must_held_at(cfg, lock_gen_kill)
+        assert "lock" in facts[stmt_at(func, 3)]
+        assert "lock" not in facts[stmt_at(func, 4)]
+
+    def test_loop_converges_and_drops_fact_released_inside(self):
+        func, cfg = cfg_of(
+            "def f(xs):\n"
+            "    acquire()\n"
+            "    for x in xs:\n"
+            "        release()\n"
+            "    touch()\n"
+        )
+        facts = must_held_at(cfg, lock_gen_kill)
+        # After >= 1 iteration the lock is gone; the back edge must
+        # carry that state into the header's join (fixpoint, not the
+        # first-pass state where the lock was still held).
+        assert "lock" not in facts[stmt_at(func, 5)]
+
+    def test_loop_that_reacquires_keeps_fact_inside(self):
+        func, cfg = cfg_of(
+            "def f(xs):\n"
+            "    acquire()\n"
+            "    for x in xs:\n"
+            "        touch()\n"
+            "        release()\n"
+            "        acquire()\n"
+            "    after()\n"
+        )
+        facts = must_held_at(cfg, lock_gen_kill)
+        assert "lock" in facts[stmt_at(func, 4)]
+        assert "lock" in facts[stmt_at(func, 7)]
+
+    def test_initial_seed_survives_to_entry_statements(self):
+        func, cfg = cfg_of("def f():\n    touch()\n")
+        facts = must_held_at(cfg, lock_gen_kill,
+                             initial=frozenset({"lock"}))
+        assert "lock" in facts[stmt_at(func, 2)]
+
+
+def resource_gen_kill(stmt):
+    """gen the local name on ``name = open_resource()``; kill it on
+    ``name.close()``."""
+    gen, kill = [], []
+    if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call) \
+            and isinstance(stmt.value.func, ast.Name) \
+            and stmt.value.func.id == "open_resource" \
+            and isinstance(stmt.targets[0], ast.Name):
+        gen.append(stmt.targets[0].id)
+    for expr in own_exprs(stmt):
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "close" \
+                    and isinstance(node.func.value, ast.Name):
+                kill.append(node.func.value.id)
+    return gen, kill, ()
+
+
+class TestMayFacts:
+    def test_union_join_keeps_either_paths_fact(self):
+        func, cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        r = open_resource()\n"
+            "    use()\n"
+        )
+        facts, exit_facts, raise_facts = may_facts(cfg, resource_gen_kill)
+        assert "r" in facts[stmt_at(func, 4)]  # may be open here
+        assert exit_facts == frozenset({"r"})
+        assert raise_facts == frozenset()
+
+    def test_close_on_every_path_clears_the_exit(self):
+        func, cfg = cfg_of(
+            "def f(x):\n"
+            "    r = open_resource()\n"
+            "    if x:\n"
+            "        r.close()\n"
+            "    else:\n"
+            "        r.close()\n"
+        )
+        _, exit_facts, raise_facts = may_facts(cfg, resource_gen_kill)
+        assert exit_facts == frozenset()
+        assert raise_facts == frozenset()
+
+    def test_raise_path_tracked_separately(self):
+        func, cfg = cfg_of(
+            "def f(x):\n"
+            "    r = open_resource()\n"
+            "    if x:\n"
+            "        raise ValueError(x)\n"
+            "    r.close()\n"
+        )
+        _, exit_facts, raise_facts = may_facts(cfg, resource_gen_kill)
+        assert exit_facts == frozenset()
+        assert raise_facts == frozenset({"r"})
+
+    def test_finally_close_covers_the_raise_route(self):
+        func, cfg = cfg_of(
+            "def f(x):\n"
+            "    r = open_resource()\n"
+            "    try:\n"
+            "        if x:\n"
+            "            raise ValueError(x)\n"
+            "    finally:\n"
+            "        r.close()\n"
+        )
+        _, exit_facts, raise_facts = may_facts(cfg, resource_gen_kill)
+        assert exit_facts == frozenset()
+        assert raise_facts == frozenset()
+
+    def test_loop_open_close_converges(self):
+        func, cfg = cfg_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        r = open_resource()\n"
+            "        r.close()\n"
+            "    done()\n"
+        )
+        _, exit_facts, raise_facts = may_facts(cfg, resource_gen_kill)
+        assert exit_facts == frozenset()

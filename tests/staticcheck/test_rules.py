@@ -21,6 +21,11 @@ SEEDED = (
     "ra004_excepts.py",
     "ra005_cli.py",
     "ra006_sockets.py",
+    "ra007_guarded.py",
+    "ra008_blocking.py",
+    "ra009_orphans.py",
+    "ra010_resources.py",
+    "ra011_frames.py",
 )
 
 
@@ -75,6 +80,54 @@ class TestSeededViolations:
             ("RA006", 26),  # setdefaulttimeout(None)
         ]
 
+    def test_ra007_lock_discipline(self):
+        assert _findings("ra007_guarded.py", ["RA007"]) == [
+            ("RA007", 16),  # bump: no lock anywhere
+            ("RA007", 25),  # the unlocked if arm
+            ("RA007", 34),  # read after release()
+            ("RA007", 40),  # read after the early-return release
+            ("RA007", 50),  # holds-lock contract call without the lock
+        ]
+
+    def test_ra008_blocking_in_coroutine(self):
+        assert _findings("ra008_blocking.py", ["RA008"]) == [
+            ("RA008", 12),  # time.sleep
+            ("RA008", 17),  # zlib.compress
+            ("RA008", 21),  # builtin open
+            ("RA008", 25),  # .accept()
+            ("RA008", 26),  # .recv()
+        ]
+
+    def test_ra009_orphaned_coroutines(self):
+        assert _findings("ra009_orphans.py", ["RA009"]) == [
+            ("RA009", 14),  # coroutine never awaited
+            ("RA009", 15),  # create_task handle dropped
+            ("RA009", 28),  # async method without await
+        ]
+
+    def test_ra010_resource_lifetime(self):
+        assert _findings("ra010_resources.py", ["RA010"]) == [
+            ("RA010", 12),  # SharedMemory never closed
+            ("RA010", 17),  # open() leaks on the early return
+            ("RA010", 26),  # socket leaks on the raise path
+        ]
+
+    def test_ra010_messages_name_the_leaking_route(self):
+        report = run_paths([str(FIXTURES / "ra010_resources.py")],
+                           root=ROOT, rules=["RA010"],
+                           enforce_scope=False)
+        by_line = {f.line: f.message for f in report.findings}
+        assert "some path" in by_line[12]
+        assert "an explicit-raise path" in by_line[26]
+
+    def test_ra011_frame_schema_drift(self):
+        assert _findings("ra011_frames.py", ["RA011"]) == [
+            ("RA011", 13),  # LENGTH endianness flip
+            ("RA011", 15),  # TRAILER not in the schema
+            ("RA011", 20),  # OP_PING renumbered
+            ("RA011", 29),  # VALUE_DTYPE widened
+        ]
+
     def test_all_rules_fire_with_correct_locations(self):
         """The acceptance gate: one run over every seeded fixture
         reports every rule id at exactly the seeded file:line."""
@@ -103,6 +156,26 @@ class TestSeededViolations:
             ("RA006", "ra006_sockets.py", 18),
             ("RA006", "ra006_sockets.py", 22),
             ("RA006", "ra006_sockets.py", 26),
+            ("RA007", "ra007_guarded.py", 16),
+            ("RA007", "ra007_guarded.py", 25),
+            ("RA007", "ra007_guarded.py", 34),
+            ("RA007", "ra007_guarded.py", 40),
+            ("RA007", "ra007_guarded.py", 50),
+            ("RA008", "ra008_blocking.py", 12),
+            ("RA008", "ra008_blocking.py", 17),
+            ("RA008", "ra008_blocking.py", 21),
+            ("RA008", "ra008_blocking.py", 25),
+            ("RA008", "ra008_blocking.py", 26),
+            ("RA009", "ra009_orphans.py", 14),
+            ("RA009", "ra009_orphans.py", 15),
+            ("RA009", "ra009_orphans.py", 28),
+            ("RA010", "ra010_resources.py", 12),
+            ("RA010", "ra010_resources.py", 17),
+            ("RA010", "ra010_resources.py", 26),
+            ("RA011", "ra011_frames.py", 13),
+            ("RA011", "ra011_frames.py", 15),
+            ("RA011", "ra011_frames.py", 20),
+            ("RA011", "ra011_frames.py", 29),
         }
 
 
@@ -125,3 +198,32 @@ class TestCleanAndSuppressed:
         [kept] = report.suppressed
         assert (kept.rule, kept.line) == ("RA001", 5)
         assert kept.justification == "fixture: a justified suppression"
+
+
+class TestPrefixCacheRace:
+    """RA007 must light up the pre-fix ``BlockCache`` — the race this
+    PR fixed.  ``ra007_cache_prefix.py`` is that cache in miniature
+    (lock declared, never taken); the shipped ``serve/cache.py`` is the
+    same class with the annotations kept and zero findings."""
+
+    def test_every_racy_method_is_flagged(self):
+        report = run_paths([str(FIXTURES / "ra007_cache_prefix.py")],
+                           root=ROOT, rules=["RA007"],
+                           enforce_scope=False)
+        flagged_lines = {f.line for f in report.findings}
+        assert flagged_lines == {29, 31, 32, 34,          # get
+                                 40, 42, 43, 44,          # put
+                                 48, 49, 50, 51, 52,      # _evict
+                                 56, 57, 58, 59}          # stats
+        # Every guarded attribute shows up in at least one finding.
+        text = " ".join(f.message for f in report.findings)
+        for attr in ("_blocks", "hits", "misses", "evictions",
+                     "resident_bytes"):
+            assert f"self.{attr} is guarded-by self._lock" in text
+
+    def test_fixed_cache_is_clean(self):
+        """The shipped thread-safe cache proves out under the same rule
+        (the fixture and this file pin both directions of the fix)."""
+        report = run_paths([str(ROOT / "src/repro/serve/cache.py")],
+                           root=ROOT, rules=["RA007"])
+        assert [(f.rule, f.line) for f in report.findings] == []
